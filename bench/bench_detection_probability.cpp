@@ -1,0 +1,126 @@
+// Experiment E2 — §V-C(a): integrity assurance.
+//
+// Two claims to regenerate:
+//  1. "a file with 1,000,000 segments and 1,000 queried per challenge ->
+//     ~71.3% detection probability per challenge";
+//  2. "corrupting 1/2% of the blocks makes the file irretrievable with
+//     probability less than 1 in 200,000".
+// Both closed-form and Monte-Carlo (on the real encoder) numbers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "por/analysis.hpp"
+#include "por/encoder.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::por;
+
+void print_detection_tables() {
+  std::printf("\n=== E2: POR detection probability (§V-C(a)) ===\n");
+
+  std::printf("\n--- Detection vs challenge size (n = 1,000,000 segments, "
+              "1,250 corrupted = 0.125%%) ---\n");
+  std::printf("%8s %16s %16s\n", "k", "hypergeometric", "1-(1-p)^k");
+  for (const unsigned k : {1u, 10u, 100u, 500u, 1000u, 2000u, 5000u}) {
+    std::printf("%8u %16.4f %16.4f\n", k,
+                detection_probability(1'000'000, 1'250, k),
+                detection_probability_iid(0.00125, k));
+  }
+  std::printf("Paper's reference point: k = 1000 -> %.1f%% (paper: "
+              "~71.3%%)\n",
+              100.0 * detection_probability(1'000'000, 1'250, 1'000));
+
+  std::printf("\n--- Monte-Carlo on the real encoder (small geometry) ---\n");
+  PorParams p;
+  p.ecc_data_blocks = 48;
+  p.ecc_parity_blocks = 16;
+  const PorEncoder encoder(p);
+  const Bytes master = bytes_of("bench-master");
+  Rng rng(1);
+  const Bytes file = rng.next_bytes(120000);
+  const EncodedFile clean = encoder.encode(file, 1, master);
+  const SegmentVerifier verifier(p, master, 1);
+
+  const double rho = 0.01;  // corrupt ~1% of segments
+  std::printf("%8s %14s %14s\n", "k", "measured", "closed form");
+  for (const unsigned k : {5u, 20u, 50u, 100u}) {
+    int detected = 0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      EncodedFile damaged = clean;
+      std::uint64_t m = 0;
+      for (auto& seg : damaged.segments) {
+        if (rng.next_bool(rho)) {
+          seg[0] ^= 0x01;
+          ++m;
+        }
+      }
+      const auto challenge = sample_challenge(damaged.n_segments, k, rng);
+      bool hit = false;
+      for (const auto c : challenge) {
+        if (!verifier.verify(c, damaged.segments[static_cast<std::size_t>(c)])) {
+          hit = true;
+          break;
+        }
+      }
+      detected += hit;
+    }
+    std::printf("%8u %14.3f %14.3f\n", k,
+                static_cast<double>(detected) / trials,
+                detection_probability_iid(rho, k));
+  }
+
+  std::printf("\n--- Irretrievability bound (0.5%% block corruption, "
+              "(255,223,32) RS) ---\n");
+  const std::uint64_t chunks_2gb = (1ull << 27) / 223 + 1;
+  std::printf("  chunks in the 2 GB example: %llu\n",
+              static_cast<unsigned long long>(chunks_2gb));
+  std::printf("  P[file irretrievable], erasure decoding (32/chunk):  %.3e\n",
+              file_irretrievable_probability(chunks_2gb, 255, 32, 0.005));
+  std::printf("  P[file irretrievable], blind decoding   (16/chunk):  %.3e\n",
+              file_irretrievable_probability(chunks_2gb, 255, 16, 0.005));
+  std::printf("  paper's claim: < 1/200,000 = %.3e   -> holds: %s\n",
+              1.0 / 200'000,
+              file_irretrievable_probability(chunks_2gb, 255, 16, 0.005) <
+                      1.0 / 200'000
+                  ? "YES"
+                  : "NO");
+
+  std::printf("\n--- Corruption rate sweep (blind decoding) ---\n");
+  std::printf("%12s %20s\n", "block p", "P[irretrievable]");
+  for (const double rate : {0.005, 0.01, 0.02, 0.03, 0.04, 0.05}) {
+    std::printf("%12.3f %20.3e\n", rate,
+                file_irretrievable_probability(chunks_2gb, 255, 16, rate));
+  }
+  std::printf("\nTag forgery: one 20-bit tag 2^-20; a 20-round audit "
+              "log10(P) = %.1f.\n\n",
+              log10_tag_forgery_probability(20, 20));
+}
+
+void BM_DetectionClosedForm(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detection_probability(1'000'000, 1'250, 1'000));
+  }
+}
+BENCHMARK(BM_DetectionClosedForm);
+
+void BM_IrretrievabilityBound(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        file_irretrievable_probability(600'000, 255, 16, 0.005));
+  }
+}
+BENCHMARK(BM_IrretrievabilityBound);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_detection_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

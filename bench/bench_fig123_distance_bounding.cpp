@@ -1,0 +1,117 @@
+// Experiment F1-F3 — Figs. 1-3: the distance-bounding protocols.
+//
+// Regenerates (a) honest-run RTT behaviour for Brands-Chaum, Hancke-Kuhn
+// and Reid et al., and (b) the attack-acceptance curves versus the round
+// count n: blind guessing 2^-n, Hancke-Kuhn pre-ask and distance fraud
+// (3/4)^n, pure relay 0, and the terrorist-fraud contrast between HK
+// (vulnerable at zero cost) and Reid (collusion leaks the long-term key).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "distbound/attacks.hpp"
+#include "distbound/brands_chaum.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::distbound;
+
+void print_honest_runs() {
+  std::printf("\n=== Figs. 1-3: honest distance-bounding sessions ===\n");
+  std::printf("%-14s %8s %10s %12s %10s\n", "Protocol", "rounds", "accepted",
+              "max RTT ms", "bits bad");
+  const ExchangeParams params{.rounds = 32, .max_rtt = Millis{2.0}};
+  const Millis one_way{0.3};
+  {
+    SimClock clock;
+    Rng rng(1);
+    const auto res =
+        run_hancke_kuhn(clock, one_way, params, bytes_of("secret"), rng);
+    std::printf("%-14s %8u %10s %12.3f %10u\n", "Hancke-Kuhn", params.rounds,
+                res.exchange.accepted ? "yes" : "NO",
+                res.exchange.max_rtt.count(), res.exchange.bit_errors);
+  }
+  {
+    SimClock clock;
+    Rng rng(2);
+    const auto res = run_reid(clock, one_way, params, bytes_of("secret"), "V",
+                              "P", rng);
+    std::printf("%-14s %8u %10s %12.3f %10u\n", "Reid et al.", params.rounds,
+                res.exchange.accepted ? "yes" : "NO",
+                res.exchange.max_rtt.count(), res.exchange.bit_errors);
+  }
+  {
+    SimClock clock;
+    Rng rng(3);
+    const auto res =
+        run_brands_chaum(clock, one_way, params, bytes_of("key"), rng);
+    std::printf("%-14s %8u %10s %12.3f %10u\n", "Brands-Chaum", params.rounds,
+                res.accepted ? "yes" : "NO", res.exchange.max_rtt.count(),
+                res.exchange.bit_errors);
+  }
+}
+
+void print_attack_curves() {
+  std::printf("\n--- Attack acceptance vs rounds n (4000 trials each) ---\n");
+  std::printf("%4s | %10s %10s | %10s %10s | %10s %10s\n", "n", "guess",
+              "2^-n", "pre-ask", "(3/4)^n", "dist-fraud", "(3/4)^n");
+  const Millis one_way{0.3};
+  for (const unsigned n : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    const ExchangeParams params{.rounds = n, .max_rtt = Millis{2.0}};
+    const auto guess = measure_hk_guessing(4000, params, one_way, 100 + n);
+    const auto preask = measure_hk_preask(4000, params, one_way, 200 + n);
+    const auto fraud =
+        measure_hk_distance_fraud(4000, params, one_way, 300 + n);
+    std::printf("%4u | %10.4f %10.4f | %10.4f %10.4f | %10.4f %10.4f\n", n,
+                guess.acceptance_rate(), std::pow(0.5, n),
+                preask.acceptance_rate(), std::pow(0.75, n),
+                fraud.acceptance_rate(), std::pow(0.75, n));
+  }
+
+  std::printf("\n--- Pure relay (mafia fraud without pre-ask) ---\n");
+  const ExchangeParams p16{.rounds = 16, .max_rtt = Millis{2.0}};
+  for (const double leg_ms : {0.1, 0.5, 0.69, 0.71, 1.0, 5.0}) {
+    const auto stats =
+        measure_relay(400, p16, one_way, Millis{leg_ms}, 4000);
+    std::printf("  relay leg %5.2f ms (adds %5.2f ms RTT): accepted %.2f%% "
+                "(slack is 1.4 ms)\n",
+                leg_ms, 2 * leg_ms, 100.0 * stats.acceptance_rate());
+  }
+
+  std::printf("\n--- Terrorist fraud (n = 32) ---\n");
+  const ExchangeParams p32{.rounds = 32, .max_rtt = Millis{2.0}};
+  const auto hk = simulate_terrorist_hancke_kuhn(p32, one_way, 5000);
+  const auto reid = simulate_terrorist_reid(p32, one_way, 5001);
+  std::printf("  Hancke-Kuhn: accomplice accepted=%s, long-term secret "
+              "leaked=%s  (vulnerable)\n",
+              hk.accepted ? "yes" : "no",
+              hk.long_term_secret_leaked ? "yes" : "no");
+  std::printf("  Reid et al.: accomplice accepted=%s, long-term secret "
+              "leaked=%s  (collusion costs the key)\n\n",
+              reid.accepted ? "yes" : "no",
+              reid.long_term_secret_leaked ? "yes" : "no");
+}
+
+void BM_HanckeKuhnSession(benchmark::State& state) {
+  const ExchangeParams params{.rounds = static_cast<unsigned>(state.range(0)),
+                              .max_rtt = Millis{2.0}};
+  Rng rng(9);
+  for (auto _ : state) {
+    SimClock clock;
+    benchmark::DoNotOptimize(
+        run_hancke_kuhn(clock, Millis{0.3}, params, bytes_of("s"), rng));
+  }
+}
+BENCHMARK(BM_HanckeKuhnSession)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_honest_runs();
+  print_attack_curves();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

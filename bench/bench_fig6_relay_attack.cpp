@@ -1,0 +1,112 @@
+// Experiment F6 — Fig. 6: the relay attack.
+//
+// The provider relays every challenge to a remote data centre running the
+// fastest disk in the catalogue (IBM 36Z15, Δt_L = 5.406 ms). Sweeping the
+// remote distance shows the detection flip. The paper's headline number:
+// with Internet speed 4/9 c the remote can hide at most ~360 km away; the
+// budget arithmetic of the enforced policy gives the operational bound.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/deployment.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::core;
+
+DeploymentConfig bench_config() {
+  DeploymentConfig cfg;
+  cfg.por.ecc_data_blocks = 48;
+  cfg.por.ecc_parity_blocks = 16;
+  cfg.provider.location = {-27.47, 153.02};
+  cfg.verifier.signer_height = 3;  // few audits per world, many worlds
+  return cfg;
+}
+
+void print_relay_sweep() {
+  std::printf("\n=== Fig. 6: relay attack vs remote distance ===\n");
+
+  const storage::DiskModel best(storage::ibm36z15());
+  const Millis remote_lookup = best.lookup_time(512);
+  const LatencyPolicy policy =
+      LatencyPolicy::for_disk(bench_config().provider.disk);
+  std::printf("\nBounds:\n");
+  std::printf("  paper formula  (4/9c * Δt_L_remote / 2):      %7.1f km\n",
+              paper_relay_distance_bound(remote_lookup).value);
+  const net::InternetModel inet{net::InternetModelParams{}};
+  // Operational bound under this policy and Internet model: solve
+  // base + 2d/(eff*speed) + lookup + lan <= budget for d.
+  const double budget = policy.max_round_trip().count();
+  const double lan_ms = 0.07;
+  const double slack_ms =
+      budget - inet.params().base_rtt.count() - remote_lookup.count() - lan_ms;
+  const double op_bound =
+      slack_ms > 0 ? slack_ms / 2.0 * inet.params().propagation_speed.value *
+                         inet.params().route_efficiency
+                   : 0.0;
+  std::printf("  enforced budget bound (base RTT %.0f ms, budget %.2f ms): "
+              "%7.1f km\n\n",
+              inet.params().base_rtt.count(), budget, op_bound);
+
+  std::printf("%10s %14s %12s %12s %14s\n", "dist km", "detect rate",
+              "mean RTT", "max RTT", "expected");
+  Rng seed_rng(11);
+  for (const double dist : {10.0, 50.0, 150.0, 250.0, 300.0, 350.0, 400.0,
+                            500.0, 730.0, 1500.0, 3600.0}) {
+    int detected = 0;
+    double mean_rtt = 0, max_rtt = 0;
+    const int trials = 25;
+    for (int t = 0; t < trials; ++t) {
+      DeploymentConfig cfg = bench_config();
+      cfg.provider.seed = seed_rng.next_u64();
+      cfg.lan_jitter_seed = seed_rng.next_u64();
+      cfg.internet_jitter_seed = seed_rng.next_u64();
+      SimulatedDeployment world(cfg);
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      const auto record = world.upload(rng.next_bytes(60000), 1);
+      world.deploy_remote_relay(1, Kilometers{dist}, storage::ibm36z15());
+      const AuditReport report = world.run_audit(record, 20);
+      detected += !report.accepted;
+      mean_rtt += report.mean_rtt.count();
+      max_rtt = std::max(max_rtt, report.max_rtt.count());
+    }
+    std::printf("%10.0f %13.0f%% %12.2f %12.2f %14s\n", dist,
+                100.0 * detected / trials, mean_rtt / trials, max_rtt,
+                dist > op_bound ? "detect" : "may hide");
+  }
+  std::printf("\nShape: detection rises with distance and saturates at 100%% "
+              "well inside the paper's 360 km-scale bound. Because the "
+              "auditor takes the max over 20 rounds of *sampled* look-ups "
+              "and jitter, even in-bound relays are often caught; the "
+              "deterministic bounds above mark where hiding becomes "
+              "impossible rather than merely unlikely.\n\n");
+}
+
+void BM_RelayAuditRound(benchmark::State& state) {
+  DeploymentConfig cfg = bench_config();
+  cfg.verifier.signer_height = 14;  // enough one-time keys to iterate freely
+  SimulatedDeployment world(cfg);
+  Rng rng(5);
+  const auto record = world.upload(rng.next_bytes(60000), 1);
+  world.deploy_remote_relay(1, Kilometers{400.0}, storage::ibm36z15());
+  for (auto _ : state) {
+    if (world.verifier().audits_remaining() == 0) {
+      state.SkipWithError("device keys exhausted");
+      break;
+    }
+    benchmark::DoNotOptimize(world.run_audit(record, 10));
+  }
+}
+BENCHMARK(BM_RelayAuditRound);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_relay_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Experiment E4 — §III-B: why timing-based geolocation is not enough.
+//
+// Quantifies the paper's two criticisms of the reviewed schemes:
+//  accuracy — location error for honest targets across a city grid
+//  (worst cases reach the paper's ">1000 km" scale for sparse landmarks);
+//  security — a delay-padding target displaces every estimate, while the
+//  same padding can only make a GeoProof prover look *farther* away
+//  (the one-sided asymmetry that motivates the GeoProof design).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "geoloc/schemes.hpp"
+#include "net/latency.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::geoloc;
+using net::GeoPoint;
+using net::haversine;
+
+net::InternetModel model_with_jitter(double stddev) {
+  net::InternetModelParams p;
+  p.jitter_stddev_ms = stddev;
+  return net::InternetModel(p);
+}
+
+std::vector<GeoPoint> target_grid() {
+  // Honest targets scattered over the Australian mainland + Tasmania.
+  std::vector<GeoPoint> targets;
+  for (double lat = -42.0; lat <= -18.0; lat += 6.0) {
+    for (double lon = 117.0; lon <= 152.0; lon += 7.0) {
+      targets.push_back({lat, lon});
+    }
+  }
+  return targets;
+}
+
+struct ErrStats {
+  double mean = 0, p50 = 0, max = 0;
+};
+
+ErrStats stats_of(std::vector<double> errs) {
+  std::sort(errs.begin(), errs.end());
+  ErrStats s;
+  for (const double e : errs) s.mean += e;
+  s.mean /= static_cast<double>(errs.size());
+  s.p50 = errs[errs.size() / 2];
+  s.max = errs.back();
+  return s;
+}
+
+void print_accuracy() {
+  std::printf("\n=== E4: geolocation baselines (§III-B) ===\n");
+  std::printf("\n--- Honest-target accuracy over a continental grid "
+              "(8 landmarks, jittered delays) ---\n");
+  const auto landmarks = australian_landmarks();
+  const auto model = model_with_jitter(3.0);
+  const GeoPing geoping(landmarks);
+  const OctantLite octant(landmarks, model);
+  const TbgMultilateration tbg(landmarks, model);
+
+  std::vector<double> e_ping, e_oct, e_tbg;
+  std::uint64_t seed = 100;
+  for (const GeoPoint& truth : target_grid()) {
+    const auto probe = honest_probe(model, truth, seed++);
+    e_ping.push_back(haversine(geoping.locate(probe), truth).value);
+    const auto region = octant.locate(probe);
+    e_oct.push_back(region.empty
+                        ? 2000.0
+                        : haversine(region.centroid, truth).value);
+    e_tbg.push_back(haversine(tbg.locate(probe), truth).value);
+  }
+  std::printf("%-22s %10s %10s %10s\n", "Scheme", "mean km", "median km",
+              "worst km");
+  const ErrStats sp = stats_of(e_ping), so = stats_of(e_oct),
+                 st = stats_of(e_tbg);
+  std::printf("%-22s %10.0f %10.0f %10.0f\n", "GeoPing (min-RTT)", sp.mean,
+              sp.p50, sp.max);
+  std::printf("%-22s %10.0f %10.0f %10.0f\n", "Octant-lite (region)", so.mean,
+              so.p50, so.max);
+  std::printf("%-22s %10.0f %10.0f %10.0f\n", "TBG-lite (multilat.)", st.mean,
+              st.p50, st.max);
+  std::printf("Paper's claim [23]: worst-case errors > 1000 km for "
+              "measurement-based schemes.\n");
+}
+
+void print_adversarial() {
+  std::printf("\n--- Adversarial target: delay padding (truth = Brisbane) "
+              "---\n");
+  const auto landmarks = australian_landmarks();
+  const auto model = model_with_jitter(0.0);
+  const GeoPoint truth = net::places::brisbane();
+  const TbgMultilateration tbg(landmarks, model);
+  const GeoPing geoping(landmarks);
+
+  std::printf("%12s %16s %16s | %28s\n", "padding ms", "TBG error km",
+              "GeoPing error km", "GeoProof view (bound only grows)");
+  for (const double pad : {0.0, 10.0, 20.0, 40.0, 80.0}) {
+    const auto probe =
+        delay_padded_probe(honest_probe(model, truth), Millis{pad});
+    const double tbg_err = haversine(tbg.locate(probe), truth).value;
+    const double ping_err = haversine(geoping.locate(probe), truth).value;
+    // GeoProof: padding only *raises* measured RTT -> the distance bound
+    // can only widen; it can never place the prover nearer the contract
+    // site than it is. The enforced check (max RTT <= budget) only flips
+    // toward rejection.
+    std::printf("%12.0f %16.0f %16.0f | padding can only cause REJECT\n",
+                pad, tbg_err, ping_err);
+  }
+
+  std::printf("\n--- IP-mapping scheme: the adversary writes the answer "
+              "---\n");
+  IpMappingDb db;
+  db.add("cloud.example.au", net::places::sydney());  // claimed
+  const GeoPoint actual{1.3521, 103.8198};            // really in Singapore
+  std::printf("  database says Sydney, data sits in Singapore: error = "
+              "%.0f km, undetectable from the mapping alone.\n\n",
+              haversine(db.locate("cloud.example.au"), actual).value);
+}
+
+void BM_TbgLocate(benchmark::State& state) {
+  const auto landmarks = australian_landmarks();
+  const auto model = model_with_jitter(0.0);
+  const TbgMultilateration tbg(landmarks, model);
+  const auto probe = honest_probe(model, net::places::sydney());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tbg.locate(probe));
+  }
+}
+BENCHMARK(BM_TbgLocate);
+
+void BM_OctantLocate(benchmark::State& state) {
+  const auto landmarks = australian_landmarks();
+  const auto model = model_with_jitter(0.0);
+  const OctantLite octant(landmarks, model);
+  const auto probe = honest_probe(model, net::places::sydney());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(octant.locate(probe));
+  }
+}
+BENCHMARK(BM_OctantLocate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_accuracy();
+  print_adversarial();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment E3 — §V-C(b)/§V-D/§V-E/§V-F: the latency-budget arithmetic.
+//
+// Regenerates every number in the paper's timing analysis: the per-disk
+// look-up latencies, the 1 ms LAN assumption, the 4/9 c Internet speed, the
+// Δt_max ~ 16 ms budget, the 150 km-per-ms timing-error sensitivity, and
+// the relay-attack distance bounds (paper formula and enforced budget).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/policy.hpp"
+#include "net/latency.hpp"
+#include "storage/disk_model.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::core;
+
+void print_budget() {
+  std::printf("\n=== E3: latency budget arithmetic (§V-C(b)..§V-F) ===\n");
+
+  std::printf("\n--- Disk look-up latencies (512 B reads) ---\n");
+  std::printf("%-16s %14s | paper cites 13.1055 (WD), 5.406 (36Z15)\n",
+              "Disk", "Δt_L ms");
+  for (const auto& spec : storage::disk_catalog()) {
+    const storage::DiskModel model(spec);
+    std::printf("%-16s %14.4f\n", spec.name.c_str(),
+                model.lookup_time(512).count());
+  }
+
+  std::printf("\n--- Propagation constants ---\n");
+  std::printf("  light (vacuum):          %6.1f km/ms\n",
+              speeds::kLightVacuum.value);
+  std::printf("  fibre (2/3 c):           %6.1f km/ms -> 200 km LAN ~ 1 ms "
+              "one-way (§V-E)\n",
+              speeds::kLightFibre.value);
+  std::printf("  Internet (4/9 c):        %6.1f km/ms -> 3 ms RTT covers "
+              "200 km one-way (§V-F)\n",
+              speeds::kInternetEffective.value);
+  std::printf("  timing-error cost:       1 ms error = %5.1f km distance "
+              "error (§III-A)\n",
+              speeds::kLightVacuum.value / 2.0);
+
+  std::printf("\n--- Audit budget ---\n");
+  const LatencyPolicy paper_policy;  // 3 + 13 + 0
+  std::printf("  paper: Δt_VP <= %.0f ms, Δt_L <= %.0f ms  => Δt_max ~ "
+              "%.0f ms\n",
+              paper_policy.max_network_rtt.count(),
+              paper_policy.max_lookup.count(),
+              paper_policy.max_round_trip().count());
+  const LatencyPolicy calibrated =
+      LatencyPolicy::for_disk(storage::wd2500jd());
+  std::printf("  calibrated to WD 2500JD worst sampled look-up: Δt_max = "
+              "%.2f ms (used by the deployment)\n",
+              calibrated.max_round_trip().count());
+
+  std::printf("\n--- Relay-attack distance bounds ---\n");
+  std::printf("%-16s %18s %20s\n", "remote disk", "paper bound km",
+              "budget bound km");
+  for (const auto& spec : storage::disk_catalog()) {
+    const storage::DiskModel model(spec);
+    const Millis lookup = model.lookup_time(512);
+    std::printf("%-16s %18.1f %20.1f\n", spec.name.c_str(),
+                paper_relay_distance_bound(lookup).value,
+                budget_relay_distance_bound(calibrated, Millis{1.0}, lookup)
+                    .value);
+  }
+  std::printf("  paper's quoted number: 360 km for the IBM 36Z15.\n\n");
+}
+
+void BM_PolicyForDisk(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LatencyPolicy::for_disk(storage::wd2500jd()));
+  }
+}
+BENCHMARK(BM_PolicyForDisk);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_budget();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

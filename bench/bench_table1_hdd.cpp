@@ -1,0 +1,65 @@
+// Experiment T1 — Table I: look-up latency for the five reference HDDs.
+//
+// Reprints the paper's table from the disk catalogue, adds the derived
+// Δt_L (the §V-D arithmetic) and a measured mean over sampled look-ups,
+// then runs google-benchmark microbenchmarks of the disk model itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "storage/disk_model.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::storage;
+
+void print_table1() {
+  std::printf("\n=== Table I: latency for different HDD (paper §V-D) ===\n");
+  std::printf("%-16s %7s %12s %14s %10s | %14s %16s\n", "Disk", "RPM",
+              "avg_seek ms", "avg_rotate ms", "IDR MB/s", "paper Δt_L ms",
+              "sampled mean ms");
+  Rng rng(1);
+  for (const DiskSpec& spec : disk_catalog()) {
+    const DiskModel model(spec);
+    double sum = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+      sum += model.sample_lookup(512, rng).count();
+    }
+    std::printf("%-16s %7u %12.1f %14.1f %10.1f | %14.4f %16.4f\n",
+                spec.name.c_str(), spec.rpm, spec.avg_seek.count(),
+                spec.avg_rotate.count(), spec.idr_mb_s,
+                model.lookup_time(512).count(), sum / samples);
+  }
+  std::printf("\nPaper reference points: WD 2500JD Δt_L = 13.1055 ms, "
+              "IBM 36Z15 Δt_L = 5.406 ms.\n");
+  std::printf("Expected shape: latency strictly decreasing with RPM.\n\n");
+}
+
+void BM_LookupTimeDeterministic(benchmark::State& state) {
+  const DiskModel model(wd2500jd());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.lookup_time(512));
+  }
+}
+BENCHMARK(BM_LookupTimeDeterministic);
+
+void BM_LookupTimeSampled(benchmark::State& state) {
+  const DiskModel model(wd2500jd());
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample_lookup(512, rng));
+  }
+}
+BENCHMARK(BM_LookupTimeSampled);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

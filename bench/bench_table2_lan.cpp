@@ -1,0 +1,64 @@
+// Experiment T2 — Table II: LAN latency within QUT.
+//
+// Reproduces the paper's campus survey with the LAN model: 10 machines at
+// the paper's distances, RTT of a (64 B request, 1 KiB response) pair, with
+// jitter percentiles. The paper's observation to reproduce: all < 1 ms.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/geo.hpp"
+#include "net/latency.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::net;
+
+void print_table2() {
+  std::printf("\n=== Table II: LAN latency within QUT (paper §V-E) ===\n");
+  std::printf("%-9s %-13s %-13s %12s %12s %12s | %s\n", "Machine", "Location",
+              "Distance km", "model ms", "p50 ms", "p99 ms", "paper");
+  const LanModel lan;
+  Rng rng(2);
+  bool all_under_1ms = true;
+  for (const auto& row : table2_survey()) {
+    const Kilometers d{row.distance_km};
+    const double det = lan.rtt(d, 64, 1024).count();
+    std::vector<double> samples(5000);
+    for (double& s : samples) {
+      s = lan.sample_one_way(d, 64, rng).count() +
+          lan.sample_one_way(d, 1024, rng).count();
+    }
+    std::sort(samples.begin(), samples.end());
+    const double p50 = samples[samples.size() / 2];
+    const double p99 = samples[samples.size() * 99 / 100];
+    all_under_1ms = all_under_1ms && p99 < 1.0;
+    std::printf("%-9s %-13s %13.2f %12.4f %12.4f %12.4f | < 1\n",
+                row.machine.c_str(), row.location.c_str(), row.distance_km,
+                det, p50, p99);
+  }
+  std::printf("\nPaper's claim: every probe < 1 ms. Model reproduces: %s\n\n",
+              all_under_1ms ? "YES" : "NO");
+}
+
+void BM_LanRtt(benchmark::State& state) {
+  const LanModel lan;
+  const Kilometers d{static_cast<double>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lan.rtt(d, 64, 1024));
+  }
+}
+BENCHMARK(BM_LanRtt)->Arg(1)->Arg(45);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

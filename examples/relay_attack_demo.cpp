@@ -1,0 +1,77 @@
+// Fig. 6 walkthrough: a provider relays audits to remote data centres at
+// increasing distances. Shows the RTT budget arithmetic live and where
+// detection flips, for both a fast (IBM 36Z15) and an average (WD 2500JD)
+// remote disk.
+//
+// Run: ./build/examples/relay_attack_demo
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/deployment.hpp"
+
+using namespace geoproof;
+using namespace geoproof::core;
+
+namespace {
+
+DeploymentConfig base_config() {
+  DeploymentConfig cfg;
+  cfg.por.ecc_data_blocks = 48;
+  cfg.por.ecc_parity_blocks = 16;
+  cfg.provider.name = "bne-dc1";
+  cfg.provider.location = {-27.4698, 153.0251};
+  return cfg;
+}
+
+void sweep(const storage::DiskSpec& remote_disk) {
+  std::printf("\n--- remote data centre disk: %s (avg look-up %.3f ms) ---\n",
+              remote_disk.name.c_str(),
+              storage::DiskModel(remote_disk).lookup_time(512).count());
+  std::printf("%10s %12s %12s %10s\n", "dist km", "mean RTT", "max RTT",
+              "verdict");
+  for (const double dist : {25.0, 100.0, 250.0, 400.0, 730.0, 1500.0}) {
+    DeploymentConfig cfg = base_config();
+    SimulatedDeployment world(cfg);
+    Rng rng(static_cast<std::uint64_t>(dist));
+    const auto record = world.upload(rng.next_bytes(100000), 1);
+    world.deploy_remote_relay(1, Kilometers{dist}, remote_disk);
+    const AuditReport report = world.run_audit(record, 20);
+    std::printf("%10.0f %12.2f %12.2f %10s\n", dist, report.mean_rtt.count(),
+                report.max_rtt.count(),
+                report.accepted ? "hidden" : "DETECTED");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GeoProof relay-attack demo (paper Fig. 6)\n");
+  std::printf("=========================================\n");
+
+  {
+    DeploymentConfig cfg = base_config();
+    SimulatedDeployment world(cfg);
+    Rng rng(1);
+    const auto record = world.upload(rng.next_bytes(100000), 1);
+    const AuditReport honest = world.run_audit(record, 20);
+    std::printf("\nbaseline (honest local service): %s\n",
+                honest.summary().c_str());
+    std::printf("audit budget: %.2f ms per round\n",
+                world.auditor().policy().max_round_trip().count());
+  }
+
+  const storage::DiskModel best(storage::ibm36z15());
+  std::printf("\npaper's bound: with the fastest disk the relay can hide at "
+              "most (4/9 c x %.3f ms)/2 = %.0f km away\n",
+              best.lookup_time(512).count(),
+              paper_relay_distance_bound(best.lookup_time(512)).value);
+
+  sweep(storage::ibm36z15());
+  sweep(storage::wd2500jd());
+
+  std::printf("\ntakeaway: a fast remote disk buys the cheater distance, a "
+              "slow one loses it - but past the budget radius every relay "
+              "is caught, and the radius is a few hundred km, far tighter "
+              "than IP-geolocation's >1000 km errors.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Continuous SLA compliance auditing across three data centres.
+//
+// A data owner stores replicas with three providers (different cities,
+// different disk classes) and runs hourly GeoProof audits for a simulated
+// week. Midway, one provider silently relocates its replica and another
+// starts corrupting data; the compliance report catches both.
+//
+// Run: ./build/examples/sla_audit_service
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/audit_service.hpp"
+#include "core/deployment.hpp"
+
+using namespace geoproof;
+using namespace geoproof::core;
+
+namespace {
+
+struct Site {
+  std::string name;
+  net::GeoPoint location;
+  storage::DiskSpec disk;
+  std::unique_ptr<SimulatedDeployment> world;
+  Auditor::FileRecord record;
+  std::unique_ptr<AuditService> service;
+};
+
+std::unique_ptr<SimulatedDeployment> make_world(const std::string& name,
+                                                net::GeoPoint loc,
+                                                const storage::DiskSpec& disk) {
+  DeploymentConfig cfg;
+  cfg.por.ecc_data_blocks = 48;
+  cfg.por.ecc_parity_blocks = 16;
+  cfg.provider.name = name;
+  cfg.provider.location = loc;
+  cfg.provider.disk = disk;
+  return std::make_unique<SimulatedDeployment>(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GeoProof SLA audit service: one week, hourly audits\n");
+  std::printf("===================================================\n\n");
+
+  Rng rng(7);
+  const Bytes replica = rng.next_bytes(200000);
+
+  std::vector<Site> sites;
+  sites.push_back({"bne-dc1", net::places::brisbane(), storage::wd2500jd(),
+                   nullptr, {}, nullptr});
+  sites.push_back({"syd-dc2", net::places::sydney(),
+                   storage::find_disk("IBM 73LZX").value(), nullptr, {},
+                   nullptr});
+  sites.push_back({"mel-dc3", net::places::melbourne(),
+                   storage::find_disk("Hitachi DK23DA").value(), nullptr, {},
+                   nullptr});
+
+  for (Site& site : sites) {
+    site.world = make_world(site.name, site.location, site.disk);
+    site.record = site.world->upload(replica, 1);
+    site.service = std::make_unique<AuditService>(
+        site.world->auditor(), site.world->verifier(), site.record, 15);
+  }
+
+  const Nanos hour =
+      std::chrono::duration_cast<Nanos>(std::chrono::hours(1));
+
+  // Days 1-3: everyone behaves.
+  for (Site& site : sites) {
+    site.service->schedule(site.world->queue(), site.world->clock(),
+                           site.world->clock().now() + hour, hour, 72);
+    site.world->queue().run_all();
+  }
+
+  // Day 4: syd-dc2 relocates its replica 1400 km away; mel-dc3's disks
+  // start corrupting segments.
+  sites[1].world->deploy_remote_relay(1, Kilometers{1400.0},
+                                      storage::ibm36z15());
+  {
+    Rng corrupt_rng(99);
+    sites[2].world->provider().corrupt_segments(1, 0.15, corrupt_rng);
+  }
+
+  // Days 4-7.
+  for (Site& site : sites) {
+    site.service->schedule(site.world->queue(), site.world->clock(),
+                           site.world->clock().now() + hour, hour, 96);
+    site.world->queue().run_all();
+  }
+
+  std::printf("%-10s %-14s %8s %8s %10s %12s %18s\n", "site", "disk",
+              "audits", "passed", "rate", "SLA(99%)", "consec. failures");
+  for (const Site& site : sites) {
+    const auto c = site.service->compliance();
+    std::printf("%-10s %-14s %8u %8u %9.1f%% %12s %18u\n", site.name.c_str(),
+                site.disk.name.c_str(), c.total, c.passed, 100.0 * c.rate(),
+                c.meets(0.99) ? "MET" : "BREACHED",
+                site.service->consecutive_failures());
+  }
+
+  std::printf("\nfailure signatures (last audit of each site):\n");
+  for (const Site& site : sites) {
+    std::printf("  %-10s %s\n", site.name.c_str(),
+                site.service->history().back().report.summary().c_str());
+  }
+  std::printf("\nreading the signatures: timing-only failures mean the data "
+              "moved; tag failures mean the data rotted. GeoProof separates "
+              "the two.\n");
+  return 0;
+}

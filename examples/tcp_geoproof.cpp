@@ -1,0 +1,86 @@
+// GeoProof over real TCP: the same protocol engine that runs on the
+// simulator, pointed at a genuine socket with wall-clock timing.
+//
+// The "provider" is a loopback TCP server with a configurable artificial
+// look-up delay standing in for disk + distance; three scenarios show the
+// audit verdict tracking the injected latency.
+//
+// Run: ./build/examples/tcp_geoproof
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/auditor.hpp"
+#include "core/verifier.hpp"
+#include "net/tcp.hpp"
+#include "por/encoder.hpp"
+
+using namespace geoproof;
+using namespace geoproof::core;
+
+int main() {
+  std::printf("GeoProof over TCP loopback\n==========================\n\n");
+
+  // Owner-side encode.
+  por::PorParams params;
+  params.ecc_data_blocks = 48;
+  params.ecc_parity_blocks = 16;
+  const Bytes master = bytes_of("tcp-demo-master-key");
+  Rng rng(1);
+  const por::PorEncoder encoder(params);
+  const por::EncodedFile file = encoder.encode(rng.next_bytes(100000), 1, master);
+  std::printf("encoded file: %llu segments x %zu bytes\n\n",
+              static_cast<unsigned long long>(file.n_segments),
+              params.segment_bytes());
+
+  // Provider: TCP server with injectable look-up delay.
+  std::atomic<int> lookup_delay_ms{0};
+  net::TcpServer server([&](BytesView request) {
+    const SegmentRequest req = SegmentRequest::deserialize(request);
+    const int delay = lookup_delay_ms.load();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    return file.segments[static_cast<std::size_t>(req.index)];
+  });
+  std::printf("provider listening on 127.0.0.1:%u\n", server.port());
+
+  // Verifier device + TPA.
+  net::TcpRequestChannel channel("127.0.0.1", server.port());
+  net::SteadyAuditTimer timer;
+  VerifierDevice::Config vcfg;
+  vcfg.position = {-27.4698, 153.0251};
+  VerifierDevice verifier(vcfg, channel, timer);
+
+  Auditor::Config acfg;
+  acfg.por = params;
+  acfg.master_key = master;
+  acfg.verifier_pk = verifier.public_key();
+  acfg.expected_position = vcfg.position;
+  // Budget: generous loopback allowance + 15 ms look-up + slack.
+  acfg.policy = LatencyPolicy{Millis{10.0}, Millis{15.0}, Millis{5.0}};
+  Auditor auditor(acfg);
+  const Auditor::FileRecord record{file.file_id, file.n_segments};
+  std::printf("budget: %.1f ms per round (wall clock)\n\n",
+              acfg.policy.max_round_trip().count());
+
+  const auto audit = [&](const char* label) {
+    const AuditRequest request = auditor.make_request(record, 10);
+    const SignedTranscript transcript = verifier.run_audit(request);
+    const AuditReport report = auditor.verify(record, transcript);
+    std::printf("%-34s %s\n", label, report.summary().c_str());
+  };
+
+  audit("local provider (no delay):");
+  lookup_delay_ms = 8;
+  audit("busy local disk (+8 ms):");
+  lookup_delay_ms = 60;
+  audit("relayed to remote DC (+60 ms):");
+
+  std::printf("\nthe protocol engine is transport-agnostic: the identical "
+              "verifier/auditor code produced these verdicts over a real "
+              "socket with std::chrono timing.\n");
+  return 0;
+}

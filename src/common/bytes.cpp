@@ -1,0 +1,123 @@
+#include "common/bytes.hpp"
+
+#include <array>
+
+#include "common/errors.hpp"
+
+namespace geoproof {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw InvalidArgument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw InvalidArgument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+void xor_inplace(std::span<std::uint8_t> a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw InvalidArgument("xor_inplace: length mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+}
+
+Bytes concat(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bytes concat(BytesView a, BytesView b, BytesView c) {
+  Bytes out;
+  out.reserve(a.size() + b.size() + c.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+void append(Bytes& out, BytesView data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+void store_be32(std::span<std::uint8_t> out, std::uint32_t v) {
+  if (out.size() < 4) throw InvalidArgument("store_be32: buffer too small");
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+void store_be64(std::span<std::uint8_t> out, std::uint64_t v) {
+  if (out.size() < 8) throw InvalidArgument("store_be64: buffer too small");
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+std::uint32_t load_be32(BytesView in) {
+  if (in.size() < 4) throw InvalidArgument("load_be32: buffer too small");
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+std::uint64_t load_be64(BytesView in) {
+  if (in.size() < 8) throw InvalidArgument("load_be64: buffer too small");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | in[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace geoproof

@@ -1,0 +1,50 @@
+// Byte-buffer utilities shared across the library.
+//
+// The whole codebase passes binary data as geoproof::Bytes (owned) or
+// std::span<const std::uint8_t> (borrowed view) at API boundaries, per the
+// C++ Core Guidelines (use span for array access, vector for ownership).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geoproof {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode a byte buffer as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (upper or lower case). Throws InvalidArgument on
+/// odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Interpret a string's characters as bytes (no encoding conversion).
+Bytes bytes_of(std::string_view s);
+
+/// Constant-time equality: runtime independent of where buffers differ.
+/// Buffers of different lengths compare unequal (length is not secret).
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// XOR b into a (a ^= b). Throws InvalidArgument if lengths differ.
+void xor_inplace(std::span<std::uint8_t> a, BytesView b);
+
+/// Concatenate buffers.
+Bytes concat(BytesView a, BytesView b);
+Bytes concat(BytesView a, BytesView b, BytesView c);
+
+/// Append a view to an owned buffer.
+void append(Bytes& out, BytesView data);
+
+/// Big-endian store/load helpers used throughout the crypto code.
+void store_be32(std::span<std::uint8_t> out, std::uint32_t v);
+void store_be64(std::span<std::uint8_t> out, std::uint64_t v);
+std::uint32_t load_be32(BytesView in);
+std::uint64_t load_be64(BytesView in);
+
+}  // namespace geoproof

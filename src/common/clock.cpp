@@ -1,0 +1,58 @@
+#include "common/clock.hpp"
+
+#include "common/errors.hpp"
+
+namespace geoproof {
+
+void SimClock::advance(Nanos d) {
+  if (d < Nanos::zero()) {
+    throw InvalidArgument("SimClock::advance: negative duration");
+  }
+  now_ += d;
+}
+
+void SimClock::advance_to(Nanos t) {
+  if (t < now_) {
+    throw InvalidArgument("SimClock::advance_to: time in the past");
+  }
+  now_ = t;
+}
+
+void EventQueue::schedule_at(Nanos at, std::function<void()> fn) {
+  if (at < clock_->now()) {
+    throw InvalidArgument("EventQueue::schedule_at: time in the past");
+  }
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(Nanos delay, std::function<void()> fn) {
+  schedule_at(clock_->now() + delay, std::move(fn));
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t n = 0;
+  while (!events_.empty()) {
+    // Copy out before pop so the handler may schedule further events.
+    Event ev = events_.top();
+    events_.pop();
+    clock_->advance_to(ev.at);
+    ev.fn();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t EventQueue::run_until(Nanos t) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.top().at <= t) {
+    Event ev = events_.top();
+    events_.pop();
+    clock_->advance_to(ev.at);
+    ev.fn();
+    ++n;
+  }
+  clock_->advance_to(t);
+  return n;
+}
+
+}  // namespace geoproof

@@ -1,0 +1,92 @@
+// Virtual time for deterministic simulation, plus a discrete-event queue.
+//
+// All latency-sensitive components (disk model, network channels, the
+// GeoProof verifier's stopwatch) act against a SimClock so that benches and
+// tests are exactly reproducible. The real-TCP integration path uses
+// std::chrono::steady_clock directly and never touches SimClock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace geoproof {
+
+/// Monotone virtual clock. Time only moves when a component charges latency.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current virtual time since simulation start.
+  Nanos now() const { return now_; }
+
+  /// Advance the clock by a non-negative amount.
+  void advance(Nanos d);
+  void advance(Millis d) { advance(to_nanos(d)); }
+
+  /// Jump to an absolute time >= now().
+  void advance_to(Nanos t);
+
+ private:
+  Nanos now_{0};
+};
+
+/// A stopwatch bound to a SimClock — models the verifier device's
+/// challenge-response timer (Fig. 5: start clock on send, stop on receive).
+class SimStopwatch {
+ public:
+  explicit SimStopwatch(const SimClock& clock) : clock_(&clock) {}
+
+  void start() { start_ = clock_->now(); }
+  Nanos elapsed() const { return clock_->now() - start_; }
+  Millis elapsed_ms() const { return to_millis(elapsed()); }
+
+ private:
+  const SimClock* clock_;
+  Nanos start_{0};
+};
+
+/// Minimal discrete-event scheduler over a SimClock. Events fire in time
+/// order; ties break in insertion order (stable), which keeps runs
+/// deterministic.
+class EventQueue {
+ public:
+  explicit EventQueue(SimClock& clock) : clock_(&clock) {}
+
+  /// Schedule `fn` to run at absolute virtual time `at` (>= now).
+  void schedule_at(Nanos at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule_after(Nanos delay, std::function<void()> fn);
+
+  /// Run events until the queue is empty. Returns number of events run.
+  std::size_t run_all();
+
+  /// Run events with fire-time <= t, then advance the clock to t.
+  std::size_t run_until(Nanos t);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;  // insertion order tiebreak
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock* clock_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace geoproof

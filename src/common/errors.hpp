@@ -1,0 +1,62 @@
+// Exception hierarchy for the GeoProof library.
+//
+// All library errors derive from geoproof::Error so callers can catch one
+// type at the API boundary. Sub-errors exist per failure domain so tests and
+// examples can distinguish, e.g., a cryptographic verification failure from a
+// malformed wire message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace geoproof {
+
+/// Root of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument or configuration supplied by the caller.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A cryptographic check failed (MAC mismatch, bad signature, ...).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error(what) {}
+};
+
+/// Error-correction decoding failed (too many corrupted symbols).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error(what) {}
+};
+
+/// A stored object is missing or a storage operation is out of range.
+class StorageError : public Error {
+ public:
+  explicit StorageError(const std::string& what) : Error(what) {}
+};
+
+/// Wire-format parsing failure (truncated or corrupt message).
+class SerializeError : public Error {
+ public:
+  explicit SerializeError(const std::string& what) : Error(what) {}
+};
+
+/// Network-transport failure (socket error, peer closed, timeout).
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// A protocol message arrived that violates the protocol state machine.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace geoproof

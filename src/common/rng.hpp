@@ -1,0 +1,95 @@
+// Deterministic random-number generation.
+//
+// Simulations, workload generators and property tests all need repeatable
+// randomness; every component therefore takes an explicit Rng& rather than
+// touching global state. The generator is xoshiro256** seeded via SplitMix64,
+// which is fast and has no observable bias for the sizes used here.
+//
+// Cryptographic randomness (key generation, nonces) is provided separately by
+// crypto::CtrDrbg, which may be seeded from an Rng in tests for determinism.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace geoproof {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+/// Public because tests and stream-splitting use it directly.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** deterministic generator. Satisfies the essential parts of
+/// UniformRandomBitGenerator so it can also be fed to <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform integer in [0, bound) with rejection sampling (no modulo bias).
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Gaussian via Box-Muller (mean 0, stddev 1).
+  double next_gaussian();
+
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  /// n uniformly random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  /// Derive an independent child generator (stream splitting); the child's
+  /// sequence does not overlap with this generator's for practical lengths.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+/// Fisher-Yates shuffle of a container using the supplied Rng.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  const std::size_t n = c.size();
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    using std::swap;
+    swap(c[i], c[j]);
+  }
+}
+
+}  // namespace geoproof

@@ -1,0 +1,105 @@
+#include "common/serialize.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "common/errors.hpp"
+
+namespace geoproof {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(BytesView v) {
+  if (v.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw SerializeError("ByteWriter::bytes: buffer too large");
+  }
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void ByteWriter::str(std::string_view v) {
+  bytes(BytesView(reinterpret_cast<const std::uint8_t*>(v.data()), v.size()));
+}
+
+void ByteWriter::raw(BytesView v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+BytesView ByteReader::take(std::size_t n) {
+  if (remaining() < n) {
+    throw SerializeError("ByteReader: truncated input");
+  }
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t ByteReader::u8() { return take(1)[0]; }
+
+std::uint16_t ByteReader::u16() {
+  const BytesView b = take(2);
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint32_t ByteReader::u32() {
+  const BytesView b = take(4);
+  std::uint32_t v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const BytesView b = take(8);
+  std::uint64_t v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+Bytes ByteReader::bytes() {
+  const std::uint32_t n = u32();
+  const BytesView b = take(n);
+  return Bytes(b.begin(), b.end());
+}
+
+std::string ByteReader::str() {
+  const Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  const BytesView b = take(n);
+  return Bytes(b.begin(), b.end());
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) {
+    throw SerializeError("ByteReader: trailing bytes after message");
+  }
+}
+
+}  // namespace geoproof

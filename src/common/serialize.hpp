@@ -1,0 +1,70 @@
+// Tiny endian-safe binary serialisation used for wire messages and signed
+// transcripts.
+//
+// Format: fixed-width big-endian integers, IEEE-754 doubles as bit patterns,
+// and length-prefixed (u32) byte strings. Every read is bounds-checked and
+// throws SerializeError on truncated/overlong input so a malicious peer can
+// never make the parser read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace geoproof {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed byte string.
+  void bytes(BytesView v);
+  /// Length-prefixed UTF-8/text string.
+  void str(std::string_view v);
+  /// Raw bytes with no length prefix (caller knows the framing).
+  void raw(BytesView v);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  Bytes bytes();
+  std::string str();
+  /// Exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  /// Throws SerializeError unless all input was consumed.
+  void expect_done() const;
+
+ private:
+  BytesView take(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace geoproof

@@ -1,0 +1,65 @@
+// Strong types for the physical quantities GeoProof reasons about.
+//
+// The paper's arithmetic mixes distances (km), times (ms) and propagation
+// speeds (km/ms); using dedicated types keeps that arithmetic honest
+// (Core Guidelines: avoid "naked" doubles for quantities with units).
+#pragma once
+
+#include <chrono>
+#include <compare>
+
+namespace geoproof {
+
+/// Durations: protocol-visible times are double-precision milliseconds
+/// (the unit the paper uses throughout); the simulator's native tick is
+/// integer nanoseconds for exact, order-independent accumulation.
+using Millis = std::chrono::duration<double, std::milli>;
+using Nanos = std::chrono::nanoseconds;
+
+constexpr Nanos to_nanos(Millis ms) {
+  return std::chrono::duration_cast<Nanos>(ms);
+}
+constexpr Millis to_millis(Nanos ns) {
+  return std::chrono::duration_cast<Millis>(ns);
+}
+
+/// Distance in kilometres.
+struct Kilometers {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const Kilometers&) const = default;
+  constexpr Kilometers operator+(Kilometers o) const { return {value + o.value}; }
+  constexpr Kilometers operator-(Kilometers o) const { return {value - o.value}; }
+  constexpr Kilometers operator*(double k) const { return {value * k}; }
+  constexpr Kilometers operator/(double k) const { return {value / k}; }
+};
+
+/// Propagation speed in kilometres per millisecond.
+/// (Speed of light in vacuum = 300 km/ms in the paper's rounding.)
+struct KmPerMs {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const KmPerMs&) const = default;
+  constexpr KmPerMs operator*(double k) const { return {value * k}; }
+};
+
+/// One-way travel time for `d` at speed `s`.
+constexpr Millis travel_time(Kilometers d, KmPerMs s) {
+  return Millis{d.value / s.value};
+}
+
+/// Distance covered in time `t` at speed `s`.
+constexpr Kilometers distance_covered(Millis t, KmPerMs s) {
+  return Kilometers{t.count() * s.value};
+}
+
+namespace speeds {
+/// Speed of light in vacuum, in the paper's rounding (§III-A: 300 km/ms).
+inline constexpr KmPerMs kLightVacuum{300.0};
+/// Light in optic fibre: 2/3 c (§V-E, citing Percacci, Wong, Katz-Bassett).
+inline constexpr KmPerMs kLightFibre{200.0};
+/// Effective Internet speed: 4/9 c (§V-F, citing Katz-Bassett et al.).
+inline constexpr KmPerMs kInternetEffective{300.0 * 4.0 / 9.0};
+}  // namespace speeds
+
+}  // namespace geoproof

@@ -1,0 +1,53 @@
+#include "core/audit_service.hpp"
+
+#include "common/errors.hpp"
+
+namespace geoproof::core {
+
+AuditService::AuditService(Auditor& auditor, VerifierDevice& verifier,
+                           Auditor::FileRecord file,
+                           std::uint32_t challenge_size)
+    : auditor_(&auditor),
+      verifier_(&verifier),
+      file_(file),
+      challenge_size_(challenge_size) {
+  if (challenge_size_ == 0) {
+    throw InvalidArgument("AuditService: challenge_size must be >= 1");
+  }
+}
+
+const AuditReport& AuditService::run_once(const SimClock& clock) {
+  const AuditRequest request = auditor_->make_request(file_, challenge_size_);
+  const SignedTranscript transcript = verifier_->run_audit(request);
+  Entry entry;
+  entry.report = auditor_->verify(file_, transcript);
+  entry.at = clock.now();
+  history_.push_back(std::move(entry));
+  return history_.back().report;
+}
+
+void AuditService::schedule(EventQueue& queue, const SimClock& clock,
+                            Nanos start, Nanos interval, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) {
+    queue.schedule_at(start + interval * static_cast<std::int64_t>(i),
+                      [this, &clock] { (void)run_once(clock); });
+  }
+}
+
+AuditService::Compliance AuditService::compliance() const {
+  Compliance c;
+  c.total = static_cast<unsigned>(history_.size());
+  for (const Entry& e : history_) c.passed += e.report.accepted;
+  return c;
+}
+
+unsigned AuditService::consecutive_failures() const {
+  unsigned n = 0;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->report.accepted) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace geoproof::core

@@ -1,0 +1,60 @@
+// Continuous compliance auditing: the operational loop a data owner would
+// actually run on top of GeoProof — periodic audits, history, SLA verdicts.
+// (The paper's protocol is a single interaction; this is the service layer
+// that makes "the measurements could be tested every time" of §V-C(b)
+// concrete.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/auditor.hpp"
+#include "core/verifier.hpp"
+
+namespace geoproof::core {
+
+class AuditService {
+ public:
+  struct Entry {
+    Nanos at{0};  // virtual time the audit finished
+    AuditReport report;
+  };
+
+  struct Compliance {
+    unsigned total = 0;
+    unsigned passed = 0;
+    double rate() const {
+      return total == 0 ? 1.0 : static_cast<double>(passed) / total;
+    }
+    /// SLA verdict at a required pass rate (e.g. 0.99).
+    bool meets(double required_rate) const { return rate() >= required_rate; }
+  };
+
+  AuditService(Auditor& auditor, VerifierDevice& verifier,
+               Auditor::FileRecord file, std::uint32_t challenge_size);
+
+  /// Run one audit immediately; records and returns the report.
+  const AuditReport& run_once(const SimClock& clock);
+
+  /// Schedule `count` audits on `queue`, one every `interval`, starting at
+  /// `start`. Results land in history() as the queue runs.
+  void schedule(EventQueue& queue, const SimClock& clock, Nanos start,
+                Nanos interval, unsigned count);
+
+  const std::vector<Entry>& history() const { return history_; }
+  Compliance compliance() const;
+
+  /// Consecutive failures at the tail of the history — the usual paging
+  /// trigger for an operator.
+  unsigned consecutive_failures() const;
+
+ private:
+  Auditor* auditor_;
+  VerifierDevice* verifier_;
+  Auditor::FileRecord file_;
+  std::uint32_t challenge_size_;
+  std::vector<Entry> history_;
+};
+
+}  // namespace geoproof::core

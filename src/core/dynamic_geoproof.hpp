@@ -1,0 +1,82 @@
+// GeoProof composed with dynamic POR (§IV: "GeoProof could be modified to
+// encompass other POS schemes that support verifying dynamic data such as
+// DPOR by Wang et al.").
+//
+// The provider serves (segment || Merkle proof) for each timed challenge;
+// the TPA tracks the Merkle root across verified updates, so an audit now
+// proves three things at once: the data is intact (tag), *current*
+// (membership under the latest root — a provider serving pre-update state
+// fails), and nearby (timing). The verifier device is reused unchanged.
+#pragma once
+
+#include <set>
+
+#include "common/clock.hpp"
+#include "core/auditor.hpp"
+#include "core/policy.hpp"
+#include "core/verifier.hpp"
+#include "net/channel.hpp"
+#include "por/dynamic.hpp"
+#include "storage/disk_model.hpp"
+
+namespace geoproof::core {
+
+/// Provider-side service: wraps DynamicPorProvider behind the wire handler,
+/// charging disk latency for the segment read (tree nodes are assumed
+/// memory-resident — they are a tiny fraction of the data and any real
+/// provider caches them).
+class DynamicProviderService {
+ public:
+  DynamicProviderService(por::DynamicPorProvider& provider, SimClock& clock,
+                         storage::DiskModel disk, bool sample_latency = true,
+                         std::uint64_t seed = 0xd1);
+
+  net::RequestHandler handler();
+
+ private:
+  por::DynamicPorProvider* provider_;
+  SimClock* clock_;
+  storage::DiskModel disk_;
+  bool sample_latency_;
+  Rng rng_;
+};
+
+/// TPA for the dynamic flavour: Auditor's checks plus Merkle membership
+/// under the tracked root.
+class DynamicAuditor {
+ public:
+  struct Config {
+    por::PorParams por{};
+    Bytes master_key;
+    crypto::Digest verifier_pk{};
+    net::GeoPoint expected_position{};
+    Kilometers position_tolerance{5.0};
+    LatencyPolicy policy{};
+    std::uint64_t nonce_seed = 0xd7a;
+  };
+
+  /// `root`: the Merkle root after upload (from DynamicPorProvider::root()).
+  DynamicAuditor(Config config, crypto::Digest root, std::uint64_t file_id,
+                 std::uint64_t n_segments);
+
+  const crypto::Digest& root() const { return client_.root(); }
+  por::DynamicPorClient& client() { return client_; }
+
+  /// Random challenge of k segment indices.
+  VerifierDevice::BlockAuditRequest make_request(std::uint32_t k);
+
+  /// Full verification: signature, GPS, nonce, Merkle proof + tag per
+  /// round, timing. `bad_tags` counts rounds failing either integrity
+  /// check.
+  AuditReport verify(const SignedTranscript& st);
+
+ private:
+  Config config_;
+  std::uint64_t file_id_;
+  std::uint64_t n_segments_;
+  por::DynamicPorClient client_;
+  Rng rng_;
+  std::set<Bytes> outstanding_nonces_;
+};
+
+}  // namespace geoproof::core

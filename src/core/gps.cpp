@@ -1,0 +1,16 @@
+#include "core/gps.hpp"
+
+namespace geoproof::core {
+
+TriangulationCheck verify_position_by_triangulation(
+    const net::GeoPoint& claimed,
+    const std::vector<geoloc::Landmark>& landmarks,
+    const geoloc::RttProbe& probe, const net::InternetModel& model,
+    Kilometers tolerance) {
+  const geoloc::TbgMultilateration tbg(landmarks, model);
+  const net::GeoPoint fix = tbg.locate(probe);
+  const Kilometers d = net::haversine(fix, claimed);
+  return TriangulationCheck{d <= tolerance, d};
+}
+
+}  // namespace geoproof::core

@@ -1,0 +1,51 @@
+// The verifier device's GPS receiver, including the spoofing surface the
+// paper discusses (§V-C: "GPS satellite simulators can spoof the GPS
+// signal") and the landmark-triangulation cross-check it proposes as the
+// countermeasure.
+#pragma once
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "geoloc/schemes.hpp"
+#include "net/geo.hpp"
+
+namespace geoproof::core {
+
+class GpsDevice {
+ public:
+  explicit GpsDevice(net::GeoPoint true_position)
+      : true_position_(true_position) {}
+
+  /// What the receiver reports: the spoofed position if an attacker is
+  /// overpowering the satellite signal, else the truth.
+  net::GeoPoint report() const {
+    return spoofed_ ? *spoofed_ : true_position_;
+  }
+
+  net::GeoPoint true_position() const { return true_position_; }
+  bool is_spoofed() const { return spoofed_.has_value(); }
+
+  void spoof(net::GeoPoint fake) { spoofed_ = fake; }
+  void clear_spoof() { spoofed_.reset(); }
+
+ private:
+  net::GeoPoint true_position_;
+  std::optional<net::GeoPoint> spoofed_;
+};
+
+struct TriangulationCheck {
+  bool consistent = false;
+  Kilometers discrepancy{0};  // distance between claim and triangulated fix
+};
+
+/// Cross-check a claimed position against delay triangulation from multiple
+/// landmark auditors (§V-C's "triangulation of V from multiple landmarks",
+/// citing [41]). `probe` measures RTT landmark -> device; the check passes
+/// when the multilateration fix lands within `tolerance` of the claim.
+TriangulationCheck verify_position_by_triangulation(
+    const net::GeoPoint& claimed, const std::vector<geoloc::Landmark>& landmarks,
+    const geoloc::RttProbe& probe, const net::InternetModel& model,
+    Kilometers tolerance);
+
+}  // namespace geoproof::core

@@ -1,0 +1,65 @@
+#include "core/multi_auditor.hpp"
+
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace geoproof::core {
+
+std::string CompositeReport::summary() const {
+  std::ostringstream os;
+  os << (accepted ? "ACCEPTED" : "REJECTED");
+  os << " [geoproof: " << geoproof.summary() << "]";
+  os << " [triangulation: "
+     << (triangulation.consistent ? "consistent" : "INCONSISTENT")
+     << " discrepancy=" << triangulation.discrepancy.value << "km]";
+  return os.str();
+}
+
+void MultiAuditor::set_path_delay(const std::string& landmark_name,
+                                  Millis delay) {
+  if (delay.count() < 0) {
+    throw InvalidArgument("set_path_delay: negative delay");
+  }
+  if (delay.count() == 0) {
+    path_delays_.erase(landmark_name);
+  } else {
+    path_delays_[landmark_name] = delay;
+  }
+}
+
+CompositeReport MultiAuditor::audit(SimulatedDeployment& world,
+                                    const Auditor::FileRecord& file,
+                                    std::uint32_t k) {
+  CompositeReport report;
+  report.geoproof = world.run_audit(file, k);
+
+  // The landmark auditors measure RTT to the device's *physical* network
+  // location (where its packets actually originate); the device's claim is
+  // whatever its (possibly spoofed) GPS reports.
+  const net::GeoPoint actual = world.verifier().gps().true_position();
+  const net::GeoPoint claimed = world.verifier().gps().report();
+
+  geoloc::RttProbe probe =
+      geoloc::honest_probe(config_.internet, actual, config_.probe_seed);
+  if (!path_delays_.empty()) {
+    // Provider-inserted delays on specific auditor paths (§V-C).
+    auto delays = path_delays_;
+    auto inner = std::move(probe);
+    probe = [inner = std::move(inner), delays](const geoloc::Landmark& lm) {
+      const auto it = delays.find(lm.name);
+      const Millis extra = it == delays.end() ? Millis{0} : it->second;
+      return inner(lm) + extra;
+    };
+  }
+
+  report.triangulation = verify_position_by_triangulation(
+      claimed, config_.landmarks, probe, config_.internet,
+      config_.triangulation_tolerance);
+
+  report.accepted =
+      report.geoproof.accepted && report.triangulation.consistent;
+  return report;
+}
+
+}  // namespace geoproof::core

@@ -1,0 +1,32 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+namespace geoproof::core {
+
+LatencyPolicy LatencyPolicy::for_disk(const storage::DiskSpec& disk,
+                                      Millis network_rtt, Millis slack) {
+  const storage::DiskModel model(disk);
+  // Budget for the full sampled range: seek up to 1.7x average and a whole
+  // revolution of rotational delay (the sampled model's worst case).
+  const Millis worst_lookup{disk.avg_seek.count() * 1.7 +
+                            disk.revolution().count() +
+                            model.transfer_time(512).count()};
+  return LatencyPolicy{network_rtt, worst_lookup, slack};
+}
+
+Kilometers paper_relay_distance_bound(Millis remote_lookup,
+                                      KmPerMs internet_speed) {
+  return distance_covered(remote_lookup, internet_speed) / 2.0;
+}
+
+Kilometers budget_relay_distance_bound(const LatencyPolicy& policy,
+                                       Millis lan_rtt, Millis remote_lookup,
+                                       KmPerMs internet_speed) {
+  const Millis available =
+      policy.max_round_trip() - lan_rtt - remote_lookup;
+  if (available.count() <= 0.0) return Kilometers{0.0};
+  return distance_covered(Millis{available.count() / 2.0}, internet_speed);
+}
+
+}  // namespace geoproof::core

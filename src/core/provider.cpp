@@ -1,0 +1,151 @@
+#include "core/provider.hpp"
+
+#include "common/errors.hpp"
+#include "core/transcript.hpp"
+
+namespace geoproof::core {
+
+CloudProvider::CloudProvider(Config config, SimClock& clock)
+    : config_(std::move(config)), clock_(&clock) {}
+
+void CloudProvider::store(const por::EncodedFile& file) {
+  auto backing = std::make_unique<storage::MemoryBlockStore>();
+  for (std::uint64_t i = 0; i < file.n_segments; ++i) {
+    backing->put(i, file.segments[static_cast<std::size_t>(i)]);
+  }
+  storage::SimulatedDiskOptions options;
+  options.cache_blocks = config_.cache_segments;
+  options.sample_latency = config_.sample_disk_latency;
+  // Charge a read of the segment's sectors (512-byte granularity).
+  options.read_bytes = ((file.segment_bytes + 511) / 512) * 512;
+  files_[file.file_id] = std::make_unique<storage::SimulatedDiskStore>(
+      std::move(backing), storage::DiskModel(config_.disk), *clock_, options,
+      config_.seed ^ file.file_id);
+  segment_counts_[file.file_id] = file.n_segments;
+}
+
+void CloudProvider::store_blocks(std::uint64_t file_id,
+                                 const std::vector<Bytes>& blocks,
+                                 std::size_t read_bytes) {
+  auto backing = std::make_unique<storage::MemoryBlockStore>();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    backing->put(i, blocks[i]);
+  }
+  storage::SimulatedDiskOptions options;
+  options.cache_blocks = config_.cache_segments;
+  options.sample_latency = config_.sample_disk_latency;
+  options.read_bytes = ((read_bytes + 511) / 512) * 512;
+  files_[file_id] = std::make_unique<storage::SimulatedDiskStore>(
+      std::move(backing), storage::DiskModel(config_.disk), *clock_, options,
+      config_.seed ^ file_id);
+  segment_counts_[file_id] = blocks.size();
+}
+
+net::RequestHandler CloudProvider::handler() {
+  return [this](BytesView request) { return serve(request); };
+}
+
+Bytes CloudProvider::serve(BytesView request) {
+  if (relay_) {
+    // Fig. 6: P "just passes any request from V into P~".
+    return relay_->request(request);
+  }
+  const SegmentRequest req = SegmentRequest::deserialize(request);
+  const auto off = offloads_.find(req.file_id);
+  if (off != offloads_.end() &&
+      off->second.remote_indices.count(req.index) > 0) {
+    return off->second.channel->request(request);
+  }
+  const auto it = files_.find(req.file_id);
+  if (it == files_.end()) {
+    throw StorageError(config_.name + ": unknown file " +
+                       std::to_string(req.file_id));
+  }
+  return it->second->get(req.index);
+}
+
+std::uint64_t CloudProvider::offload_segments(
+    std::uint64_t file_id, double keep_fraction,
+    std::shared_ptr<net::RequestChannel> remote, Rng& rng) {
+  if (!remote) throw InvalidArgument("offload_segments: null channel");
+  if (keep_fraction < 0.0 || keep_fraction > 1.0) {
+    throw InvalidArgument("offload_segments: keep_fraction out of [0,1]");
+  }
+  const auto it = segment_counts_.find(file_id);
+  if (it == segment_counts_.end()) {
+    throw StorageError("offload_segments: unknown file");
+  }
+  Offload off;
+  off.channel = std::move(remote);
+  for (std::uint64_t i = 0; i < it->second; ++i) {
+    if (!rng.next_bool(keep_fraction)) off.remote_indices.insert(i);
+  }
+  const std::uint64_t n = off.remote_indices.size();
+  offloads_[file_id] = std::move(off);
+  return n;
+}
+
+void CloudProvider::clear_offload(std::uint64_t file_id) {
+  offloads_.erase(file_id);
+}
+
+unsigned CloudProvider::corrupt_segments(std::uint64_t file_id, double rate,
+                                         Rng& rng) {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    throw StorageError("corrupt_segments: unknown file");
+  }
+  unsigned corrupted = 0;
+  const std::uint64_t n = segment_counts_.at(file_id);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (rng.next_bool(rate)) {
+      tamper_segment(file_id, i, 0x01);
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+void CloudProvider::tamper_segment(std::uint64_t file_id, std::uint64_t index,
+                                   std::uint8_t xor_mask) {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    throw StorageError("tamper_segment: unknown file");
+  }
+  Bytes seg = it->second->get(index);  // charges (virtual) time; acceptable
+  if (seg.empty()) throw StorageError("tamper_segment: empty segment");
+  seg[0] = static_cast<std::uint8_t>(seg[0] ^ xor_mask);
+  it->second->put(index, seg);
+}
+
+void CloudProvider::set_relay(std::shared_ptr<net::RequestChannel> remote) {
+  if (!remote) throw InvalidArgument("set_relay: null channel");
+  relay_ = std::move(remote);
+}
+
+void CloudProvider::clear_relay() { relay_.reset(); }
+
+void CloudProvider::prewarm(std::uint64_t file_id,
+                            std::span<const std::uint64_t> indices) {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) throw StorageError("prewarm: unknown file");
+  it->second->prewarm(indices);
+}
+
+std::uint64_t CloudProvider::disk_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, store] : files_) {
+    n += store->cache_misses();
+  }
+  return n;
+}
+
+std::uint64_t CloudProvider::cache_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, store] : files_) {
+    n += store->cache_hits();
+  }
+  return n;
+}
+
+}  // namespace geoproof::core

@@ -1,0 +1,107 @@
+// The cloud provider P: stores encoded files on (simulated) disks and
+// answers the verifier's timed segment requests. All the misbehaviours the
+// paper analyses are configuration, not subclasses:
+//
+//  - honest: look the segment up on the local disk, answer;
+//  - corrupted: some stored segments were silently damaged;
+//  - relay / moved data (Fig. 6): forward requests to a remote data centre
+//    over an Internet channel — the storage cost disappears, the round-trip
+//    cost appears;
+//  - pre-caching: keep a RAM cache over the disk (a provider strategy to
+//    shave look-up time; exercised by the cache ablation bench).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+#include "net/geo.hpp"
+#include "por/encoder.hpp"
+#include "storage/block_store.hpp"
+
+namespace geoproof::core {
+
+class CloudProvider {
+ public:
+  struct Config {
+    std::string name = "provider";
+    net::GeoPoint location{};
+    storage::DiskSpec disk = storage::wd2500jd();
+    /// RAM cache over the disk; 0 = none.
+    std::size_t cache_segments = 0;
+    /// Deterministic disk-latency sampling seed.
+    std::uint64_t seed = 0x9e0;
+    /// false = charge average latency (deterministic benches).
+    bool sample_disk_latency = true;
+  };
+
+  CloudProvider(Config config, SimClock& clock);
+
+  const Config& config() const { return config_; }
+
+  /// Ingest an encoded file (upload time is not audited).
+  void store(const por::EncodedFile& file);
+
+  /// Ingest raw blocks (the sentinel-POR flavour stores blocks, not
+  /// tagged segments). `read_bytes` is the per-look-up size charged to the
+  /// disk model.
+  void store_blocks(std::uint64_t file_id, const std::vector<Bytes>& blocks,
+                    std::size_t read_bytes = 512);
+
+  /// Serve a serialised SegmentRequest -> segment bytes. Suitable for
+  /// SimRequestChannel and TcpServer alike.
+  net::RequestHandler handler();
+
+  /// --- misbehaviour knobs -------------------------------------------
+  /// Corrupt each stored segment of `file_id` independently with
+  /// probability `rate` (single byte flip - enough to break the tag).
+  unsigned corrupt_segments(std::uint64_t file_id, double rate, Rng& rng);
+
+  /// Overwrite one specific segment.
+  void tamper_segment(std::uint64_t file_id, std::uint64_t index,
+                      std::uint8_t xor_mask);
+
+  /// Relay mode: forward every request over `remote` (the Fig. 6 attack).
+  /// Local storage for the file is no longer consulted.
+  void set_relay(std::shared_ptr<net::RequestChannel> remote);
+  void clear_relay();
+  bool relaying() const { return relay_ != nullptr; }
+
+  /// Partial-storage attack: keep only a `keep_fraction` of `file_id`'s
+  /// segments locally and forward requests for the rest over `remote`.
+  /// The economically interesting cheat — local answers stay fast, but
+  /// every challenge has a (1 - keep_fraction) chance per round of paying
+  /// the remote round trip. Returns the number of segments offloaded.
+  std::uint64_t offload_segments(std::uint64_t file_id, double keep_fraction,
+                                 std::shared_ptr<net::RequestChannel> remote,
+                                 Rng& rng);
+  void clear_offload(std::uint64_t file_id);
+
+  /// Pre-warm the cache with the given segment indices (provider gambling
+  /// on which segments the next audit will touch).
+  void prewarm(std::uint64_t file_id, std::span<const std::uint64_t> indices);
+
+  /// Aggregate disk statistics (all files).
+  std::uint64_t disk_reads() const;
+  std::uint64_t cache_hits() const;
+
+ private:
+  Bytes serve(BytesView request);
+
+  Config config_;
+  SimClock* clock_;
+  std::map<std::uint64_t, std::unique_ptr<storage::SimulatedDiskStore>> files_;
+  std::map<std::uint64_t, std::uint64_t> segment_counts_;
+  std::shared_ptr<net::RequestChannel> relay_;
+  struct Offload {
+    std::set<std::uint64_t> remote_indices;
+    std::shared_ptr<net::RequestChannel> channel;
+  };
+  std::map<std::uint64_t, Offload> offloads_;
+};
+
+}  // namespace geoproof::core

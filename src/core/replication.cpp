@@ -1,0 +1,89 @@
+#include "core/replication.hpp"
+
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "net/geo.hpp"
+
+namespace geoproof::core {
+
+std::string ReplicationReport::summary() const {
+  std::ostringstream os;
+  os << (policy_met ? "POLICY MET" : "POLICY BREACHED") << ": "
+     << sites.size() << " replicas";
+  unsigned ok = 0;
+  for (const SiteReport& s : sites) ok += s.report.accepted;
+  os << ", " << ok << " accepted, diversity "
+     << (diverse ? "ok" : "VIOLATED");
+  return os.str();
+}
+
+ReplicatedStore::ReplicatedStore(std::vector<SiteSpec> sites,
+                                 const por::PorParams& por,
+                                 Bytes master_key) {
+  if (sites.empty()) {
+    throw InvalidArgument("ReplicatedStore: no sites");
+  }
+  std::uint64_t seed = 0x9e11ca;
+  for (SiteSpec& spec : sites) {
+    DeploymentConfig cfg;
+    cfg.por = por;
+    cfg.master_key = master_key;
+    cfg.provider.name = spec.name;
+    cfg.provider.location = spec.location;
+    cfg.provider.disk = spec.disk;
+    cfg.provider.seed = seed;
+    cfg.lan_jitter_seed = seed ^ 0x1a;
+    // Each site's device needs its own signing key; fleet devices default
+    // to a modest audit budget (overridable by rebuilding the store).
+    cfg.verifier.signer_seed = bytes_of("device-seed-" + spec.name);
+    cfg.verifier.signer_height = 6;
+    seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+
+    Site site;
+    site.spec = std::move(spec);
+    site.world = std::make_unique<SimulatedDeployment>(cfg);
+    sites_.push_back(std::move(site));
+  }
+}
+
+void ReplicatedStore::upload(BytesView file, std::uint64_t file_id) {
+  for (Site& site : sites_) {
+    site.record = site.world->upload(file, file_id);
+    site.has_file = true;
+  }
+}
+
+ReplicationReport ReplicatedStore::audit_all(std::uint32_t k,
+                                             const ReplicaPolicy& policy) {
+  ReplicationReport report;
+  report.all_accepted = true;
+  for (Site& site : sites_) {
+    if (!site.has_file) {
+      throw InvalidArgument("audit_all: upload() must run first");
+    }
+    SiteReport sr;
+    sr.name = site.spec.name;
+    sr.location = site.spec.location;
+    sr.report = site.world->run_audit(site.record, k);
+    report.all_accepted = report.all_accepted && sr.report.accepted;
+    report.sites.push_back(std::move(sr));
+  }
+
+  report.diverse = true;
+  for (std::size_t i = 0; i < report.sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < report.sites.size(); ++j) {
+      if (net::haversine(report.sites[i].location,
+                         report.sites[j].location) <
+          policy.min_separation) {
+        report.diverse = false;
+      }
+    }
+  }
+
+  report.policy_met = report.all_accepted && report.diverse &&
+                      report.sites.size() >= policy.min_replicas;
+  return report;
+}
+
+}  // namespace geoproof::core

@@ -1,0 +1,70 @@
+// GeoProof over the *sentinel* POR variant (§IV) — the original
+// Juels-Kaliski flavour the paper builds its MAC variant from.
+//
+// Differences from the MAC flavour:
+//  - the challenge (which block positions to fetch) must come from the TPA,
+//    because only the key holder can compute where the sentinels landed
+//    after the permutation;
+//  - verification compares returned blocks against PRF-recomputed sentinel
+//    values rather than MAC tags;
+//  - sentinels are consumable: each audit reveals (spends) the ones it
+//    checked, so the device's key-exhaustion story is mirrored by sentinel
+//    exhaustion on the TPA side.
+// The timed phase and the signed transcript are identical, so the tamper-
+// proof device is reused unchanged (VerifierDevice::run_block_audit).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/auditor.hpp"
+#include "core/policy.hpp"
+#include "core/verifier.hpp"
+#include "por/sentinel.hpp"
+
+namespace geoproof::core {
+
+class SentinelAuditor {
+ public:
+  struct FileRecord {
+    std::uint64_t file_id = 0;
+    std::uint64_t n_file_blocks = 0;
+    std::uint64_t total_blocks = 0;
+  };
+
+  struct Config {
+    por::SentinelParams params{};
+    Bytes master_key;
+    crypto::Digest verifier_pk{};
+    net::GeoPoint expected_position{};
+    Kilometers position_tolerance{5.0};
+    LatencyPolicy policy{};
+    std::uint64_t nonce_seed = 0x5e17;
+  };
+
+  explicit SentinelAuditor(Config config);
+
+  /// Sentinels not yet spent on this file.
+  unsigned sentinels_remaining(std::uint64_t file_id) const;
+
+  /// Build a request revealing the positions of the next `count` unspent
+  /// sentinels. Throws CryptoError when the supply is exhausted.
+  VerifierDevice::BlockAuditRequest make_request(const FileRecord& file,
+                                                 unsigned count);
+
+  /// Verify a signed transcript: signature, GPS, nonce, sentinel values,
+  /// timing. Consumes the nonce.
+  AuditReport verify(const FileRecord& file, const SignedTranscript& st);
+
+ private:
+  Config config_;
+  por::SentinelPor por_;
+  Rng nonce_rng_;
+  /// Next unspent sentinel index per file.
+  std::map<std::uint64_t, unsigned> next_sentinel_;
+  /// nonce -> the sentinel indices whose positions were revealed.
+  std::map<Bytes, std::vector<unsigned>> outstanding_;
+};
+
+}  // namespace geoproof::core

@@ -1,0 +1,124 @@
+#include "core/transcript.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+#include "common/serialize.hpp"
+
+namespace geoproof::core {
+
+namespace {
+constexpr std::uint32_t kMaxChallenge = 1u << 20;  // parser sanity cap
+}
+
+Bytes AuditRequest::serialize() const {
+  ByteWriter w;
+  w.u64(file_id);
+  w.u64(n_segments);
+  w.u32(k);
+  w.bytes(nonce);
+  return std::move(w).take();
+}
+
+AuditRequest AuditRequest::deserialize(BytesView data) {
+  ByteReader r(data);
+  AuditRequest req;
+  req.file_id = r.u64();
+  req.n_segments = r.u64();
+  req.k = r.u32();
+  req.nonce = r.bytes();
+  r.expect_done();
+  if (req.k > kMaxChallenge) {
+    throw SerializeError("AuditRequest: k exceeds sanity cap");
+  }
+  return req;
+}
+
+Bytes SegmentRequest::serialize() const {
+  ByteWriter w;
+  w.u64(file_id);
+  w.u64(index);
+  return std::move(w).take();
+}
+
+SegmentRequest SegmentRequest::deserialize(BytesView data) {
+  ByteReader r(data);
+  SegmentRequest req;
+  req.file_id = r.u64();
+  req.index = r.u64();
+  r.expect_done();
+  return req;
+}
+
+Bytes AuditTranscript::serialize() const {
+  if (challenge.size() != rtts.size() || challenge.size() != segments.size()) {
+    throw SerializeError("AuditTranscript: inconsistent round counts");
+  }
+  ByteWriter w;
+  w.u64(file_id);
+  w.bytes(nonce);
+  w.f64(position.lat_deg);
+  w.f64(position.lon_deg);
+  w.u32(static_cast<std::uint32_t>(challenge.size()));
+  for (std::size_t i = 0; i < challenge.size(); ++i) {
+    w.u64(challenge[i]);
+    w.f64(rtts[i].count());
+    w.bytes(segments[i]);
+  }
+  return std::move(w).take();
+}
+
+AuditTranscript AuditTranscript::deserialize(BytesView data) {
+  ByteReader r(data);
+  AuditTranscript t;
+  t.file_id = r.u64();
+  t.nonce = r.bytes();
+  t.position.lat_deg = r.f64();
+  t.position.lon_deg = r.f64();
+  const std::uint32_t rounds = r.u32();
+  if (rounds > kMaxChallenge) {
+    throw SerializeError("AuditTranscript: round count exceeds sanity cap");
+  }
+  t.challenge.reserve(rounds);
+  t.rtts.reserve(rounds);
+  t.segments.reserve(rounds);
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    t.challenge.push_back(r.u64());
+    t.rtts.push_back(Millis{r.f64()});
+    t.segments.push_back(r.bytes());
+  }
+  r.expect_done();
+  return t;
+}
+
+Millis AuditTranscript::max_rtt() const {
+  Millis best{0};
+  for (const Millis& m : rtts) best = std::max(best, m);
+  return best;
+}
+
+std::uint64_t AuditTranscript::exchanged_bytes() const {
+  // Each round: one SegmentRequest (two u64s = 16 bytes) out, one segment
+  // back.
+  std::uint64_t total = 16 * segments.size();
+  for (const Bytes& s : segments) total += s.size();
+  return total;
+}
+
+Bytes SignedTranscript::serialize() const {
+  ByteWriter w;
+  w.bytes(transcript.serialize());
+  w.bytes(signature.serialize());
+  return std::move(w).take();
+}
+
+SignedTranscript SignedTranscript::deserialize(BytesView data) {
+  ByteReader r(data);
+  SignedTranscript st;
+  st.transcript = AuditTranscript::deserialize(r.bytes());
+  st.signature = crypto::MerkleSignature::deserialize(r.bytes());
+  r.expect_done();
+  return st;
+}
+
+}  // namespace geoproof::core

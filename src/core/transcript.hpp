@@ -1,0 +1,72 @@
+// Wire messages of the GeoProof protocol (Fig. 5).
+//
+//  TPA -> V : AuditRequest  (ñ, k, nonce N, file id)
+//  V  -> P : segment request (file id, index c_j), k timed rounds
+//  P  -> V : segment S_cj || τ_cj
+//  V  -> TPA: SignedTranscript
+//      R = (Δt_1..Δt_k, c, {S_cj||τ_cj}, N, Pos_v), Sign_SK(R)
+//
+// All messages serialise through common/serialize.hpp; every parser is
+// bounds-checked and rejects trailing bytes, so a malicious provider or a
+// corrupted link cannot desynchronise the state machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/units.hpp"
+#include "crypto/signature.hpp"
+#include "net/geo.hpp"
+
+namespace geoproof::core {
+
+/// TPA -> verifier: audit this file now.
+struct AuditRequest {
+  std::uint64_t file_id = 0;
+  std::uint64_t n_segments = 0;  // ñ
+  std::uint32_t k = 0;           // segments to challenge
+  Bytes nonce;                   // N, freshness
+
+  Bytes serialize() const;
+  static AuditRequest deserialize(BytesView data);
+};
+
+/// Verifier -> provider: fetch one segment (the timed request).
+struct SegmentRequest {
+  std::uint64_t file_id = 0;
+  std::uint64_t index = 0;
+
+  Bytes serialize() const;
+  static SegmentRequest deserialize(BytesView data);
+};
+
+/// The data the verifier signs (Fig. 5's R).
+struct AuditTranscript {
+  std::uint64_t file_id = 0;
+  Bytes nonce;                          // N echoed from the request
+  net::GeoPoint position;               // Pos_v from the GPS receiver
+  std::vector<std::uint64_t> challenge; // c_1..c_k
+  std::vector<Millis> rtts;             // Δt_1..Δt_k
+  std::vector<Bytes> segments;          // S_cj || τ_cj as returned
+
+  Bytes serialize() const;
+  static AuditTranscript deserialize(BytesView data);
+
+  Millis max_rtt() const;
+
+  /// Bytes that crossed the verifier-provider link during the timed phase
+  /// (k requests + k segments) — the paper's §IV point that audit traffic
+  /// is tiny and independent of the file size.
+  std::uint64_t exchanged_bytes() const;
+};
+
+struct SignedTranscript {
+  AuditTranscript transcript;
+  crypto::MerkleSignature signature;
+
+  Bytes serialize() const;
+  static SignedTranscript deserialize(BytesView data);
+};
+
+}  // namespace geoproof::core

@@ -1,0 +1,79 @@
+#include "core/verifier.hpp"
+
+#include "common/errors.hpp"
+#include "por/params.hpp"
+
+namespace geoproof::core {
+
+VerifierDevice::VerifierDevice(Config config, net::RequestChannel& channel,
+                               const net::AuditTimer& timer)
+    : config_(std::move(config)),
+      channel_(&channel),
+      timer_(&timer),
+      gps_(config_.position),
+      signer_(config_.signer_seed, config_.signer_height),
+      rng_(config_.challenge_seed) {}
+
+SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
+  if (request.n_segments == 0) {
+    throw ProtocolError("run_audit: request with zero segments");
+  }
+  if (request.k == 0) {
+    throw ProtocolError("run_audit: request with zero rounds");
+  }
+
+  AuditTranscript t;
+  t.file_id = request.file_id;
+  t.nonce = request.nonce;
+  t.position = gps_.report();
+  t.challenge = por::sample_challenge(request.n_segments, request.k, rng_);
+  t.rtts.reserve(t.challenge.size());
+  t.segments.reserve(t.challenge.size());
+
+  // The distance-bounding phase: k timed request/response rounds (Fig. 5).
+  for (const std::uint64_t index : t.challenge) {
+    const SegmentRequest req{request.file_id, index};
+    const Bytes wire = req.serialize();
+    const Millis start = timer_->now();
+    Bytes segment = channel_->request(wire);
+    const Millis stop = timer_->now();
+    t.rtts.push_back(stop - start);
+    t.segments.push_back(std::move(segment));
+  }
+
+  SignedTranscript st;
+  st.signature = signer_.sign(t.serialize());
+  st.transcript = std::move(t);
+  return st;
+}
+
+SignedTranscript VerifierDevice::run_block_audit(
+    const BlockAuditRequest& request) {
+  if (request.positions.empty()) {
+    throw ProtocolError("run_block_audit: no positions requested");
+  }
+  AuditTranscript t;
+  t.file_id = request.file_id;
+  t.nonce = request.nonce;
+  t.position = gps_.report();
+  t.challenge = request.positions;
+  t.rtts.reserve(t.challenge.size());
+  t.segments.reserve(t.challenge.size());
+
+  for (const std::uint64_t index : t.challenge) {
+    const SegmentRequest req{request.file_id, index};
+    const Bytes wire = req.serialize();
+    const Millis start = timer_->now();
+    Bytes block = channel_->request(wire);
+    const Millis stop = timer_->now();
+    t.rtts.push_back(stop - start);
+    t.segments.push_back(std::move(block));
+  }
+
+  SignedTranscript st;
+  st.signature = signer_.sign(t.serialize());
+  st.transcript = std::move(t);
+  return st;
+}
+
+}  // namespace geoproof::core

@@ -1,0 +1,75 @@
+// The tamper-proof verifier device V (Fig. 4/5): GPS-enabled, attached to
+// the provider's LAN, owner of the signing key SK.
+//
+// On an audit request it samples the challenge, runs the k timed
+// request/response rounds against the provider, and returns the signed
+// transcript R = (Δt_1..Δt_k, c, {S_cj||τ_cj}, N, Pos_v). It does not judge
+// anything — all verification is the TPA's job — which keeps the trusted
+// device minimal, exactly as the paper argues.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/gps.hpp"
+#include "core/transcript.hpp"
+#include "crypto/signature.hpp"
+#include "net/channel.hpp"
+
+namespace geoproof::core {
+
+class VerifierDevice {
+ public:
+  struct Config {
+    net::GeoPoint position{};
+    /// Seed of the hash-based signing key (burned in at manufacture).
+    Bytes signer_seed = bytes_of("verifier-device-seed");
+    /// Merkle tree height: 2^height audits before key exhaustion. Key
+    /// generation is O(2^height) hashes, so provision what the device's
+    /// service life needs (8 -> 256 audits in ~0.1 s; 16 -> 65k audits in
+    /// ~30 s at manufacture time).
+    unsigned signer_height = 8;
+    /// Seed for challenge sampling.
+    std::uint64_t challenge_seed = 0xc4a11e;
+  };
+
+  /// `channel`: the LAN link to the provider; `timer`: the device's clock
+  /// (virtual in simulation, steady_clock over TCP).
+  VerifierDevice(Config config, net::RequestChannel& channel,
+                 const net::AuditTimer& timer);
+
+  /// The device's public key, provisioned to the TPA out of band.
+  const crypto::Digest& public_key() const { return signer_.public_key(); }
+
+  GpsDevice& gps() { return gps_; }
+  const GpsDevice& gps() const { return gps_; }
+
+  std::uint32_t audits_remaining() const {
+    return signer_.signatures_remaining();
+  }
+
+  /// Run the GeoProof protocol for one audit request (Fig. 5).
+  SignedTranscript run_audit(const AuditRequest& request);
+
+  /// Variant with TPA-chosen positions: the sentinel POR flavour (§IV) and
+  /// the dynamic-POR flavour both need the key holder to pick what is
+  /// fetched (sentinel positions are secret; Merkle challenges are index-
+  /// driven). The device's job is unchanged: time each fetch, sign what
+  /// happened.
+  struct BlockAuditRequest {
+    std::uint64_t file_id = 0;
+    std::vector<std::uint64_t> positions;
+    Bytes nonce;
+  };
+  SignedTranscript run_block_audit(const BlockAuditRequest& request);
+
+ private:
+  Config config_;
+  net::RequestChannel* channel_;
+  const net::AuditTimer* timer_;
+  GpsDevice gps_;
+  crypto::MerkleSigner signer_;
+  Rng rng_;
+};
+
+}  // namespace geoproof::core

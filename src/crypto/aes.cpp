@@ -1,0 +1,255 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace geoproof::crypto {
+
+namespace {
+
+// --- GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b) ---
+
+constexpr std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p = static_cast<std::uint8_t>(p ^ a);
+    a = xtime(a);
+    b = static_cast<std::uint8_t>(b >> 1);
+  }
+  return p;
+}
+
+// a^254 = a^{-1} in GF(2^8)* (and 0 -> 0).
+constexpr std::uint8_t gf_inv(std::uint8_t a) {
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int e = 254;
+  while (e > 0) {
+    if (e & 1) result = gf_mul(result, base);
+    base = gf_mul(base, base);
+    e >>= 1;
+  }
+  return a == 0 ? 0 : result;
+}
+
+constexpr std::uint8_t rotl8(std::uint8_t x, int n) {
+  return static_cast<std::uint8_t>((x << n) | (x >> (8 - n)));
+}
+
+// FIPS-197 S-box: affine transform of the multiplicative inverse.
+constexpr std::array<std::uint8_t, 256> make_sbox() {
+  std::array<std::uint8_t, 256> s{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t b = gf_inv(static_cast<std::uint8_t>(i));
+    s[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63);
+  }
+  return s;
+}
+
+constexpr std::array<std::uint8_t, 256> make_inv_sbox(
+    const std::array<std::uint8_t, 256>& s) {
+  std::array<std::uint8_t, 256> inv{};
+  for (int i = 0; i < 256; ++i) {
+    inv[s[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  }
+  return inv;
+}
+
+constexpr auto kSbox = make_sbox();
+constexpr auto kInvSbox = make_inv_sbox(kSbox);
+
+static_assert(kSbox[0x00] == 0x63, "S-box generation broken");
+static_assert(kSbox[0x01] == 0x7c, "S-box generation broken");
+static_assert(kSbox[0x53] == 0xed, "S-box generation broken");
+static_assert(kInvSbox[0x63] == 0x00, "inverse S-box generation broken");
+
+constexpr std::uint32_t sub_word(std::uint32_t w) {
+  return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<std::uint32_t>(kSbox[w & 0xff]);
+}
+
+constexpr std::uint32_t rot_word(std::uint32_t w) {
+  return (w << 8) | (w >> 24);
+}
+
+}  // namespace
+
+Aes::Aes(BytesView key) {
+  int nk = 0;  // key length in 32-bit words
+  switch (key.size()) {
+    case 16: nk = 4; rounds_ = 10; break;
+    case 24: nk = 6; rounds_ = 12; break;
+    case 32: nk = 8; rounds_ = 14; break;
+    default:
+      throw InvalidArgument("Aes: key must be 16, 24 or 32 bytes");
+  }
+  const int total_words = 4 * (rounds_ + 1);
+
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i)]) << 24) |
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 1)]) << 16) |
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 2)]) << 8) |
+        static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 3)]);
+  }
+
+  std::uint8_t rcon = 0x01;
+  for (int i = nk; i < total_words; ++i) {
+    std::uint32_t temp = round_keys_[static_cast<std::size_t>(i - 1)];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^
+             (static_cast<std::uint32_t>(rcon) << 24);
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[static_cast<std::size_t>(i)] =
+        round_keys_[static_cast<std::size_t>(i - nk)] ^ temp;
+  }
+}
+
+namespace {
+
+// The cipher state: 16 bytes, column-major as in FIPS 197.
+inline void add_round_key(std::uint8_t st[16], const std::uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    const std::uint32_t w = rk[c];
+    st[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+    st[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+    st[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+    st[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+  }
+}
+
+inline void sub_bytes(std::uint8_t st[16]) {
+  for (int i = 0; i < 16; ++i) st[i] = kSbox[st[i]];
+}
+
+inline void inv_sub_bytes(std::uint8_t st[16]) {
+  for (int i = 0; i < 16; ++i) st[i] = kInvSbox[st[i]];
+}
+
+// Row r of the state lives at bytes {r, r+4, r+8, r+12}.
+inline void shift_rows(std::uint8_t st[16]) {
+  std::uint8_t t;
+  // row 1: rotate left by 1
+  t = st[1]; st[1] = st[5]; st[5] = st[9]; st[9] = st[13]; st[13] = t;
+  // row 2: rotate left by 2
+  t = st[2]; st[2] = st[10]; st[10] = t;
+  t = st[6]; st[6] = st[14]; st[14] = t;
+  // row 3: rotate left by 3 (== right by 1)
+  t = st[15]; st[15] = st[11]; st[11] = st[7]; st[7] = st[3]; st[3] = t;
+}
+
+inline void inv_shift_rows(std::uint8_t st[16]) {
+  std::uint8_t t;
+  // row 1: rotate right by 1
+  t = st[13]; st[13] = st[9]; st[9] = st[5]; st[5] = st[1]; st[1] = t;
+  // row 2: rotate right by 2
+  t = st[2]; st[2] = st[10]; st[10] = t;
+  t = st[6]; st[6] = st[14]; st[14] = t;
+  // row 3: rotate right by 3 (== left by 1)
+  t = st[3]; st[3] = st[7]; st[7] = st[11]; st[11] = st[15]; st[15] = t;
+}
+
+// MixColumns via the xtime identity: {02}x = xtime(x), {03}x = xtime(x)^x,
+// so col'[i] = a[i] ^ t ^ xtime(a[i] ^ a[i+1]) with t = a0^a1^a2^a3 —
+// no generic GF multiply in the hot path.
+inline void mix_columns(std::uint8_t st[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = st + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    const std::uint8_t t = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+    col[0] = static_cast<std::uint8_t>(a0 ^ t ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+    col[1] = static_cast<std::uint8_t>(a1 ^ t ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+    col[2] = static_cast<std::uint8_t>(a2 ^ t ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+    col[3] = static_cast<std::uint8_t>(a3 ^ t ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+  }
+}
+
+// Inverse MixColumns multiplies by {09, 0b, 0d, 0e}; compile-time tables
+// keep the decrypt path at lookup speed.
+struct InvMixTables {
+  std::array<std::uint8_t, 256> m9{}, m11{}, m13{}, m14{};
+  constexpr InvMixTables() {
+    for (int i = 0; i < 256; ++i) {
+      const auto x = static_cast<std::uint8_t>(i);
+      m9[static_cast<std::size_t>(i)] = gf_mul(x, 9);
+      m11[static_cast<std::size_t>(i)] = gf_mul(x, 11);
+      m13[static_cast<std::size_t>(i)] = gf_mul(x, 13);
+      m14[static_cast<std::size_t>(i)] = gf_mul(x, 14);
+    }
+  }
+};
+constexpr InvMixTables kInvMix;
+
+inline void inv_mix_columns(std::uint8_t st[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = st + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(kInvMix.m14[a0] ^ kInvMix.m11[a1] ^
+                                       kInvMix.m13[a2] ^ kInvMix.m9[a3]);
+    col[1] = static_cast<std::uint8_t>(kInvMix.m9[a0] ^ kInvMix.m14[a1] ^
+                                       kInvMix.m11[a2] ^ kInvMix.m13[a3]);
+    col[2] = static_cast<std::uint8_t>(kInvMix.m13[a0] ^ kInvMix.m9[a1] ^
+                                       kInvMix.m14[a2] ^ kInvMix.m11[a3]);
+    col[3] = static_cast<std::uint8_t>(kInvMix.m11[a0] ^ kInvMix.m13[a1] ^
+                                       kInvMix.m9[a2] ^ kInvMix.m14[a3]);
+  }
+}
+
+}  // namespace
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t st[16];
+  std::memcpy(st, in, 16);
+  add_round_key(st, round_keys_.data());
+  for (int round = 1; round < rounds_; ++round) {
+    sub_bytes(st);
+    shift_rows(st);
+    mix_columns(st);
+    add_round_key(st, round_keys_.data() + 4 * round);
+  }
+  sub_bytes(st);
+  shift_rows(st);
+  add_round_key(st, round_keys_.data() + 4 * rounds_);
+  std::memcpy(out, st, 16);
+}
+
+void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t st[16];
+  std::memcpy(st, in, 16);
+  add_round_key(st, round_keys_.data() + 4 * rounds_);
+  for (int round = rounds_ - 1; round > 0; --round) {
+    inv_shift_rows(st);
+    inv_sub_bytes(st);
+    add_round_key(st, round_keys_.data() + 4 * round);
+    inv_mix_columns(st);
+  }
+  inv_shift_rows(st);
+  inv_sub_bytes(st);
+  add_round_key(st, round_keys_.data());
+  std::memcpy(out, st, 16);
+}
+
+AesBlock Aes::encrypt(const AesBlock& in) const {
+  AesBlock out;
+  encrypt_block(in.data(), out.data());
+  return out;
+}
+
+AesBlock Aes::decrypt(const AesBlock& in) const {
+  AesBlock out;
+  decrypt_block(in.data(), out.data());
+  return out;
+}
+
+}  // namespace geoproof::crypto

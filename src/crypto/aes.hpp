@@ -1,0 +1,40 @@
+// AES-128/192/256 block cipher (FIPS 197), implemented from scratch.
+//
+// The S-box is generated at compile time from the GF(2^8) inverse plus the
+// affine transform rather than transcribed, eliminating table-entry typos;
+// correctness is pinned by the FIPS-197 known-answer tests in the test suite.
+//
+// This is a portable table-free-ish implementation (single S-box table,
+// column-wise MixColumns); it favours clarity over raw speed, which is ample
+// for the simulation workloads here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+class Aes {
+ public:
+  /// key must be 16, 24 or 32 bytes (AES-128/192/256).
+  explicit Aes(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  AesBlock encrypt(const AesBlock& in) const;
+  AesBlock decrypt(const AesBlock& in) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};  // max 15 round keys x 4 words
+  int rounds_ = 0;
+};
+
+}  // namespace geoproof::crypto

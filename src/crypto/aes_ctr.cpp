@@ -1,0 +1,54 @@
+#include "crypto/aes_ctr.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace geoproof::crypto {
+
+AesCtr::AesCtr(BytesView key, BytesView nonce) : aes_(key) {
+  if (nonce.size() != nonce_.size()) {
+    throw InvalidArgument("AesCtr: nonce must be 12 bytes");
+  }
+  std::memcpy(nonce_.data(), nonce.data(), nonce.size());
+}
+
+void AesCtr::keystream_block(std::uint32_t counter, std::uint8_t out[16]) const {
+  std::uint8_t ctr_block[16];
+  std::memcpy(ctr_block, nonce_.data(), 12);
+  ctr_block[12] = static_cast<std::uint8_t>(counter >> 24);
+  ctr_block[13] = static_cast<std::uint8_t>(counter >> 16);
+  ctr_block[14] = static_cast<std::uint8_t>(counter >> 8);
+  ctr_block[15] = static_cast<std::uint8_t>(counter);
+  aes_.encrypt_block(ctr_block, out);
+}
+
+void AesCtr::xcrypt_at(std::uint64_t offset, std::span<std::uint8_t> data) const {
+  if (data.empty()) return;
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t block_index = pos / kAesBlockSize;
+    const std::size_t in_block = static_cast<std::size_t>(pos % kAesBlockSize);
+    if (block_index > 0xffffffffULL) {
+      throw InvalidArgument("AesCtr: offset exceeds 32-bit counter space");
+    }
+    std::uint8_t ks[16];
+    keystream_block(static_cast<std::uint32_t>(block_index), ks);
+    const std::size_t take =
+        std::min(kAesBlockSize - in_block, data.size() - done);
+    for (std::size_t i = 0; i < take; ++i) {
+      data[done + i] = static_cast<std::uint8_t>(data[done + i] ^ ks[in_block + i]);
+    }
+    done += take;
+    pos += take;
+  }
+}
+
+Bytes AesCtr::xcrypt(BytesView data) const {
+  Bytes out(data.begin(), data.end());
+  xcrypt_at(0, out);
+  return out;
+}
+
+}  // namespace geoproof::crypto

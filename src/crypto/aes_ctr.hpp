@@ -1,0 +1,36 @@
+// AES-CTR stream cipher (SP 800-38A), seekable.
+//
+// GeoProof's setup phase encrypts the error-corrected file F' into
+// F'' = E_K(F') (§V-A step 3). CTR keeps the transform length-preserving and
+// lets the Extract procedure decrypt arbitrary block ranges independently,
+// which the permuted layout requires.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/aes.hpp"
+
+namespace geoproof::crypto {
+
+class AesCtr {
+ public:
+  /// key: 16/24/32 bytes; nonce: exactly 12 bytes. The remaining 4 bytes of
+  /// the counter block are a big-endian block counter.
+  AesCtr(BytesView key, BytesView nonce);
+
+  /// XOR the keystream starting at byte offset `offset` into `data`.
+  /// Encryption and decryption are the same operation.
+  void xcrypt_at(std::uint64_t offset, std::span<std::uint8_t> data) const;
+
+  /// Whole-buffer convenience starting at offset 0.
+  Bytes xcrypt(BytesView data) const;
+
+ private:
+  void keystream_block(std::uint32_t counter, std::uint8_t out[16]) const;
+
+  Aes aes_;
+  std::array<std::uint8_t, 12> nonce_;
+};
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,77 @@
+#include "crypto/cmac.hpp"
+
+#include <cstring>
+
+namespace geoproof::crypto {
+
+namespace {
+
+// Left-shift a 128-bit value by one bit; returns the shifted-out MSB.
+AesBlock shift_left(const AesBlock& in, bool& msb_out) {
+  AesBlock out;
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    out[idx] = static_cast<std::uint8_t>((in[idx] << 1) | carry);
+    carry = static_cast<std::uint8_t>(in[idx] >> 7);
+  }
+  msb_out = carry != 0;
+  return out;
+}
+
+AesBlock derive_subkey(const AesBlock& in) {
+  bool msb = false;
+  AesBlock out = shift_left(in, msb);
+  if (msb) out[15] = static_cast<std::uint8_t>(out[15] ^ 0x87);
+  return out;
+}
+
+}  // namespace
+
+AesCmac::AesCmac(BytesView key) : aes_(key) {
+  AesBlock zero{};
+  const AesBlock l = aes_.encrypt(zero);
+  k1_ = derive_subkey(l);
+  k2_ = derive_subkey(k1_);
+}
+
+AesBlock AesCmac::mac(BytesView data) const {
+  const std::size_t n = data.size();
+  // Number of blocks; an empty message still uses one (padded) block.
+  const std::size_t nblocks = (n == 0) ? 1 : (n + 15) / 16;
+  const bool last_complete = (n != 0) && (n % 16 == 0);
+
+  AesBlock x{};  // running CBC state
+  for (std::size_t b = 0; b + 1 < nblocks; ++b) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      x[i] = static_cast<std::uint8_t>(x[i] ^ data[16 * b + i]);
+    }
+    x = aes_.encrypt(x);
+  }
+
+  AesBlock last{};
+  const std::size_t last_off = 16 * (nblocks - 1);
+  if (last_complete) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      last[i] = static_cast<std::uint8_t>(data[last_off + i] ^ k1_[i]);
+    }
+  } else {
+    const std::size_t rem = n - last_off;  // 0..15 bytes present
+    for (std::size_t i = 0; i < rem; ++i) last[i] = data[last_off + i];
+    last[rem] = 0x80;
+    for (std::size_t i = 0; i < 16; ++i) {
+      last[i] = static_cast<std::uint8_t>(last[i] ^ k2_[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < 16; ++i) {
+    x[i] = static_cast<std::uint8_t>(x[i] ^ last[i]);
+  }
+  return aes_.encrypt(x);
+}
+
+AesBlock AesCmac::compute(BytesView key, BytesView data) {
+  return AesCmac(key).mac(data);
+}
+
+}  // namespace geoproof::crypto

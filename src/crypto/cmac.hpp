@@ -1,0 +1,28 @@
+// AES-CMAC (NIST SP 800-38B / RFC 4493).
+//
+// Offered alongside HMAC as the tag algorithm for POR segments; CMAC tags are
+// the natural choice when the device already carries an AES core.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/aes.hpp"
+
+namespace geoproof::crypto {
+
+class AesCmac {
+ public:
+  explicit AesCmac(BytesView key);
+
+  /// Full 16-byte tag over `data`.
+  AesBlock mac(BytesView data) const;
+
+  /// One-shot convenience.
+  static AesBlock compute(BytesView key, BytesView data);
+
+ private:
+  Aes aes_;
+  AesBlock k1_;
+  AesBlock k2_;
+};
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,53 @@
+#include "crypto/drbg.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace geoproof::crypto {
+
+HmacDrbg::HmacDrbg(BytesView seed_material)
+    : key_(kSha256DigestSize, 0x00), v_(kSha256DigestSize, 0x01) {
+  update(seed_material);
+}
+
+void HmacDrbg::update(BytesView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 h(key_);
+    h.update(v_);
+    const std::uint8_t b = 0x00;
+    h.update(BytesView(&b, 1));
+    h.update(provided);
+    const Digest d = h.finalize();
+    key_.assign(d.begin(), d.end());
+  }
+  v_ = digest_bytes(HmacSha256::mac(key_, v_));
+  if (provided.empty()) return;
+  // K = HMAC(K, V || 0x01 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 h(key_);
+    h.update(v_);
+    const std::uint8_t b = 0x01;
+    h.update(BytesView(&b, 1));
+    h.update(provided);
+    const Digest d = h.finalize();
+    key_.assign(d.begin(), d.end());
+  }
+  v_ = digest_bytes(HmacSha256::mac(key_, v_));
+}
+
+void HmacDrbg::reseed(BytesView seed_material) { update(seed_material); }
+
+Bytes HmacDrbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = digest_bytes(HmacSha256::mac(key_, v_));
+    const std::size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(),
+               v_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  update({});
+  return out;
+}
+
+}  // namespace geoproof::crypto

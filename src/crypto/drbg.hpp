@@ -1,0 +1,31 @@
+// Deterministic random bit generator in the style of NIST SP 800-90A
+// HMAC_DRBG (SHA-256 variant).
+//
+// Key generation and nonces in the library draw from a CtrDrbg so tests can
+// seed it deterministically while the construction itself stays
+// cryptographically sound given an unpredictable seed.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiate from seed material (entropy || nonce || personalisation).
+  explicit HmacDrbg(BytesView seed_material);
+
+  /// Mix additional entropy into the state.
+  void reseed(BytesView seed_material);
+
+  /// Generate n pseudorandom bytes.
+  Bytes generate(std::size_t n);
+
+ private:
+  void update(BytesView provided);
+
+  Bytes key_;
+  Bytes v_;
+};
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,41 @@
+#include "crypto/hkdf.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/hmac.hpp"
+
+namespace geoproof::crypto {
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  const Digest prk = HmacSha256::mac(salt, ikm);
+  return digest_bytes(prk);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw InvalidArgument("hkdf_expand: length too large");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes t;  // T(0) = empty
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.update(t);
+    h.update(info);
+    h.update(BytesView(&counter, 1));
+    const Digest d = h.finalize();
+    t.assign(d.begin(), d.end());
+    const std::size_t take =
+        std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  const Bytes prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace geoproof::crypto

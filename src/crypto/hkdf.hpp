@@ -1,0 +1,21 @@
+// HKDF (RFC 5869) over HMAC-SHA256.
+//
+// This is the KDF used by the Reid et al. distance-bounding protocol
+// (Fig. 3: k = KDF(...)) and by the GeoProof setup to derive the encryption,
+// permutation and MAC keys from one master secret.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derive `length` bytes from PRK and info. length <= 255*32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,53 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace geoproof::crypto {
+
+HmacSha256::HmacSha256(BytesView key) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest d = Sha256::hash(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  reset();
+}
+
+void HmacSha256::reset() {
+  inner_.reset();
+  inner_.update(BytesView(ipad_key_.data(), ipad_key_.size()));
+}
+
+void HmacSha256::update(BytesView data) { inner_.update(data); }
+
+Digest HmacSha256::finalize() {
+  const Digest inner_digest = inner_.finalize();
+  Sha256 outer;
+  outer.update(BytesView(opad_key_.data(), opad_key_.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+Digest HmacSha256::mac(BytesView key, BytesView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finalize();
+}
+
+Digest prf(BytesView key, std::string_view label, BytesView input) {
+  HmacSha256 h(key);
+  h.update(BytesView(reinterpret_cast<const std::uint8_t*>(label.data()),
+                     label.size()));
+  const std::uint8_t sep = 0x00;
+  h.update(BytesView(&sep, 1));
+  h.update(input);
+  return h.finalize();
+}
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,31 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) and a PRF convenience wrapper.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace geoproof::crypto {
+
+class HmacSha256 {
+ public:
+  /// Keys longer than the block size are hashed first, per the spec.
+  explicit HmacSha256(BytesView key);
+
+  void update(BytesView data);
+  Digest finalize();
+  void reset();
+
+  /// One-shot MAC.
+  static Digest mac(BytesView key, BytesView data);
+
+ private:
+  std::array<std::uint8_t, 64> ipad_key_;
+  std::array<std::uint8_t, 64> opad_key_;
+  Sha256 inner_;
+};
+
+/// Deterministic pseudo-random function: PRF(key, label, input) -> 32 bytes.
+/// Used for key derivation trees (distinct labels give independent keys).
+Digest prf(BytesView key, std::string_view label, BytesView input);
+
+}  // namespace geoproof::crypto

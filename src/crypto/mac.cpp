@@ -1,0 +1,64 @@
+#include "crypto/mac.hpp"
+
+#include "common/errors.hpp"
+#include "common/serialize.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/hmac.hpp"
+
+namespace geoproof::crypto {
+
+SegmentMac::SegmentMac(Bytes key, TagParams params)
+    : key_(std::move(key)), params_(params) {
+  const unsigned max_bits =
+      params_.alg == MacAlg::kAesCmac ? 128u : 256u;
+  if (params_.tag_bits == 0 || params_.tag_bits > max_bits) {
+    throw InvalidArgument("SegmentMac: tag_bits out of range for algorithm");
+  }
+  if (params_.alg == MacAlg::kAesCmac && key_.size() != 16 &&
+      key_.size() != 24 && key_.size() != 32) {
+    throw InvalidArgument("SegmentMac: CMAC needs a 16/24/32-byte key");
+  }
+}
+
+Bytes SegmentMac::full_mac(BytesView segment, std::uint64_t index,
+                           std::uint64_t file_id) const {
+  // Domain-separated encoding of (S_i, i, fid): unambiguous because the
+  // segment is length-prefixed.
+  ByteWriter w;
+  w.bytes(segment);
+  w.u64(index);
+  w.u64(file_id);
+  switch (params_.alg) {
+    case MacAlg::kHmacSha256: {
+      const Digest d = HmacSha256::mac(key_, w.data());
+      return Bytes(d.begin(), d.end());
+    }
+    case MacAlg::kAesCmac: {
+      const AesBlock t = AesCmac::compute(key_, w.data());
+      return Bytes(t.begin(), t.end());
+    }
+  }
+  throw InvalidArgument("SegmentMac: unknown algorithm");
+}
+
+Bytes SegmentMac::tag(BytesView segment, std::uint64_t index,
+                      std::uint64_t file_id) const {
+  Bytes full = full_mac(segment, index, file_id);
+  full.resize(params_.tag_size_bytes());
+  const unsigned spare_bits = static_cast<unsigned>(full.size() * 8) -
+                              params_.tag_bits;
+  if (spare_bits > 0) {
+    // Zero the low-order bits the tag does not cover.
+    full.back() = static_cast<std::uint8_t>(
+        full.back() & static_cast<std::uint8_t>(0xff << spare_bits));
+  }
+  return full;
+}
+
+bool SegmentMac::verify(BytesView segment, std::uint64_t index,
+                        std::uint64_t file_id, BytesView expected_tag) const {
+  const Bytes computed = tag(segment, index, file_id);
+  return constant_time_equal(computed, expected_tag);
+}
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,55 @@
+// Truncated per-segment MAC tags for the MAC-based POR variant.
+//
+// §V-A step 5: for each v-block segment S_i the owner computes
+//   τ_i = MAC_{K'}(S_i, i, fid)
+// with a deliberately short tag (the paper's example: ℓ_τ = 20 bits). Short
+// tags are sound here because an audit verifies many tags: a cheating
+// provider must guess every challenged tag, so its success probability is
+// 2^(-ℓ_τ·k).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+
+enum class MacAlg : std::uint8_t {
+  kHmacSha256 = 0,
+  kAesCmac = 1,
+};
+
+struct TagParams {
+  /// Tag length in bits (1..128 for CMAC, 1..256 for HMAC). Paper: 20.
+  unsigned tag_bits = 20;
+  MacAlg alg = MacAlg::kHmacSha256;
+
+  /// Bytes needed to carry a tag (bits rounded up).
+  std::size_t tag_size_bytes() const { return (tag_bits + 7) / 8; }
+};
+
+/// Computes and verifies truncated tags binding (segment bytes, index, file id).
+class SegmentMac {
+ public:
+  SegmentMac(Bytes key, TagParams params);
+
+  /// Truncated tag over (segment, index, file_id). The final partial byte,
+  /// if any, has its unused low-order bits zeroed.
+  Bytes tag(BytesView segment, std::uint64_t index, std::uint64_t file_id) const;
+
+  /// Constant-time verification.
+  bool verify(BytesView segment, std::uint64_t index, std::uint64_t file_id,
+              BytesView expected_tag) const;
+
+  const TagParams& params() const { return params_; }
+  std::size_t tag_size_bytes() const { return params_.tag_size_bytes(); }
+
+ private:
+  Bytes full_mac(BytesView segment, std::uint64_t index,
+                 std::uint64_t file_id) const;
+
+  Bytes key_;
+  TagParams params_;
+};
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Streaming interface plus one-shot helpers. This is the root hash for HMAC,
+// HKDF, the DRBG, hash-based signatures and Merkle trees in this library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  /// Reset to the initial state (discard any absorbed data).
+  void reset();
+
+  /// Absorb more message bytes.
+  void update(BytesView data);
+
+  /// Finalise and return the digest. The object must be reset() before reuse.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+  /// One-shot over the concatenation a || b.
+  static Digest hash2(BytesView a, BytesView b);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// Digest as an owned byte vector (convenience for APIs taking Bytes).
+Bytes digest_bytes(const Digest& d);
+
+}  // namespace geoproof::crypto

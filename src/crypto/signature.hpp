@@ -1,0 +1,82 @@
+// Hash-based digital signatures: WOTS one-time signatures under a Merkle
+// tree (an XMSS-style many-time scheme), built only from SHA-256.
+//
+// The paper's tamper-proof verifier device "signs the transcript of the
+// distance-bounding protocol ... using its private key SK" (§V) without
+// fixing a scheme. We use stateful hash-based signatures: they need no
+// big-integer arithmetic, their security reduces to the hash function, and a
+// sealed device that signs a bounded number of audits is the textbook
+// deployment for a stateful scheme. See DESIGN.md §1 for the substitution
+// rationale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace geoproof::crypto {
+
+/// Winternitz parameters: w = 16 (nibble digits), SHA-256 digests.
+struct WotsParams {
+  static constexpr unsigned kW = 16;
+  static constexpr unsigned kMsgDigits = 64;    // 32 bytes -> 64 nibbles
+  static constexpr unsigned kChecksumDigits = 3;  // max checksum 960 < 16^3
+  static constexpr unsigned kLen = kMsgDigits + kChecksumDigits;  // 67 chains
+};
+
+/// A WOTS signature: one 32-byte chain value per digit.
+using WotsSignature = std::vector<Digest>;
+
+/// Expand (seed, keypair index) into the WOTS secret chain starts.
+std::vector<Digest> wots_secret_key(BytesView seed, std::uint32_t keypair_index);
+
+/// Compressed WOTS public key: H over all chain ends.
+Digest wots_public_key(const std::vector<Digest>& secret_key);
+
+/// Sign a 32-byte message digest.
+WotsSignature wots_sign(const std::vector<Digest>& secret_key,
+                        const Digest& msg_digest);
+
+/// Recompute the candidate public key from a signature; the caller compares
+/// it (or its Merkle leaf) against the trusted value.
+Digest wots_pk_from_signature(const WotsSignature& sig, const Digest& msg_digest);
+
+/// Merkle many-time signature (2^height one-time keys).
+struct MerkleSignature {
+  std::uint32_t leaf_index = 0;
+  WotsSignature wots;
+  std::vector<Digest> auth_path;  // sibling hashes, leaf level upward
+
+  Bytes serialize() const;
+  static MerkleSignature deserialize(BytesView data);
+};
+
+class MerkleSigner {
+ public:
+  /// `seed`: secret randomness; `height`: tree height (1..20). The signer
+  /// can produce 2^height signatures; further sign() calls throw CryptoError.
+  MerkleSigner(Bytes seed, unsigned height);
+
+  const Digest& public_key() const { return root_; }
+  std::uint32_t signatures_remaining() const;
+  unsigned height() const { return height_; }
+
+  /// Sign an arbitrary message (hashed internally). Stateful: consumes one
+  /// one-time key.
+  MerkleSignature sign(BytesView message);
+
+ private:
+  Bytes seed_;
+  unsigned height_;
+  std::uint32_t next_leaf_ = 0;
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaves
+  Digest root_{};
+};
+
+/// Verify `sig` over `message` against the Merkle root public key.
+bool merkle_verify(const Digest& root, BytesView message,
+                   const MerkleSignature& sig);
+
+}  // namespace geoproof::crypto

@@ -1,0 +1,179 @@
+#include "distbound/attacks.hpp"
+
+#include <memory>
+
+#include "crypto/hkdf.hpp"
+
+namespace geoproof::distbound {
+
+namespace {
+
+Bytes session_secret(Rng& rng) { return rng.next_bytes(32); }
+
+// Assemble one HK session manually so the attacker can be wired against the
+// genuine per-session prover.
+template <typename MakeAttacker>
+AttackStats measure_hk(unsigned trials, const ExchangeParams& params,
+                       Millis one_way, std::uint64_t seed,
+                       MakeAttacker&& make_attacker) {
+  Rng rng(seed);
+  AttackStats stats;
+  stats.trials = trials;
+  for (unsigned t = 0; t < trials; ++t) {
+    SimClock clock;
+    const Bytes secret = session_secret(rng);
+    const Bytes nonce_v = rng.next_bytes(16);
+    const Bytes nonce_p = rng.next_bytes(16);
+    const HkProver prover(secret, nonce_v, nonce_p, params.rounds);
+    const BitResponder expected = [&prover](unsigned i, bool c) {
+      return prover.respond(i, c);
+    };
+    const BitResponder attacker = make_attacker(prover, rng);
+    const ExchangeResult res =
+        run_bit_exchange(clock, one_way, params, attacker, expected, rng);
+    if (res.accepted) ++stats.accepted;
+  }
+  return stats;
+}
+
+}  // namespace
+
+AttackStats measure_hk_guessing(unsigned trials, const ExchangeParams& params,
+                                Millis one_way, std::uint64_t seed) {
+  return measure_hk(trials, params, one_way, seed,
+                    [](const HkProver&, Rng& rng) -> BitResponder {
+                      return [&rng](unsigned, bool) { return rng.next_bool(); };
+                    });
+}
+
+AttackStats measure_hk_preask(unsigned trials, const ExchangeParams& params,
+                              Millis one_way, std::uint64_t seed) {
+  return measure_hk(
+      trials, params, one_way, seed,
+      [&params](const HkProver& prover, Rng& rng) -> BitResponder {
+        // Pre-ask phase: guess every challenge, query the prover once per
+        // round (oracle access only - the adversary has no keys).
+        auto guesses = std::make_shared<std::vector<bool>>();
+        auto answers = std::make_shared<std::vector<bool>>();
+        for (unsigned i = 0; i < params.rounds; ++i) {
+          const bool g = rng.next_bool();
+          guesses->push_back(g);
+          answers->push_back(prover.respond(i, g));
+        }
+        return [guesses, answers, &rng](unsigned i, bool c) -> bool {
+          if (c == (*guesses)[i]) return (*answers)[i];
+          return rng.next_bool();  // wrong guess: coin flip
+        };
+      });
+}
+
+AttackStats measure_hk_distance_fraud(unsigned trials,
+                                      const ExchangeParams& params,
+                                      Millis one_way, std::uint64_t seed) {
+  return measure_hk(
+      trials, params, one_way, seed,
+      [](const HkProver& prover, Rng& rng) -> BitResponder {
+        // The dishonest prover pre-sends: where l_i == r_i the answer is
+        // challenge-independent and always right; otherwise a coin flip.
+        // (The spoofed-early transmission makes timing look legitimate, so
+        // the channel latency stays nominal.)
+        return [&prover, &rng](unsigned i, bool) {
+          const bool l = prover.reg_l()[i];
+          const bool r = prover.reg_r()[i];
+          return l == r ? l : rng.next_bool();
+        };
+      });
+}
+
+AttackStats measure_relay(unsigned trials, const ExchangeParams& params,
+                          Millis one_way, Millis relay_one_way,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  AttackStats stats;
+  stats.trials = trials;
+  for (unsigned t = 0; t < trials; ++t) {
+    SimClock clock;
+    const Bytes secret = session_secret(rng);
+    const Bytes nonce_v = rng.next_bytes(16);
+    const Bytes nonce_p = rng.next_bytes(16);
+    const HkProver prover(secret, nonce_v, nonce_p, params.rounds);
+    const BitResponder expected = [&prover](unsigned i, bool c) {
+      return prover.respond(i, c);
+    };
+    // Relay: each live challenge makes the extra round trip to the real
+    // prover before the (always correct) answer returns.
+    const BitResponder relay = [&prover, &clock, relay_one_way](unsigned i,
+                                                                bool c) {
+      clock.advance(relay_one_way);
+      const bool bit = prover.respond(i, c);
+      clock.advance(relay_one_way);
+      return bit;
+    };
+    const ExchangeResult res =
+        run_bit_exchange(clock, one_way, params, relay, expected, rng);
+    if (res.accepted) ++stats.accepted;
+  }
+  return stats;
+}
+
+TerroristOutcome simulate_terrorist_hancke_kuhn(const ExchangeParams& params,
+                                                Millis one_way,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  SimClock clock;
+  const Bytes secret = session_secret(rng);
+  const Bytes nonce_v = rng.next_bytes(16);
+  const Bytes nonce_p = rng.next_bytes(16);
+  const HkProver prover(secret, nonce_v, nonce_p, params.rounds);
+
+  // The accomplice holds copies of both registers - it answers perfectly
+  // and instantly.
+  const std::vector<bool> l = prover.reg_l();
+  const std::vector<bool> r = prover.reg_r();
+  const BitResponder accomplice = [l, r](unsigned i, bool c) {
+    return c ? r[i] : l[i];
+  };
+  const BitResponder expected = [&prover](unsigned i, bool c) {
+    return prover.respond(i, c);
+  };
+  const ExchangeResult res =
+      run_bit_exchange(clock, one_way, params, accomplice, expected, rng);
+
+  // (l, r) are session values derived through a one-way PRF; they do not
+  // reveal the long-term secret - HK's known weakness.
+  return TerroristOutcome{res.accepted, false};
+}
+
+TerroristOutcome simulate_terrorist_reid(const ExchangeParams& params,
+                                         Millis one_way, std::uint64_t seed) {
+  Rng rng(seed);
+  SimClock clock;
+  const Bytes secret = session_secret(rng);
+  const Bytes nonce_v = rng.next_bytes(16);
+  const Bytes nonce_p = rng.next_bytes(16);
+  const ReidProver prover(secret, "V", "P", nonce_v, nonce_p, params.rounds);
+
+  const std::vector<bool> k = prover.reg_k();
+  const std::vector<bool> e = prover.reg_e();
+  const BitResponder accomplice = [k, e](unsigned i, bool c) {
+    return c ? e[i] : k[i];
+  };
+  const BitResponder expected = [&prover](unsigned i, bool c) {
+    return prover.respond(i, c);
+  };
+  const ExchangeResult res =
+      run_bit_exchange(clock, one_way, params, accomplice, expected, rng);
+
+  // Verify the leak: k XOR e must equal the secret-derived bits the
+  // construction pads with.
+  const Bytes s_material =
+      crypto::hkdf(bytes_of("reid-secret-bits"), secret, bytes_of("registers"),
+                   (params.rounds + 7) / 8);
+  const auto s_bits = unpack_bits(s_material, params.rounds);
+  const auto leaked = prover.secret_bits_leaked_by_registers();
+  const bool leak_confirmed = leaked == s_bits;
+
+  return TerroristOutcome{res.accepted, leak_confirmed};
+}
+
+}  // namespace geoproof::distbound

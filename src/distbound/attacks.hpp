@@ -1,0 +1,79 @@
+// Attack simulators for the distance-bounding protocols (§III-A).
+//
+// The three classic adversaries:
+//  - distance fraud: the prover itself is beyond the bound and pre-sends
+//    responses before seeing the challenge;
+//  - mafia fraud: a man-in-the-middle relays between an honest far prover
+//    and the verifier (pure relay is caught by timing; the "pre-ask"
+//    variant trades timing for guessed challenges);
+//  - terrorist fraud: the prover colludes, handing its rapid-phase
+//    registers to a nearby accomplice.
+//
+// Each simulator returns measured acceptance statistics so the benches and
+// property tests can compare against the theoretical success probabilities
+// ((3/4)^n for register protocols under pre-ask/distance fraud, (1/2)^n for
+// blind guessing, 0 for pure relay beyond the slack).
+#pragma once
+
+#include <functional>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "distbound/bit_exchange.hpp"
+#include "distbound/hancke_kuhn.hpp"
+#include "distbound/reid.hpp"
+
+namespace geoproof::distbound {
+
+struct AttackStats {
+  unsigned trials = 0;
+  unsigned accepted = 0;
+  double acceptance_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(accepted) / trials;
+  }
+};
+
+/// Blind adversary with no key material: answers random bits, fast.
+/// Theory: acceptance = 2^-n.
+AttackStats measure_hk_guessing(unsigned trials, const ExchangeParams& params,
+                                Millis one_way, std::uint64_t seed);
+
+/// Mafia fraud with pre-ask against Hancke-Kuhn: before the rapid phase the
+/// adversary queries the honest prover with guessed challenges; during the
+/// phase it replies instantly. Theory: acceptance = (3/4)^n.
+AttackStats measure_hk_preask(unsigned trials, const ExchangeParams& params,
+                              Millis one_way, std::uint64_t seed);
+
+/// Distance fraud against Hancke-Kuhn: the (dishonest, far) prover knows
+/// both registers and pre-sends; where the registers agree it is always
+/// right. Theory: acceptance = (3/4)^n.
+AttackStats measure_hk_distance_fraud(unsigned trials,
+                                      const ExchangeParams& params,
+                                      Millis one_way, std::uint64_t seed);
+
+/// Pure relay (mafia fraud without pre-ask): live challenges are forwarded
+/// to the far prover over an extra `relay_one_way` leg; responses are always
+/// correct but every round is slower by the relay RTT.
+AttackStats measure_relay(unsigned trials, const ExchangeParams& params,
+                          Millis one_way, Millis relay_one_way,
+                          std::uint64_t seed);
+
+struct TerroristOutcome {
+  bool accepted = false;
+  /// Whether the material handed to the accomplice reveals the prover's
+  /// long-term secret (the deterrent Reid et al. add over Hancke-Kuhn).
+  bool long_term_secret_leaked = false;
+};
+
+/// Terrorist fraud against Hancke-Kuhn: accomplice receives (l, r); accepted
+/// with correct timing, and the registers reveal nothing long-term.
+TerroristOutcome simulate_terrorist_hancke_kuhn(const ExchangeParams& params,
+                                                Millis one_way,
+                                                std::uint64_t seed);
+
+/// Terrorist fraud against Reid et al.: accomplice receives (k, e); accepted,
+/// but k XOR e equals the long-term secret bits — collusion costs the key.
+TerroristOutcome simulate_terrorist_reid(const ExchangeParams& params,
+                                         Millis one_way, std::uint64_t seed);
+
+}  // namespace geoproof::distbound

@@ -1,0 +1,59 @@
+#include "distbound/bit_exchange.hpp"
+
+#include "common/errors.hpp"
+
+namespace geoproof::distbound {
+
+ExchangeResult run_bit_exchange(SimClock& clock, Millis one_way,
+                                const ExchangeParams& params,
+                                const BitResponder& responder,
+                                const BitResponder& expected, Rng& rng) {
+  if (!responder || !expected) {
+    throw InvalidArgument("run_bit_exchange: null responder");
+  }
+  ExchangeResult result;
+  result.rounds.reserve(params.rounds);
+  SimStopwatch watch(clock);
+
+  for (unsigned i = 0; i < params.rounds; ++i) {
+    const bool challenge = rng.next_bool();
+    watch.start();
+    clock.advance(one_way);                      // challenge travels V -> P
+    // Channel noise may corrupt the challenge in flight: the prover then
+    // answers the wrong question (from the verifier's point of view).
+    const bool challenge_rx = params.bit_flip_prob > 0.0 &&
+                                      rng.next_bool(params.bit_flip_prob)
+                                  ? !challenge
+                                  : challenge;
+    bool response = responder(i, challenge_rx);  // may advance the clock
+    clock.advance(one_way);                      // response travels P -> V
+    if (params.bit_flip_prob > 0.0 && rng.next_bool(params.bit_flip_prob)) {
+      response = !response;                      // response corrupted
+    }
+    const Millis rtt = watch.elapsed_ms();
+
+    RoundRecord rec{challenge, response, rtt};
+    result.rounds.push_back(rec);
+    if (rtt > result.max_rtt) result.max_rtt = rtt;
+    if (rtt > params.max_rtt) ++result.timing_violations;
+    if (response != expected(i, challenge)) ++result.bit_errors;
+  }
+
+  result.accepted = result.timing_violations == 0 &&
+                    result.bit_errors <= params.max_bit_errors;
+  return result;
+}
+
+std::vector<bool> unpack_bits(BytesView bytes, unsigned n) {
+  if (bytes.size() * 8 < n) {
+    throw InvalidArgument("unpack_bits: not enough key material");
+  }
+  std::vector<bool> bits;
+  bits.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    bits.push_back(((bytes[i / 8] >> (i % 8)) & 1) != 0);
+  }
+  return bits;
+}
+
+}  // namespace geoproof::distbound

@@ -1,0 +1,114 @@
+#include "distbound/brands_chaum.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/hmac.hpp"
+
+namespace geoproof::distbound {
+
+namespace {
+Bytes pack_bits(const std::vector<bool>& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out[i / 8] = static_cast<std::uint8_t>(out[i / 8] | (1u << (i % 8)));
+  }
+  return out;
+}
+}  // namespace
+
+crypto::Digest commit_bits(const std::vector<bool>& m,
+                           BytesView opening_nonce) {
+  crypto::Sha256 h;
+  const Bytes packed = pack_bits(m);
+  const std::uint8_t tag = 0xc0;
+  h.update(BytesView(&tag, 1));
+  std::uint8_t len[4];
+  store_be32(std::span<std::uint8_t>(len, 4),
+             static_cast<std::uint32_t>(m.size()));
+  h.update(BytesView(len, 4));
+  h.update(packed);
+  h.update(opening_nonce);
+  return h.finalize();
+}
+
+BcProver::BcProver(unsigned n, Rng& rng) {
+  m_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) m_.push_back(rng.next_bool());
+  opening_nonce_ = rng.next_bytes(16);
+  commitment_ = commit_bits(m_, opening_nonce_);
+}
+
+bool BcProver::respond(unsigned round, bool challenge) const {
+  if (round >= m_.size()) {
+    throw InvalidArgument("BcProver::respond: round out of range");
+  }
+  return challenge ^ m_[round];
+}
+
+BcProver::Opening BcProver::open() const { return {m_, opening_nonce_}; }
+
+Bytes transcript_bytes(const std::vector<RoundRecord>& rounds) {
+  Bytes out;
+  out.reserve(rounds.size());
+  for (const RoundRecord& r : rounds) {
+    out.push_back(static_cast<std::uint8_t>((r.challenge ? 2 : 0) |
+                                            (r.response ? 1 : 0)));
+  }
+  return out;
+}
+
+Bytes BcProver::sign_transcript(BytesView key,
+                                const std::vector<RoundRecord>& rounds) const {
+  const crypto::Digest d =
+      crypto::prf(key, "bc-transcript", transcript_bytes(rounds));
+  return crypto::digest_bytes(d);
+}
+
+BcSessionResult run_brands_chaum(SimClock& clock, Millis one_way,
+                                 const ExchangeParams& params,
+                                 BytesView shared_key, Rng& rng,
+                                 const BitResponder* attacker) {
+  BcSessionResult result;
+
+  BcProver prover(params.rounds, rng);
+  // Commitment crosses the link before the timed phase.
+  clock.advance(one_way);
+
+  const BitResponder honest = [&prover](unsigned i, bool c) {
+    return prover.respond(i, c);
+  };
+  // The verifier cannot predict responses (m is hidden); it validates them
+  // retroactively via the opening, so `expected` during the exchange is the
+  // honest function only when no attacker is substituted.
+  result.exchange = run_bit_exchange(clock, one_way, params,
+                                     attacker ? *attacker : honest, honest,
+                                     rng);
+
+  // Opening + transcript MAC travel back (not time-critical).
+  clock.advance(one_way);
+  const BcProver::Opening opening = prover.open();
+  const Bytes mac = prover.sign_transcript(shared_key, result.exchange.rounds);
+
+  result.commitment_ok =
+      commit_bits(opening.m, opening.opening_nonce) == prover.commitment();
+  result.responses_consistent_with_m = true;
+  for (std::size_t i = 0; i < result.exchange.rounds.size(); ++i) {
+    const RoundRecord& r = result.exchange.rounds[i];
+    if ((r.response ^ r.challenge) != opening.m[i]) {
+      result.responses_consistent_with_m = false;
+      break;
+    }
+  }
+  const crypto::Digest expect_mac =
+      crypto::prf(shared_key, "bc-transcript",
+                  transcript_bytes(result.exchange.rounds));
+  result.transcript_mac_ok =
+      constant_time_equal(mac, crypto::digest_bytes(expect_mac));
+
+  result.accepted = result.exchange.timing_violations == 0 &&
+                    result.commitment_ok &&
+                    result.responses_consistent_with_m &&
+                    result.transcript_mac_ok;
+  return result;
+}
+
+}  // namespace geoproof::distbound

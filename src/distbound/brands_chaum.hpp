@@ -1,0 +1,72 @@
+// Brands-Chaum distance-bounding protocol (the original, EUROCRYPT '93).
+//
+// The prover commits to a random bit string m before the rapid phase; each
+// response is r_i = c_i XOR m_i. Afterwards the prover opens the commitment
+// and authenticates the transcript, so a mafia-fraud adversary can neither
+// precompute responses (m is hidden by the commitment) nor alter them
+// afterwards (the transcript is authenticated).
+//
+// The commitment is hash-based (SHA-256 over m || opening); transcript
+// authentication uses HMAC under the shared key — the paper's public-key
+// signature variant is interchangeable here and the hash-based signer from
+// crypto/signature.hpp can be swapped in where no shared key exists.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "crypto/sha256.hpp"
+#include "distbound/bit_exchange.hpp"
+
+namespace geoproof::distbound {
+
+class BcProver {
+ public:
+  /// Draws the random bit vector m and the commitment opening from `rng`.
+  BcProver(unsigned n, Rng& rng);
+
+  /// Commitment published before the rapid phase.
+  const crypto::Digest& commitment() const { return commitment_; }
+
+  bool respond(unsigned round, bool challenge) const;
+
+  /// Opens the commitment after the rapid phase.
+  struct Opening {
+    std::vector<bool> m;
+    Bytes opening_nonce;
+  };
+  Opening open() const;
+
+  /// Authenticate the transcript (challenge/response bit pairs) under the
+  /// shared key.
+  Bytes sign_transcript(BytesView key,
+                        const std::vector<RoundRecord>& rounds) const;
+
+ private:
+  std::vector<bool> m_;
+  Bytes opening_nonce_;
+  crypto::Digest commitment_;
+};
+
+/// Serialise transcript bits for authentication.
+Bytes transcript_bytes(const std::vector<RoundRecord>& rounds);
+
+/// Recompute/verify the commitment.
+crypto::Digest commit_bits(const std::vector<bool>& m, BytesView opening_nonce);
+
+struct BcSessionResult {
+  ExchangeResult exchange;
+  bool commitment_ok = false;
+  bool transcript_mac_ok = false;
+  bool responses_consistent_with_m = false;
+  /// Overall verdict: timing + bits + commitment + MAC.
+  bool accepted = false;
+};
+
+/// Full Brands-Chaum session. The verifier checks timing, commitment
+/// opening, response consistency (m_i = r_i XOR c_i) and the transcript MAC.
+BcSessionResult run_brands_chaum(SimClock& clock, Millis one_way,
+                                 const ExchangeParams& params,
+                                 BytesView shared_key, Rng& rng,
+                                 const BitResponder* attacker = nullptr);
+
+}  // namespace geoproof::distbound

@@ -1,0 +1,56 @@
+#include "distbound/hancke_kuhn.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/hmac.hpp"
+
+namespace geoproof::distbound {
+
+HkProver::HkProver(BytesView secret, BytesView nonce_v, BytesView nonce_p,
+                   unsigned n) {
+  // d = h(s, rA || rB), stretched to 2n bits via labelled PRF blocks.
+  Bytes material;
+  unsigned counter = 0;
+  const Bytes nonces = concat(nonce_v, nonce_p);
+  while (material.size() * 8 < 2 * static_cast<std::size_t>(n)) {
+    Bytes input = nonces;
+    input.push_back(static_cast<std::uint8_t>(counter++));
+    const crypto::Digest d = crypto::prf(secret, "hk-registers", input);
+    append(material, BytesView(d.data(), d.size()));
+  }
+  const auto bits = unpack_bits(material, 2 * n);
+  l_.assign(bits.begin(), bits.begin() + n);
+  r_.assign(bits.begin() + n, bits.end());
+}
+
+bool HkProver::respond(unsigned round, bool challenge) const {
+  if (round >= l_.size()) {
+    throw InvalidArgument("HkProver::respond: round out of range");
+  }
+  return challenge ? r_[round] : l_[round];
+}
+
+HkSessionResult run_hancke_kuhn(SimClock& clock, Millis one_way,
+                                const ExchangeParams& params,
+                                BytesView secret, Rng& rng,
+                                const BitResponder* attacker) {
+  HkSessionResult result;
+  // Initialisation phase (not time-critical): nonce exchange over the same
+  // link (one message each way).
+  result.nonce_v = rng.next_bytes(16);
+  clock.advance(one_way);
+  result.nonce_p = rng.next_bytes(16);
+  clock.advance(one_way);
+
+  const HkProver prover(secret, result.nonce_v, result.nonce_p, params.rounds);
+
+  const BitResponder honest = [&prover](unsigned i, bool c) {
+    return prover.respond(i, c);
+  };
+  const BitResponder expected = honest;  // verifier derives the same registers
+
+  result.exchange = run_bit_exchange(
+      clock, one_way, params, attacker ? *attacker : honest, expected, rng);
+  return result;
+}
+
+}  // namespace geoproof::distbound

@@ -1,0 +1,56 @@
+// Hancke-Kuhn distance-bounding protocol (Fig. 2).
+//
+// Initialisation: V and P share a secret s; they exchange nonces rA (from V)
+// and rB (from P), derive d = h(s, rA || rB) and split it into two n-bit
+// registers l and r. Rapid phase: challenge bit a_i selects the register;
+// the response is l[i] (a_i = 0) or r[i] (a_i = 1). Verification checks
+// every bit and every round-trip time.
+//
+// Known limits reproduced by the attack simulators: a mafia-fraud adversary
+// who pre-asks the prover succeeds per round with probability 3/4, and the
+// protocol does not resist terrorist fraud (handing l, r to an accomplice
+// does not expose the long-term secret).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "distbound/bit_exchange.hpp"
+
+namespace geoproof::distbound {
+
+/// The prover's precomputed state for one session.
+class HkProver {
+ public:
+  /// `secret`: long-term shared secret. `nonce_v`/`nonce_p`: the exchanged
+  /// nonces. `n`: number of rounds.
+  HkProver(BytesView secret, BytesView nonce_v, BytesView nonce_p, unsigned n);
+
+  bool respond(unsigned round, bool challenge) const;
+
+  /// Register access for attack modelling (a terrorist prover hands these
+  /// to its accomplice).
+  const std::vector<bool>& reg_l() const { return l_; }
+  const std::vector<bool>& reg_r() const { return r_; }
+
+ private:
+  std::vector<bool> l_;
+  std::vector<bool> r_;
+};
+
+struct HkSessionResult {
+  ExchangeResult exchange;
+  Bytes nonce_v;
+  Bytes nonce_p;
+};
+
+/// Runs a full Hancke-Kuhn session (nonce exchange + timed phase) between a
+/// verifier and a prover that answers through `responder` — pass
+/// HkProver::respond for an honest run, or an attack responder. `expected`
+/// is always computed from the genuine secret.
+HkSessionResult run_hancke_kuhn(SimClock& clock, Millis one_way,
+                                const ExchangeParams& params,
+                                BytesView secret, Rng& rng,
+                                const BitResponder* attacker = nullptr);
+
+}  // namespace geoproof::distbound

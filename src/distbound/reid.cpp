@@ -1,0 +1,66 @@
+#include "distbound/reid.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+
+namespace geoproof::distbound {
+
+ReidProver::ReidProver(BytesView secret, std::string id_v, std::string id_p,
+                       BytesView nonce_v, BytesView nonce_p, unsigned n) {
+  // k = KDF(s, IDV || IDP || rA || rB), stretched to n bits.
+  Bytes info = bytes_of(id_v);
+  append(info, bytes_of("|"));
+  append(info, bytes_of(id_p));
+  append(info, nonce_v);
+  append(info, nonce_p);
+  const std::size_t nbytes = (n + 7) / 8;
+  const Bytes k_material =
+      crypto::hkdf(bytes_of("reid-session-key"), secret, info, nbytes);
+  k_ = unpack_bits(k_material, n);
+
+  // e = ENC_k(s): one-time-pad of the secret's leading bits under k.
+  const Bytes s_material = crypto::hkdf(bytes_of("reid-secret-bits"), secret,
+                                        bytes_of("registers"), nbytes);
+  const auto s_bits = unpack_bits(s_material, n);
+  e_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) e_.push_back(k_[i] ^ s_bits[i]);
+}
+
+bool ReidProver::respond(unsigned round, bool challenge) const {
+  if (round >= k_.size()) {
+    throw InvalidArgument("ReidProver::respond: round out of range");
+  }
+  return challenge ? e_[round] : k_[round];
+}
+
+std::vector<bool> ReidProver::secret_bits_leaked_by_registers() const {
+  std::vector<bool> s;
+  s.reserve(k_.size());
+  for (std::size_t i = 0; i < k_.size(); ++i) s.push_back(k_[i] ^ e_[i]);
+  return s;
+}
+
+ReidSessionResult run_reid(SimClock& clock, Millis one_way,
+                           const ExchangeParams& params, BytesView secret,
+                           const std::string& id_v, const std::string& id_p,
+                           Rng& rng, const BitResponder* attacker) {
+  ReidSessionResult result;
+  // Initialisation: identities and nonces cross the link (Fig. 3).
+  result.nonce_v = rng.next_bytes(16);
+  clock.advance(one_way);
+  result.nonce_p = rng.next_bytes(16);
+  clock.advance(one_way);
+
+  const ReidProver prover(secret, id_v, id_p, result.nonce_v, result.nonce_p,
+                          params.rounds);
+  const BitResponder honest = [&prover](unsigned i, bool c) {
+    return prover.respond(i, c);
+  };
+  result.exchange = run_bit_exchange(clock, one_way, params,
+                                     attacker ? *attacker : honest, honest,
+                                     rng);
+  return result;
+}
+
+}  // namespace geoproof::distbound

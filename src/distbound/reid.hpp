@@ -1,0 +1,54 @@
+// Reid et al. distance-bounding protocol (Fig. 3) — the first symmetric-key
+// protocol resistant to terrorist fraud.
+//
+// Initialisation: V and P exchange identities and nonces, derive a session
+// key k = KDF(s, IDV || IDP || rA || rB) and compute e = ENC_k(s) (here a
+// one-time-pad of the secret under the session key, which preserves the
+// property the construction needs: k XOR e = s). Rapid phase: challenge bit
+// selects between registers k and e.
+//
+// Terrorist-fraud resistance: an accomplice needs both registers to answer
+// every challenge, and k plus e together reveal the long-term secret s —
+// so a prover cannot delegate without surrendering its key. The attack
+// simulator exposes exactly this leak.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "distbound/bit_exchange.hpp"
+
+namespace geoproof::distbound {
+
+class ReidProver {
+ public:
+  ReidProver(BytesView secret, std::string id_v, std::string id_p,
+             BytesView nonce_v, BytesView nonce_p, unsigned n);
+
+  bool respond(unsigned round, bool challenge) const;
+
+  const std::vector<bool>& reg_k() const { return k_; }
+  const std::vector<bool>& reg_e() const { return e_; }
+
+  /// What a terrorist accomplice learns from both registers: k XOR e,
+  /// which equals the n leading bits of the long-term secret.
+  std::vector<bool> secret_bits_leaked_by_registers() const;
+
+ private:
+  std::vector<bool> k_;
+  std::vector<bool> e_;
+};
+
+struct ReidSessionResult {
+  ExchangeResult exchange;
+  Bytes nonce_v;
+  Bytes nonce_p;
+};
+
+ReidSessionResult run_reid(SimClock& clock, Millis one_way,
+                           const ExchangeParams& params, BytesView secret,
+                           const std::string& id_v, const std::string& id_p,
+                           Rng& rng, const BitResponder* attacker = nullptr);
+
+}  // namespace geoproof::distbound

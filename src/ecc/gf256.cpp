@@ -1,0 +1,69 @@
+#include "ecc/gf256.hpp"
+
+#include "common/errors.hpp"
+
+namespace geoproof::ecc {
+namespace gf {
+
+namespace {
+
+constexpr unsigned kPoly = 0x11d;
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    // Double the exp table so mul can index log(a)+log(b) directly.
+    for (unsigned i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+    log[0] = 0;  // sentinel; callers must not take log(0)
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 512>& exp_table() { return tables().exp; }
+const std::array<std::uint8_t, 256>& log_table() { return tables().log; }
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw InvalidArgument("gf::inv: zero has no inverse");
+  const Tables& t = tables();
+  return t.exp[255u - t.log[a]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw InvalidArgument("gf::div: division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255u - t.log[b]];
+}
+
+std::uint8_t exp(unsigned i) { return tables().exp[i % 255u]; }
+
+unsigned log(std::uint8_t a) {
+  if (a == 0) throw InvalidArgument("gf::log: log of zero");
+  return tables().log[a];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned n) {
+  if (a == 0) return n == 0 ? std::uint8_t{1} : std::uint8_t{0};
+  const unsigned l = (gf::log(a) * static_cast<unsigned long long>(n)) % 255u;
+  return tables().exp[l];
+}
+
+}  // namespace gf
+}  // namespace geoproof::ecc

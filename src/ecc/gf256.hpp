@@ -1,0 +1,49 @@
+// Arithmetic in GF(2^8) with the Reed-Solomon field polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator element 0x02.
+//
+// Tables are built once at static initialisation; all operations are
+// branch-light table lookups.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace geoproof::ecc {
+
+namespace gf {
+
+/// alpha^i for i in [0, 255); exp table is doubled to avoid a mod in mul.
+const std::array<std::uint8_t, 512>& exp_table();
+/// log_alpha(x) for x in [1, 255].
+const std::array<std::uint8_t, 256>& log_table();
+
+inline std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+/// Multiplication is the decoder's hot path: inline table lookups.
+inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& exp = exp_table();
+  const auto& log = log_table();
+  return exp[static_cast<std::size_t>(log[a]) + log[b]];
+}
+
+/// Multiplicative inverse; a must be non-zero (throws InvalidArgument).
+std::uint8_t inv(std::uint8_t a);
+
+/// a / b; b must be non-zero.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// alpha^i (i may be any non-negative integer).
+std::uint8_t exp(unsigned i);
+
+/// log_alpha(a); a must be non-zero.
+unsigned log(std::uint8_t a);
+
+/// a^n.
+std::uint8_t pow(std::uint8_t a, unsigned n);
+
+}  // namespace gf
+
+}  // namespace geoproof::ecc

@@ -1,0 +1,229 @@
+#include "geoloc/schemes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/errors.hpp"
+
+namespace geoproof::geoloc {
+
+using net::GeoPoint;
+using net::haversine;
+
+std::vector<Landmark> australian_landmarks() {
+  return {
+      {"Brisbane", net::places::brisbane()},
+      {"Armidale", net::places::armidale()},
+      {"Sydney", net::places::sydney()},
+      {"Townsville", net::places::townsville()},
+      {"Melbourne", net::places::melbourne()},
+      {"Adelaide", net::places::adelaide()},
+      {"Hobart", net::places::hobart()},
+      {"Perth", net::places::perth()},
+  };
+}
+
+RttProbe honest_probe(const net::InternetModel& model, GeoPoint true_pos,
+                      std::uint64_t jitter_seed) {
+  if (jitter_seed == 0) {
+    return [model, true_pos](const Landmark& lm) {
+      return model.rtt(haversine(lm.pos, true_pos));
+    };
+  }
+  auto rng = std::make_shared<Rng>(jitter_seed);
+  return [model, true_pos, rng](const Landmark& lm) {
+    return model.sample_rtt(haversine(lm.pos, true_pos), *rng);
+  };
+}
+
+RttProbe delay_padded_probe(RttProbe inner, Millis padding) {
+  if (!inner) throw InvalidArgument("delay_padded_probe: null probe");
+  if (padding.count() < 0) {
+    throw InvalidArgument("delay_padded_probe: negative padding (a target "
+                          "cannot answer faster than physics)");
+  }
+  return [inner = std::move(inner), padding](const Landmark& lm) {
+    return inner(lm) + padding;
+  };
+}
+
+GeoPing::GeoPing(std::vector<Landmark> landmarks)
+    : landmarks_(std::move(landmarks)) {
+  if (landmarks_.empty()) throw InvalidArgument("GeoPing: no landmarks");
+}
+
+GeoPoint GeoPing::locate(const RttProbe& probe) const {
+  const Landmark* best = nullptr;
+  Millis best_rtt{std::numeric_limits<double>::infinity()};
+  for (const Landmark& lm : landmarks_) {
+    const Millis rtt = probe(lm);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = &lm;
+    }
+  }
+  return best->pos;
+}
+
+namespace {
+
+struct BoundingBox {
+  double lat_min, lat_max, lon_min, lon_max;
+};
+
+BoundingBox landmarks_box(const std::vector<Landmark>& landmarks,
+                          double margin_deg) {
+  BoundingBox box{90.0, -90.0, 180.0, -180.0};
+  for (const Landmark& lm : landmarks) {
+    box.lat_min = std::min(box.lat_min, lm.pos.lat_deg);
+    box.lat_max = std::max(box.lat_max, lm.pos.lat_deg);
+    box.lon_min = std::min(box.lon_min, lm.pos.lon_deg);
+    box.lon_max = std::max(box.lon_max, lm.pos.lon_deg);
+  }
+  box.lat_min -= margin_deg;
+  box.lat_max += margin_deg;
+  box.lon_min -= margin_deg;
+  box.lon_max += margin_deg;
+  return box;
+}
+
+}  // namespace
+
+OctantLite::OctantLite(std::vector<Landmark> landmarks,
+                       net::InternetModel model, double inner_fraction,
+                       unsigned grid)
+    : landmarks_(std::move(landmarks)),
+      model_(model),
+      inner_fraction_(inner_fraction),
+      grid_(grid) {
+  if (landmarks_.empty()) throw InvalidArgument("OctantLite: no landmarks");
+  if (inner_fraction_ < 0.0 || inner_fraction_ >= 1.0) {
+    throw InvalidArgument("OctantLite: inner_fraction must be in [0, 1)");
+  }
+  if (grid_ < 4) throw InvalidArgument("OctantLite: grid too small");
+}
+
+OctantLite::Region OctantLite::locate(const RttProbe& probe) const {
+  std::vector<Kilometers> outer(landmarks_.size());
+  std::vector<Kilometers> inner(landmarks_.size());
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    // Octant's "positive constraint": the target lies within the delay-
+    // derived distance; the inner radius discards the implausibly close.
+    // A slack factor absorbs jitter and route stretch.
+    const Millis rtt = probe(landmarks_[i]);
+    const Kilometers d = model_.distance_for_rtt(rtt);
+    outer[i] = Kilometers{d.value * 1.5 + 100.0};
+    inner[i] = Kilometers{d.value * inner_fraction_};
+  }
+
+  const BoundingBox box = landmarks_box(landmarks_, 8.0);
+  const double dlat = (box.lat_max - box.lat_min) / grid_;
+  const double dlon = (box.lon_max - box.lon_min) / grid_;
+
+  double sum_lat = 0.0, sum_lon = 0.0;
+  std::size_t feasible = 0;
+  double cell_area_sum = 0.0;
+  for (unsigned gy = 0; gy < grid_; ++gy) {
+    for (unsigned gx = 0; gx < grid_; ++gx) {
+      const GeoPoint p{box.lat_min + (gy + 0.5) * dlat,
+                       box.lon_min + (gx + 0.5) * dlon};
+      bool ok = true;
+      for (std::size_t i = 0; i < landmarks_.size() && ok; ++i) {
+        const double d = haversine(landmarks_[i].pos, p).value;
+        ok = d >= inner[i].value && d <= outer[i].value;
+      }
+      if (ok) {
+        sum_lat += p.lat_deg;
+        sum_lon += p.lon_deg;
+        ++feasible;
+        // Cell area: 111 km per degree latitude, scaled by cos(lat) in
+        // longitude.
+        const double km_lat = dlat * 111.0;
+        const double km_lon =
+            dlon * 111.0 * std::cos(p.lat_deg * std::numbers::pi / 180.0);
+        cell_area_sum += km_lat * std::abs(km_lon);
+      }
+    }
+  }
+
+  Region region;
+  if (feasible == 0) return region;  // empty
+  region.empty = false;
+  region.centroid = GeoPoint{sum_lat / static_cast<double>(feasible),
+                             sum_lon / static_cast<double>(feasible)};
+  region.area_km2 = cell_area_sum;
+  return region;
+}
+
+TbgMultilateration::TbgMultilateration(std::vector<Landmark> landmarks,
+                                       net::InternetModel model, unsigned grid,
+                                       unsigned refinements)
+    : landmarks_(std::move(landmarks)),
+      model_(model),
+      grid_(grid),
+      refinements_(refinements) {
+  if (landmarks_.size() < 3) {
+    throw InvalidArgument("TbgMultilateration: need >= 3 landmarks");
+  }
+  if (grid_ < 4) throw InvalidArgument("TbgMultilateration: grid too small");
+}
+
+double TbgMultilateration::cost(const GeoPoint& candidate,
+                                const std::vector<Kilometers>& dists) const {
+  double c = 0.0;
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    const double err =
+        haversine(landmarks_[i].pos, candidate).value - dists[i].value;
+    c += err * err;
+  }
+  return c;
+}
+
+GeoPoint TbgMultilateration::locate(const RttProbe& probe) const {
+  std::vector<Kilometers> dists(landmarks_.size());
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    dists[i] = model_.distance_for_rtt(probe(landmarks_[i]));
+  }
+
+  BoundingBox box = landmarks_box(landmarks_, 8.0);
+  GeoPoint best{};
+  for (unsigned level = 0; level <= refinements_; ++level) {
+    const double dlat = (box.lat_max - box.lat_min) / grid_;
+    const double dlon = (box.lon_max - box.lon_min) / grid_;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (unsigned gy = 0; gy <= grid_; ++gy) {
+      for (unsigned gx = 0; gx <= grid_; ++gx) {
+        const GeoPoint p{box.lat_min + gy * dlat, box.lon_min + gx * dlon};
+        const double c = cost(p, dists);
+        if (c < best_cost) {
+          best_cost = c;
+          best = p;
+        }
+      }
+    }
+    // Zoom into a 3x3-cell window around the winner.
+    box = BoundingBox{best.lat_deg - 1.5 * dlat, best.lat_deg + 1.5 * dlat,
+                      best.lon_deg - 1.5 * dlon, best.lon_deg + 1.5 * dlon};
+  }
+  return best;
+}
+
+void IpMappingDb::add(std::string hostname, GeoPoint pos) {
+  entries_[std::move(hostname)] = pos;
+}
+
+GeoPoint IpMappingDb::locate(const std::string& hostname) const {
+  const auto it = entries_.find(hostname);
+  if (it == entries_.end()) {
+    throw InvalidArgument("IpMappingDb: unknown host " + hostname);
+  }
+  return it->second;
+}
+
+bool IpMappingDb::contains(const std::string& hostname) const {
+  return entries_.count(hostname) > 0;
+}
+
+}  // namespace geoproof::geoloc

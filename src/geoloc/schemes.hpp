@@ -1,0 +1,119 @@
+// Baseline Internet geolocation schemes reviewed in §III-B, implemented as
+// faithful simplifications so the benches can quantify the paper's two
+// claims about them: (1) accuracy is rough — worst-case errors beyond
+// 1000 km [23]; (2) security is absent — a malicious target that pads its
+// response delay (or lies in a mapping database) displaces every estimate,
+// whereas added delay can only make a GeoProof prover look *farther* away.
+//
+//  - GeoPing [33]: nearest-landmark delay mapping.
+//  - Octant [45] (simplified): per-landmark distance annuli intersected on a
+//    grid; returns the feasible region's centroid and area.
+//  - TBG [23] (simplified): delay-derived distances fed to least-squares
+//    multilateration via coarse-to-fine grid search.
+//  - GeoTrack/GeoCluster-style IP mapping [33]: database lookup, optionally
+//    poisoned by the adversary.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/geo.hpp"
+#include "net/latency.hpp"
+
+namespace geoproof::geoloc {
+
+struct Landmark {
+  std::string name;
+  net::GeoPoint pos;
+};
+
+/// Measurement oracle: RTT from a landmark to the target. Honest targets
+/// answer with true network delay; adversarial targets may pad.
+using RttProbe = std::function<Millis(const Landmark&)>;
+
+/// Default landmark set: the eight Australian capitals/centres used across
+/// the paper's Table III survey.
+std::vector<Landmark> australian_landmarks();
+
+/// Honest target: RTT follows the Internet model for the true distance,
+/// with jitter when `jitter_seed != 0`.
+RttProbe honest_probe(const net::InternetModel& model, net::GeoPoint true_pos,
+                      std::uint64_t jitter_seed = 0);
+
+/// Delay-padding adversary: wraps a probe and adds `padding` to every
+/// measurement (a malicious host cannot *reduce* its RTT below physics, but
+/// inflating it is trivial).
+RttProbe delay_padded_probe(RttProbe inner, Millis padding);
+
+/// GeoPing: the estimate is the position of the landmark with minimum RTT.
+class GeoPing {
+ public:
+  explicit GeoPing(std::vector<Landmark> landmarks);
+
+  net::GeoPoint locate(const RttProbe& probe) const;
+
+ private:
+  std::vector<Landmark> landmarks_;
+};
+
+/// Simplified Octant: each landmark contributes an annulus
+/// [inner_fraction * d_i, d_i] around itself, where d_i is the model-derived
+/// distance estimate; the feasible region is the grid intersection.
+class OctantLite {
+ public:
+  struct Region {
+    net::GeoPoint centroid;
+    double area_km2 = 0.0;
+    bool empty = true;
+  };
+
+  OctantLite(std::vector<Landmark> landmarks, net::InternetModel model,
+             double inner_fraction = 0.3, unsigned grid = 64);
+
+  Region locate(const RttProbe& probe) const;
+
+ private:
+  std::vector<Landmark> landmarks_;
+  net::InternetModel model_;
+  double inner_fraction_;
+  unsigned grid_;
+};
+
+/// Simplified Topology-Based Geolocation: least-squares multilateration on
+/// delay-derived distances, solved by coarse-to-fine grid refinement.
+class TbgMultilateration {
+ public:
+  TbgMultilateration(std::vector<Landmark> landmarks, net::InternetModel model,
+                     unsigned grid = 32, unsigned refinements = 4);
+
+  net::GeoPoint locate(const RttProbe& probe) const;
+
+ private:
+  double cost(const net::GeoPoint& candidate,
+              const std::vector<Kilometers>& dists) const;
+
+  std::vector<Landmark> landmarks_;
+  net::InternetModel model_;
+  unsigned grid_;
+  unsigned refinements_;
+};
+
+/// IP-mapping database (GeoTrack/GeoCluster flavour): hostname -> recorded
+/// location. The *database owner* controls entries, so a lying provider (or
+/// a stale whois record) displaces the estimate arbitrarily.
+class IpMappingDb {
+ public:
+  void add(std::string hostname, net::GeoPoint pos);
+  /// Throws InvalidArgument for unknown hosts.
+  net::GeoPoint locate(const std::string& hostname) const;
+  bool contains(const std::string& hostname) const;
+
+ private:
+  std::map<std::string, net::GeoPoint> entries_;
+};
+
+}  // namespace geoproof::geoloc

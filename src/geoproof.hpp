@@ -1,0 +1,71 @@
+// Umbrella header: the GeoProof public API in one include.
+//
+//   #include "geoproof.hpp"
+//
+// For finer-grained builds include the per-module headers directly; the
+// library layering is common -> crypto/ecc/net -> storage/geoloc/distbound
+// -> por -> core (see README.md).
+#pragma once
+
+// Foundations
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/units.hpp"
+
+// Cryptographic substrate
+#include "crypto/aes.hpp"
+#include "crypto/aes_ctr.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/mac.hpp"
+#include "crypto/prp.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+
+// Error correction
+#include "ecc/block_code.hpp"
+#include "ecc/gf256.hpp"
+#include "ecc/reed_solomon.hpp"
+
+// Storage and network substrates
+#include "net/channel.hpp"
+#include "net/geo.hpp"
+#include "net/latency.hpp"
+#include "net/tcp.hpp"
+#include "storage/block_store.hpp"
+#include "storage/disk_model.hpp"
+
+// Baselines the paper argues against
+#include "distbound/attacks.hpp"
+#include "distbound/brands_chaum.hpp"
+#include "distbound/hancke_kuhn.hpp"
+#include "distbound/reid.hpp"
+#include "geoloc/schemes.hpp"
+
+// Proof of storage
+#include "por/analysis.hpp"
+#include "por/dynamic.hpp"
+#include "por/encoded_io.hpp"
+#include "por/encoder.hpp"
+#include "por/merkle.hpp"
+#include "por/params.hpp"
+#include "por/sentinel.hpp"
+
+// GeoProof
+#include "core/audit_service.hpp"
+#include "core/auditor.hpp"
+#include "core/deployment.hpp"
+#include "core/dynamic_geoproof.hpp"
+#include "core/gps.hpp"
+#include "core/multi_auditor.hpp"
+#include "core/policy.hpp"
+#include "core/provider.hpp"
+#include "core/replication.hpp"
+#include "core/sentinel_geoproof.hpp"
+#include "core/transcript.hpp"
+#include "core/verifier.hpp"

@@ -1,0 +1,92 @@
+// Request/response channel abstraction used by every protocol engine in the
+// library, plus simulated implementations and the audit timer.
+//
+// GeoProof's timed phase is strictly sequential (send index, await segment),
+// so a blocking request() is the honest model of the wire interaction. The
+// same protocol code runs over a virtual-time channel (deterministic
+// benches) or a real TCP connection (integration tests) by swapping the
+// channel and the timer.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/latency.hpp"
+
+namespace geoproof::net {
+
+/// Blocking request/response transport.
+class RequestChannel {
+ public:
+  virtual ~RequestChannel() = default;
+  virtual Bytes request(BytesView message) = 0;
+};
+
+/// The server side of a channel: consumes a request, produces a response.
+using RequestHandler = std::function<Bytes(BytesView)>;
+
+/// Monotone timer the verifier device uses to stamp its stopwatch. The
+/// simulated variant reads the shared SimClock; the wall-clock variant reads
+/// std::chrono::steady_clock.
+class AuditTimer {
+ public:
+  virtual ~AuditTimer() = default;
+  virtual Millis now() const = 0;
+};
+
+class SimAuditTimer final : public AuditTimer {
+ public:
+  explicit SimAuditTimer(const SimClock& clock) : clock_(&clock) {}
+  Millis now() const override { return to_millis(clock_->now()); }
+
+ private:
+  const SimClock* clock_;
+};
+
+class SteadyAuditTimer final : public AuditTimer {
+ public:
+  SteadyAuditTimer();
+  Millis now() const override;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Simulated channel: charges per-direction latency to a SimClock around a
+/// handler that executes "at the far end" (and may itself charge latency,
+/// e.g. a SimulatedDiskStore look-up).
+class SimRequestChannel final : public RequestChannel {
+ public:
+  /// One-way latency as a function of message size.
+  using LatencyFn = std::function<Millis(std::size_t bytes)>;
+
+  SimRequestChannel(SimClock& clock, LatencyFn one_way, RequestHandler handler);
+
+  Bytes request(BytesView message) override;
+
+  /// Number of completed request/response exchanges.
+  std::uint64_t exchanges() const { return exchanges_; }
+
+ private:
+  SimClock* clock_;
+  LatencyFn one_way_;
+  RequestHandler handler_;
+  std::uint64_t exchanges_ = 0;
+};
+
+/// One-way LAN latency function at a fixed distance (with optional jitter
+/// drawn from an owned deterministic Rng).
+SimRequestChannel::LatencyFn lan_latency(LanModel model, Kilometers distance,
+                                         std::uint64_t jitter_seed = 0);
+
+/// One-way Internet latency at a fixed distance (bytes-independent; the
+/// Internet model works in RTT terms). Used to build relay paths.
+SimRequestChannel::LatencyFn internet_latency(InternetModel model,
+                                              Kilometers distance,
+                                              std::uint64_t jitter_seed = 0);
+
+}  // namespace geoproof::net

@@ -1,0 +1,64 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geoproof::net {
+
+Millis LanModel::one_way(Kilometers distance, std::size_t bytes) const {
+  const Millis propagation = travel_time(distance, params_.propagation_speed);
+  const Millis switching{params_.per_switch_delay.count() *
+                         params_.switch_hops};
+  // Transmission: bits / (Mbps * 1000 bits-per-ms).
+  const Millis transmission{static_cast<double>(bytes) * 8.0 /
+                            (params_.link_rate_mbps * 1e3)};
+  return propagation + switching + transmission;
+}
+
+Millis LanModel::sample_one_way(Kilometers distance, std::size_t bytes,
+                                Rng& rng) const {
+  const Millis base = one_way(distance, bytes);
+  if (params_.jitter_stddev_ms <= 0.0) return base;
+  // One-sided queueing jitter: |N(0, sigma)| so load can only add delay.
+  const double jitter =
+      std::abs(rng.next_gaussian()) * params_.jitter_stddev_ms;
+  return base + Millis{jitter};
+}
+
+Millis LanModel::rtt(Kilometers distance, std::size_t request_bytes,
+                     std::size_t response_bytes) const {
+  return one_way(distance, request_bytes) + one_way(distance, response_bytes);
+}
+
+Millis InternetModel::rtt(Kilometers distance) const {
+  const Kilometers path{distance.value / params_.route_efficiency};
+  const Millis propagation = travel_time(path, params_.propagation_speed);
+  return params_.base_rtt + propagation + propagation;  // out + back
+}
+
+Millis InternetModel::one_way(Kilometers distance) const {
+  return Millis{rtt(distance).count() / 2.0};
+}
+
+Kilometers InternetModel::distance_for_rtt(Millis rtt) const {
+  const double prop_ms = (rtt - params_.base_rtt).count() / 2.0;
+  if (prop_ms <= 0.0) return Kilometers{0.0};
+  return Kilometers{prop_ms * params_.propagation_speed.value *
+                    params_.route_efficiency};
+}
+
+Kilometers InternetModel::upper_bound_distance(Millis rtt) const {
+  return distance_covered(Millis{rtt.count() / 2.0},
+                          params_.propagation_speed);
+}
+
+Millis InternetModel::sample_rtt(Kilometers distance, Rng& rng) const {
+  const Millis base = rtt(distance);
+  if (params_.jitter_stddev_ms <= 0.0) return base;
+  const double jitter = rng.next_gaussian() * params_.jitter_stddev_ms;
+  // Jitter can shave a little (queue variance) but never below 60% of the
+  // deterministic floor - light cannot be outrun.
+  return Millis{std::max(base.count() + jitter, base.count() * 0.6)};
+}
+
+}  // namespace geoproof::net

@@ -1,0 +1,87 @@
+// Network latency models (§V-E LAN, §V-F Internet).
+//
+// LAN one-way latency = propagation (fibre, 2/3 c) + switching + Ethernet
+// transmission delay. Internet RTT = access-link base + propagation at the
+// effective Internet speed (4/9 c) stretched by a route-indirectness factor,
+// plus jitter. The Internet defaults are calibrated so the model reproduces
+// the shape and magnitude of the paper's Table III survey (Brisbane ADSL2,
+// 18-82 ms over 8-3605 km).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace geoproof::net {
+
+struct LanModelParams {
+  KmPerMs propagation_speed = speeds::kLightFibre;  // 200 km/ms
+  unsigned switch_hops = 2;
+  /// Per-switch forwarding delay; store-and-forward switches add ~5 us.
+  Millis per_switch_delay{0.005};
+  double link_rate_mbps = 1000.0;  // Gigabit Ethernet
+  /// Lognormal-ish load jitter; 0 disables.
+  double jitter_stddev_ms = 0.01;
+};
+
+class LanModel {
+ public:
+  explicit LanModel(LanModelParams params = {}) : params_(params) {}
+
+  const LanModelParams& params() const { return params_; }
+
+  /// Deterministic one-way latency for a message of `bytes` over `distance`.
+  Millis one_way(Kilometers distance, std::size_t bytes) const;
+
+  /// One-way latency with load jitter sampled from `rng`.
+  Millis sample_one_way(Kilometers distance, std::size_t bytes, Rng& rng) const;
+
+  /// Round trip of a request/response pair (sizes may differ).
+  Millis rtt(Kilometers distance, std::size_t request_bytes,
+             std::size_t response_bytes) const;
+
+ private:
+  LanModelParams params_;
+};
+
+struct InternetModelParams {
+  KmPerMs propagation_speed = speeds::kInternetEffective;  // 4/9 c
+  /// Fixed RTT floor: access links, first/last-mile equipment. Calibrated
+  /// on Table III's Brisbane rows (18-20 ms at ~10 km).
+  Millis base_rtt{17.0};
+  /// Routes are not geodesics; effective path length = distance / efficiency.
+  double route_efficiency = 0.83;
+  /// Gaussian jitter on the RTT; 0 disables.
+  double jitter_stddev_ms = 1.5;
+};
+
+class InternetModel {
+ public:
+  explicit InternetModel(InternetModelParams params = {}) : params_(params) {}
+
+  const InternetModelParams& params() const { return params_; }
+
+  /// Deterministic round-trip time over `distance`.
+  Millis rtt(Kilometers distance) const;
+
+  /// One-way time (half the deterministic RTT).
+  Millis one_way(Kilometers distance) const;
+
+  /// RTT with jitter.
+  Millis sample_rtt(Kilometers distance, Rng& rng) const;
+
+  /// Inverse of rtt(): the distance whose deterministic RTT is `rtt`
+  /// (0 km when rtt <= base). Geolocation schemes use this to turn a delay
+  /// measurement into a distance estimate.
+  Kilometers distance_for_rtt(Millis rtt) const;
+
+  /// Conservative *physical* bound: no matter how the adversary engineers
+  /// the path, data cannot travel farther than rtt/2 at the effective
+  /// Internet speed (§V-C(b)'s 4/9 c argument). Ignores base latency and
+  /// route stretch, so it can only over-estimate reachable distance.
+  Kilometers upper_bound_distance(Millis rtt) const;
+
+ private:
+  InternetModelParams params_;
+};
+
+}  // namespace geoproof::net

@@ -1,0 +1,191 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace geoproof::net {
+
+namespace {
+constexpr std::size_t kMaxFrame = 64u * 1024 * 1024;
+
+void send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void recv_exact(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) throw NetError("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void send_frame(const Socket& sock, BytesView payload) {
+  if (!sock.valid()) throw NetError("send_frame: invalid socket");
+  if (payload.size() > kMaxFrame) throw NetError("send_frame: frame too large");
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(len >> 24);
+  header[1] = static_cast<std::uint8_t>(len >> 16);
+  header[2] = static_cast<std::uint8_t>(len >> 8);
+  header[3] = static_cast<std::uint8_t>(len);
+  send_all(sock.fd(), header, 4);
+  if (!payload.empty()) send_all(sock.fd(), payload.data(), payload.size());
+}
+
+Bytes recv_frame(const Socket& sock) {
+  if (!sock.valid()) throw NetError("recv_frame: invalid socket");
+  std::uint8_t header[4];
+  recv_exact(sock.fd(), header, 4);
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (len > kMaxFrame) throw NetError("recv_frame: frame too large");
+  Bytes payload(len);
+  if (len > 0) recv_exact(sock.fd(), payload.data(), len);
+  return payload;
+}
+
+TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {
+  if (!handler_) throw InvalidArgument("TcpServer: null handler");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError("TcpServer: socket() failed");
+  listener_ = Socket(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw NetError(std::string("TcpServer: bind failed: ") +
+                   std::strerror(errno));
+  }
+  socklen_t addrlen = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addrlen) != 0) {
+    throw NetError("TcpServer: getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(fd, 8) != 0) {
+    throw NetError(std::string("TcpServer: listen failed: ") +
+                   std::strerror(errno));
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Unblock accept() by shutting the listener down.
+  ::shutdown(listener_.fd(), SHUT_RDWR);
+  listener_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpServer::serve_loop() {
+  while (running_.load()) {
+    const int cfd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (cfd < 0) {
+      if (!running_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener gone
+    }
+    Socket client(cfd);
+    set_nodelay(cfd);
+    try {
+      for (;;) {
+        const Bytes req = recv_frame(client);
+        const Bytes resp = handler_(req);
+        send_frame(client, resp);
+      }
+    } catch (const NetError&) {
+      // Peer closed or I/O error: drop the connection, keep serving.
+    } catch (const Error&) {
+      // Handler rejected the request: drop the connection. A production
+      // server would answer with an error frame; for the reproduction the
+      // auditors treat a dropped connection as a failed audit.
+    }
+  }
+}
+
+TcpRequestChannel::TcpRequestChannel(const std::string& host,
+                                     std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError("TcpRequestChannel: socket() failed");
+  sock_ = Socket(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("TcpRequestChannel: bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw NetError(std::string("TcpRequestChannel: connect failed: ") +
+                   std::strerror(errno));
+  }
+  set_nodelay(fd);
+}
+
+Bytes TcpRequestChannel::request(BytesView message) {
+  send_frame(sock_, message);
+  return recv_frame(sock_);
+}
+
+}  // namespace geoproof::net

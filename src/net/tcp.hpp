@@ -1,0 +1,80 @@
+// Minimal real-TCP transport: length-prefixed frames over loopback.
+//
+// The "manual networking" path of the reproduction: the same protocol
+// engines that run on the simulator also run over genuine sockets, so the
+// timing code path is exercised against a real kernel network stack.
+// Framing: 4-byte big-endian length + payload (64 MiB cap).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "net/channel.hpp"
+
+namespace geoproof::net {
+
+/// RAII file-descriptor wrapper (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Write a length-prefixed frame; throws NetError on failure.
+void send_frame(const Socket& sock, BytesView payload);
+
+/// Read one frame; throws NetError on failure or orderly peer close.
+Bytes recv_frame(const Socket& sock);
+
+/// Single-threaded request/response server on 127.0.0.1 with an ephemeral
+/// port. Connections are served sequentially; each connection is a stream of
+/// frames answered by `handler`. Destruction stops the accept loop.
+class TcpServer {
+ public:
+  explicit TcpServer(RequestHandler handler);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  void serve_loop();
+
+  RequestHandler handler_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
+/// Client-side RequestChannel over a persistent TCP connection.
+class TcpRequestChannel final : public RequestChannel {
+ public:
+  TcpRequestChannel(const std::string& host, std::uint16_t port);
+
+  Bytes request(BytesView message) override;
+
+ private:
+  Socket sock_;
+};
+
+}  // namespace geoproof::net

@@ -1,0 +1,80 @@
+#include "por/analysis.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace geoproof::por {
+
+double detection_probability(std::uint64_t n_segments,
+                             std::uint64_t n_corrupted, unsigned k) {
+  if (n_segments == 0) throw InvalidArgument("detection_probability: n == 0");
+  if (n_corrupted > n_segments) {
+    throw InvalidArgument("detection_probability: m > n");
+  }
+  if (n_corrupted == 0) return 0.0;
+  if (k >= n_segments - n_corrupted + 1) return 1.0;  // pigeonhole
+  // P[miss] = prod_{i=0}^{k-1} (n - m - i) / (n - i), in log space.
+  double log_miss = 0.0;
+  for (unsigned i = 0; i < k; ++i) {
+    log_miss += std::log(static_cast<double>(n_segments - n_corrupted - i)) -
+                std::log(static_cast<double>(n_segments - i));
+  }
+  return 1.0 - std::exp(log_miss);
+}
+
+double detection_probability_iid(double rho, unsigned k) {
+  if (rho < 0.0 || rho > 1.0) {
+    throw InvalidArgument("detection_probability_iid: rho out of [0,1]");
+  }
+  return 1.0 - std::pow(1.0 - rho, static_cast<double>(k));
+}
+
+unsigned challenges_for_detection(double rho, double target) {
+  if (rho <= 0.0 || rho >= 1.0) {
+    throw InvalidArgument("challenges_for_detection: rho out of (0,1)");
+  }
+  if (target <= 0.0 || target >= 1.0) {
+    throw InvalidArgument("challenges_for_detection: target out of (0,1)");
+  }
+  const double k = std::log(1.0 - target) / std::log(1.0 - rho);
+  return static_cast<unsigned>(std::ceil(k));
+}
+
+namespace {
+double log_binom(unsigned n, unsigned k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+}  // namespace
+
+double binomial_tail_gt(unsigned n, double p, unsigned t) {
+  if (p < 0.0 || p > 1.0) throw InvalidArgument("binomial_tail_gt: bad p");
+  if (t >= n) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Sum P[X = j] for j = t+1..n in log space with running max-subtraction.
+  double acc = 0.0;
+  for (unsigned j = t + 1; j <= n; ++j) {
+    const double log_pj = log_binom(n, j) + j * std::log(p) +
+                          (n - j) * std::log1p(-p);
+    acc += std::exp(log_pj);
+  }
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+double file_irretrievable_probability(std::uint64_t n_chunks,
+                                      unsigned chunk_blocks,
+                                      unsigned max_errata,
+                                      double block_corruption_rate) {
+  const double chunk_fail =
+      binomial_tail_gt(chunk_blocks, block_corruption_rate, max_errata);
+  // 1 - (1 - q)^c, stable for tiny q via expm1/log1p.
+  return -std::expm1(static_cast<double>(n_chunks) * std::log1p(-chunk_fail));
+}
+
+double log10_tag_forgery_probability(unsigned tag_bits, unsigned k) {
+  return -static_cast<double>(tag_bits) * k * std::log10(2.0);
+}
+
+}  // namespace geoproof::por

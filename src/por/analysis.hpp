@@ -1,0 +1,43 @@
+// Closed-form security analytics for POR audits (§V-C(a)).
+//
+// These reproduce the two quantitative claims GeoProof inherits from
+// Juels-Kaliski:
+//  - a challenge of k segments detects m corrupted segments among n with
+//    probability 1 - C(n-m, k)/C(n, k)  (~ 71.3% for the paper's example);
+//  - corrupting 0.5% of blocks leaves the file irretrievable (some chunk
+//    beyond the RS correction bound) with probability < 1/200,000.
+#pragma once
+
+#include <cstdint>
+
+namespace geoproof::por {
+
+/// Probability a uniformly random k-subset of n segments intersects the m
+/// corrupted ones (hypergeometric; exact in log space).
+double detection_probability(std::uint64_t n_segments,
+                             std::uint64_t n_corrupted, unsigned k);
+
+/// i.i.d. approximation 1 - (1 - rho)^k for corruption fraction rho.
+double detection_probability_iid(double rho, unsigned k);
+
+/// Smallest k with detection probability >= target under the i.i.d. model.
+unsigned challenges_for_detection(double rho, double target);
+
+/// P[X > t] for X ~ Binomial(n, p), computed in log space (stable for the
+/// tiny tails the analysis needs).
+double binomial_tail_gt(unsigned n, double p, unsigned t);
+
+/// Probability that at least one of `n_chunks` RS chunks of `chunk_blocks`
+/// blocks has more than `max_errata` corrupted blocks when each block is
+/// independently corrupted with probability `block_corruption_rate` —
+/// i.e. the file is irretrievable.
+double file_irretrievable_probability(std::uint64_t n_chunks,
+                                      unsigned chunk_blocks,
+                                      unsigned max_errata,
+                                      double block_corruption_rate);
+
+/// Probability that a cheating provider forges one audit by guessing all k
+/// truncated tags: 2^(-tag_bits * k), as log10 to stay representable.
+double log10_tag_forgery_probability(unsigned tag_bits, unsigned k);
+
+}  // namespace geoproof::por

@@ -1,0 +1,129 @@
+#include "por/dynamic.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "common/serialize.hpp"
+#include "crypto/mac.hpp"
+
+namespace geoproof::por {
+
+Bytes ReadProof::serialize() const {
+  ByteWriter w;
+  w.bytes(segment);
+  w.u16(static_cast<std::uint16_t>(path.size()));
+  for (const crypto::Digest& d : path) {
+    w.raw(BytesView(d.data(), d.size()));
+  }
+  return std::move(w).take();
+}
+
+ReadProof ReadProof::deserialize(BytesView data) {
+  ByteReader r(data);
+  ReadProof proof;
+  proof.segment = r.bytes();
+  const std::uint16_t n = r.u16();
+  if (n > 64) throw SerializeError("ReadProof: path too long");
+  proof.path.resize(n);
+  for (auto& d : proof.path) {
+    const Bytes b = r.raw(crypto::kSha256DigestSize);
+    std::memcpy(d.data(), b.data(), d.size());
+  }
+  r.expect_done();
+  return proof;
+}
+
+namespace {
+std::vector<crypto::Digest> leaves_of(const EncodedFile& file) {
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(file.segments.size());
+  for (const Bytes& seg : file.segments) {
+    leaves.push_back(segment_leaf_hash(seg));
+  }
+  return leaves;
+}
+}  // namespace
+
+DynamicPorProvider::DynamicPorProvider(EncodedFile file)
+    : file_(std::move(file)), tree_(leaves_of(file_)) {}
+
+ReadProof DynamicPorProvider::read(std::uint64_t index) const {
+  if (index >= file_.n_segments) {
+    throw StorageError("DynamicPorProvider::read: index out of range");
+  }
+  return ReadProof{file_.segments[static_cast<std::size_t>(index)],
+                   tree_.proof(static_cast<std::size_t>(index))};
+}
+
+crypto::Digest DynamicPorProvider::write(std::uint64_t index,
+                                         Bytes new_segment_with_tag) {
+  if (index >= file_.n_segments) {
+    throw StorageError("DynamicPorProvider::write: index out of range");
+  }
+  file_.segments[static_cast<std::size_t>(index)] =
+      std::move(new_segment_with_tag);
+  tree_.update(static_cast<std::size_t>(index),
+               segment_leaf_hash(file_.segments[static_cast<std::size_t>(index)]));
+  return tree_.root();
+}
+
+void DynamicPorProvider::tamper(std::uint64_t index, std::size_t byte,
+                                std::uint8_t xor_mask) {
+  if (index >= file_.n_segments) {
+    throw StorageError("DynamicPorProvider::tamper: index out of range");
+  }
+  Bytes& seg = file_.segments[static_cast<std::size_t>(index)];
+  if (byte >= seg.size()) {
+    throw StorageError("DynamicPorProvider::tamper: byte out of range");
+  }
+  seg[byte] = static_cast<std::uint8_t>(seg[byte] ^ xor_mask);
+  // Deliberately *not* updating the tree: a silent corruption.
+}
+
+DynamicPorClient::DynamicPorClient(crypto::Digest root, PorParams params,
+                                   BytesView master_key, std::uint64_t file_id)
+    : root_(root),
+      params_(params),
+      file_id_(file_id),
+      verifier_(params, master_key, file_id),
+      mac_key_(PorKeys::derive(master_key, file_id, params.tag).mac_key) {}
+
+bool DynamicPorClient::verify_read(std::uint64_t index,
+                                   const ReadProof& proof) const {
+  if (!MerkleTree::verify(root_, static_cast<std::size_t>(index),
+                          segment_leaf_hash(proof.segment), proof.path)) {
+    return false;
+  }
+  return verifier_.verify(index, proof.segment);
+}
+
+Bytes DynamicPorClient::make_segment(std::uint64_t index,
+                                     BytesView segment_data) const {
+  if (segment_data.size() !=
+      params_.blocks_per_segment * params_.block_size) {
+    throw InvalidArgument("make_segment: wrong data size");
+  }
+  const crypto::SegmentMac mac(mac_key_, params_.tag);
+  Bytes out(segment_data.begin(), segment_data.end());
+  append(out, mac.tag(segment_data, index, file_id_));
+  return out;
+}
+
+bool DynamicPorClient::apply_write(std::uint64_t index,
+                                   const ReadProof& old_proof,
+                                   BytesView new_segment_with_tag) {
+  // The old proof must authenticate against the *current* root, otherwise a
+  // malicious provider could feed a stale path and desynchronise us.
+  if (!MerkleTree::verify(root_, static_cast<std::size_t>(index),
+                          segment_leaf_hash(old_proof.segment),
+                          old_proof.path)) {
+    return false;
+  }
+  const Bytes new_seg(new_segment_with_tag.begin(), new_segment_with_tag.end());
+  root_ = MerkleTree::root_after_update(static_cast<std::size_t>(index),
+                                        segment_leaf_hash(new_seg),
+                                        old_proof.path);
+  return true;
+}
+
+}  // namespace geoproof::por

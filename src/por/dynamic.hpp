@@ -1,0 +1,85 @@
+// Dynamic POR (the extension §IV points to via Wang et al. [44]): the
+// MAC-variant store augmented with a Merkle tree over segment hashes, so the
+// client can verify reads *and updates* against a 32-byte root it keeps.
+//
+// Protocol shape:
+//  - provider: holds the segments and the tree; serves (segment, proof).
+//  - client: holds the root and the MAC key; verifies tag + proof; on a
+//    write it recomputes the new root locally from the old proof
+//    (MerkleTree::root_after_update) and the provider must arrive at the
+//    same root, so a provider that drops the update is caught on the next
+//    read.
+//
+// GeoProof composes with this directly: the timed challenge phase fetches
+// segments; tags keep integrity; the root keeps freshness across updates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "por/encoder.hpp"
+#include "por/merkle.hpp"
+
+namespace geoproof::por {
+
+struct ReadProof {
+  Bytes segment;                      // segment || tag wire form
+  std::vector<crypto::Digest> path;   // Merkle membership proof
+
+  /// Wire form, so a provider can answer timed requests with proofs.
+  Bytes serialize() const;
+  static ReadProof deserialize(BytesView data);
+};
+
+/// Provider-side state for a dynamically auditable file.
+class DynamicPorProvider {
+ public:
+  explicit DynamicPorProvider(EncodedFile file);
+
+  const crypto::Digest& root() const { return tree_.root(); }
+  std::uint64_t n_segments() const { return file_.n_segments; }
+
+  ReadProof read(std::uint64_t index) const;
+
+  /// Replace a segment (already tagged by the owner) and return the new
+  /// root.
+  crypto::Digest write(std::uint64_t index, Bytes new_segment_with_tag);
+
+  /// Fault injection for tests: corrupt a stored segment silently.
+  void tamper(std::uint64_t index, std::size_t byte, std::uint8_t xor_mask);
+
+ private:
+  EncodedFile file_;
+  MerkleTree tree_;
+};
+
+/// Client-side verifier: root + MAC key, no data.
+class DynamicPorClient {
+ public:
+  DynamicPorClient(crypto::Digest root, PorParams params, BytesView master_key,
+                   std::uint64_t file_id);
+
+  const crypto::Digest& root() const { return root_; }
+
+  /// Check a read: Merkle proof against the tracked root, then the MAC tag.
+  bool verify_read(std::uint64_t index, const ReadProof& proof) const;
+
+  /// Produce a tagged segment for new data (the owner-side of an update).
+  Bytes make_segment(std::uint64_t index, BytesView segment_data) const;
+
+  /// Verified update: checks the *old* proof is valid, then advances the
+  /// tracked root to the post-update value. Returns false (root unchanged)
+  /// if the old proof fails.
+  bool apply_write(std::uint64_t index, const ReadProof& old_proof,
+                   BytesView new_segment_with_tag);
+
+ private:
+  crypto::Digest root_;
+  PorParams params_;
+  std::uint64_t file_id_;
+  SegmentVerifier verifier_;
+  Bytes mac_key_;
+};
+
+}  // namespace geoproof::por

@@ -1,0 +1,100 @@
+#include "por/encoded_io.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/errors.hpp"
+#include "common/serialize.hpp"
+
+namespace geoproof::por {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x47505246;  // "GPRF"
+constexpr std::uint16_t kVersion = 1;
+// Sanity caps for the parser: far beyond anything tests/benches produce but
+// small enough to stop a hostile container from causing huge allocations.
+constexpr std::uint64_t kMaxSegments = 1ull << 32;
+constexpr std::size_t kMaxSegmentBytes = 1u << 20;
+}  // namespace
+
+Bytes serialize_encoded_file(const EncodedFile& file) {
+  if (file.segments.size() != file.n_segments) {
+    throw SerializeError("serialize_encoded_file: segment count mismatch");
+  }
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u64(file.file_id);
+  w.u64(file.original_size);
+  w.u64(file.n_data_blocks);
+  w.u64(file.n_encoded_blocks);
+  w.u64(file.n_permuted_blocks);
+  w.u64(file.n_segments);
+  w.u32(static_cast<std::uint32_t>(file.segment_bytes));
+  for (const Bytes& seg : file.segments) {
+    if (seg.size() != file.segment_bytes) {
+      throw SerializeError("serialize_encoded_file: segment size mismatch");
+    }
+    w.raw(seg);
+  }
+  return std::move(w).take();
+}
+
+EncodedFile deserialize_encoded_file(BytesView data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) {
+    throw SerializeError("encoded file: bad magic");
+  }
+  if (r.u16() != kVersion) {
+    throw SerializeError("encoded file: unsupported version");
+  }
+  EncodedFile file;
+  file.file_id = r.u64();
+  file.original_size = r.u64();
+  file.n_data_blocks = r.u64();
+  file.n_encoded_blocks = r.u64();
+  file.n_permuted_blocks = r.u64();
+  file.n_segments = r.u64();
+  file.segment_bytes = r.u32();
+  if (file.n_segments > kMaxSegments ||
+      file.segment_bytes > kMaxSegmentBytes || file.segment_bytes == 0) {
+    throw SerializeError("encoded file: implausible geometry");
+  }
+  if (r.remaining() != file.n_segments * file.segment_bytes) {
+    throw SerializeError("encoded file: truncated or oversize payload");
+  }
+  file.segments.reserve(static_cast<std::size_t>(file.n_segments));
+  for (std::uint64_t i = 0; i < file.n_segments; ++i) {
+    file.segments.push_back(r.raw(file.segment_bytes));
+  }
+  r.expect_done();
+  return file;
+}
+
+void save_encoded_file(const std::string& path, const EncodedFile& file) {
+  const Bytes data = serialize_encoded_file(file);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!fp) throw StorageError("save_encoded_file: cannot open " + path);
+  if (std::fwrite(data.data(), 1, data.size(), fp.get()) != data.size()) {
+    throw StorageError("save_encoded_file: short write to " + path);
+  }
+}
+
+EncodedFile load_encoded_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!fp) throw StorageError("load_encoded_file: cannot open " + path);
+  std::fseek(fp.get(), 0, SEEK_END);
+  const long size = std::ftell(fp.get());
+  if (size < 0) throw StorageError("load_encoded_file: cannot stat " + path);
+  std::fseek(fp.get(), 0, SEEK_SET);
+  Bytes data(static_cast<std::size_t>(size));
+  if (!data.empty() &&
+      std::fread(data.data(), 1, data.size(), fp.get()) != data.size()) {
+    throw StorageError("load_encoded_file: short read from " + path);
+  }
+  return deserialize_encoded_file(data);
+}
+
+}  // namespace geoproof::por

@@ -1,0 +1,27 @@
+// Serialisation and file persistence for encoded files.
+//
+// The owner produces F~ once and ships it to the provider; both sides need
+// a wire/disk representation. The format is versioned and every field is
+// bounds-checked on load, so a corrupted container fails cleanly instead of
+// poisoning the protocol state.
+#pragma once
+
+#include <string>
+
+#include "por/encoder.hpp"
+
+namespace geoproof::por {
+
+/// Wire form of an EncodedFile (magic + version + metadata + segments).
+Bytes serialize_encoded_file(const EncodedFile& file);
+
+/// Inverse of serialize_encoded_file; throws SerializeError on malformed
+/// input (wrong magic, version, counts or segment sizes).
+EncodedFile deserialize_encoded_file(BytesView data);
+
+/// Write/read the container to the filesystem. Throws StorageError on I/O
+/// failure.
+void save_encoded_file(const std::string& path, const EncodedFile& file);
+EncodedFile load_encoded_file(const std::string& path);
+
+}  // namespace geoproof::por

@@ -1,0 +1,98 @@
+// The five-step POR setup pipeline of §V-A and its inverse (Extract).
+//
+//   1. split F into ℓ_B blocks            (pad with zeros, keep true size)
+//   2. RS-encode 223-block chunks -> F'   (+14.35%)
+//   3. encrypt: F'' = E_K(F')             (AES-CTR, length-preserving)
+//   4. permute blocks with a PRP -> F'''  (positions keyed, invertible)
+//   5. segment into v-block groups, embed τ_i = MAC_K'(S_i, i, fid) -> F~
+//
+// Extract reverses the pipeline and uses the RS code to repair damage;
+// segments whose tag fails are treated as erasures, which doubles the
+// per-chunk repair budget versus blind errors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "por/params.hpp"
+
+namespace geoproof::por {
+
+/// The stored object F~ plus the public metadata the protocol needs.
+struct EncodedFile {
+  std::uint64_t file_id = 0;
+  std::uint64_t original_size = 0;   // bytes of F
+  std::uint64_t n_data_blocks = 0;   // blocks of padded F
+  std::uint64_t n_encoded_blocks = 0;  // blocks of F' / F''
+  std::uint64_t n_permuted_blocks = 0; // blocks of F''' (padded to v)
+  std::uint64_t n_segments = 0;      // ñ
+  std::size_t segment_bytes = 0;     // wire size of one segment-with-tag
+  std::vector<Bytes> segments;       // F~: segment || tag, by index
+
+  /// Stored size in bytes (what the provider keeps).
+  std::uint64_t stored_bytes() const {
+    return n_segments * segment_bytes;
+  }
+  /// Total expansion factor versus the original file.
+  double expansion() const {
+    return original_size == 0
+               ? 0.0
+               : static_cast<double>(stored_bytes()) /
+                     static_cast<double>(original_size);
+  }
+};
+
+class PorEncoder {
+ public:
+  explicit PorEncoder(PorParams params);
+
+  const PorParams& params() const { return params_; }
+
+  /// Run the full setup pipeline.
+  EncodedFile encode(BytesView file, std::uint64_t file_id,
+                     BytesView master_key) const;
+
+ private:
+  PorParams params_;
+};
+
+/// TPA-side tag checking: recomputes τ_i for a fetched segment (§V-B,
+/// verification step 3).
+class SegmentVerifier {
+ public:
+  SegmentVerifier(PorParams params, BytesView master_key,
+                  std::uint64_t file_id);
+
+  /// `segment_with_tag` is the stored wire form (data || tag).
+  bool verify(std::uint64_t index, BytesView segment_with_tag) const;
+
+  std::size_t data_bytes() const {
+    return params_.blocks_per_segment * params_.block_size;
+  }
+
+ private:
+  PorParams params_;
+  std::uint64_t file_id_;
+  crypto::SegmentMac mac_;
+};
+
+struct ExtractReport {
+  Bytes file;                 // the recovered original F
+  unsigned bad_segments = 0;  // segments with failed tags (treated as erasures)
+  unsigned repaired_symbols = 0;  // RS errata corrected
+};
+
+class PorExtractor {
+ public:
+  explicit PorExtractor(PorParams params);
+
+  /// Recover the original file from (possibly damaged) stored segments.
+  /// Throws DecodeError when the damage exceeds the code's capability.
+  ExtractReport extract(const EncodedFile& stored, BytesView master_key) const;
+
+ private:
+  PorParams params_;
+};
+
+}  // namespace geoproof::por

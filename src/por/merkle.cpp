@@ -1,0 +1,137 @@
+#include "por/merkle.hpp"
+
+#include <bit>
+
+#include "common/errors.hpp"
+
+namespace geoproof::por {
+
+namespace {
+
+crypto::Digest node_hash(const crypto::Digest& l, const crypto::Digest& r) {
+  crypto::Sha256 h;
+  const std::uint8_t tag = 0x01;
+  h.update(BytesView(&tag, 1));
+  h.update(BytesView(l.data(), l.size()));
+  h.update(BytesView(r.data(), r.size()));
+  return h.finalize();
+}
+
+const crypto::Digest& empty_leaf() {
+  static const crypto::Digest d = [] {
+    crypto::Sha256 h;
+    const std::uint8_t tag = 0x02;
+    h.update(BytesView(&tag, 1));
+    return h.finalize();
+  }();
+  return d;
+}
+
+std::size_t padded_size(std::size_t n) {
+  return std::bit_ceil(n == 0 ? std::size_t{1} : n);
+}
+
+}  // namespace
+
+crypto::Digest segment_leaf_hash(BytesView segment_with_tag) {
+  crypto::Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(BytesView(&tag, 1));
+  h.update(segment_with_tag);
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<crypto::Digest> leaves) {
+  if (leaves.empty()) throw InvalidArgument("MerkleTree: no leaves");
+  n_leaves_ = leaves.size();
+  levels_.clear();
+  leaves.resize(padded_size(n_leaves_), empty_leaf());
+  levels_.push_back(std::move(leaves));
+  rebuild();
+}
+
+void MerkleTree::rebuild() {
+  levels_.resize(1);
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<crypto::Digest> next(below.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = node_hash(below[2 * i], below[2 * i + 1]);
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+std::vector<crypto::Digest> MerkleTree::proof(std::size_t index) const {
+  if (index >= n_leaves_) throw InvalidArgument("MerkleTree::proof: index");
+  std::vector<crypto::Digest> path;
+  path.reserve(height());
+  std::size_t idx = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    path.push_back(levels_[lvl][idx ^ 1]);
+    idx >>= 1;
+  }
+  return path;
+}
+
+void MerkleTree::update(std::size_t index, const crypto::Digest& new_leaf) {
+  if (index >= n_leaves_) throw InvalidArgument("MerkleTree::update: index");
+  levels_[0][index] = new_leaf;
+  std::size_t idx = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const std::size_t parent = idx >> 1;
+    levels_[lvl + 1][parent] =
+        node_hash(levels_[lvl][parent * 2], levels_[lvl][parent * 2 + 1]);
+    idx = parent;
+  }
+}
+
+void MerkleTree::append(const crypto::Digest& leaf) {
+  if (n_leaves_ < levels_[0].size()) {
+    // Room in the padding: a fast in-place update.
+    const std::size_t index = n_leaves_++;
+    update(index, leaf);
+    // update() checked index < n_leaves_ after increment via caller; keep
+    // the class invariant explicit:
+    return;
+  }
+  // Crossed a power of two: rebuild with doubled padding.
+  std::vector<crypto::Digest> leaves(levels_[0].begin(),
+                                     levels_[0].begin() +
+                                         static_cast<std::ptrdiff_t>(n_leaves_));
+  leaves.push_back(leaf);
+  n_leaves_ = leaves.size();
+  leaves.resize(padded_size(n_leaves_), empty_leaf());
+  levels_.clear();
+  levels_.push_back(std::move(leaves));
+  rebuild();
+}
+
+bool MerkleTree::verify(const crypto::Digest& root, std::size_t index,
+                        const crypto::Digest& leaf,
+                        std::span<const crypto::Digest> proof) {
+  if (proof.size() >= 64) return false;
+  if ((index >> proof.size()) != 0) return false;  // index exceeds tree
+  crypto::Digest node = leaf;
+  std::size_t idx = index;
+  for (const crypto::Digest& sibling : proof) {
+    node = (idx & 1) ? node_hash(sibling, node) : node_hash(node, sibling);
+    idx >>= 1;
+  }
+  return constant_time_equal(BytesView(node.data(), node.size()),
+                             BytesView(root.data(), root.size()));
+}
+
+crypto::Digest MerkleTree::root_after_update(
+    std::size_t index, const crypto::Digest& new_leaf,
+    std::span<const crypto::Digest> proof) {
+  crypto::Digest node = new_leaf;
+  std::size_t idx = index;
+  for (const crypto::Digest& sibling : proof) {
+    node = (idx & 1) ? node_hash(sibling, node) : node_hash(node, sibling);
+    idx >>= 1;
+  }
+  return node;
+}
+
+}  // namespace geoproof::por

@@ -1,0 +1,61 @@
+// Dynamic Merkle tree over segment hashes — the authenticated structure
+// behind the dynamic-POR extension (§IV's pointer to Wang et al. [44]).
+//
+// The tree is padded to a power of two with a fixed empty-leaf digest, so
+// membership proofs have a uniform length and verification needs only the
+// leaf index and the proof itself. update() recomputes one root-path;
+// append() grows the tree (rebuilding when it crosses a power of two).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace geoproof::por {
+
+/// Leaf digest for a stored segment.
+crypto::Digest segment_leaf_hash(BytesView segment_with_tag);
+
+class MerkleTree {
+ public:
+  /// Builds over `leaves` (at least one).
+  explicit MerkleTree(std::vector<crypto::Digest> leaves);
+
+  const crypto::Digest& root() const { return levels_.back()[0]; }
+  std::size_t size() const { return n_leaves_; }
+  /// Proof length (padded tree height).
+  std::size_t height() const { return levels_.size() - 1; }
+
+  /// Sibling path from leaf `index` to the root.
+  std::vector<crypto::Digest> proof(std::size_t index) const;
+
+  /// Replace a leaf and recompute the root path.
+  void update(std::size_t index, const crypto::Digest& new_leaf);
+
+  /// Append a leaf (grows the padded tree as needed).
+  void append(const crypto::Digest& leaf);
+
+  /// Verify a membership proof against a trusted root.
+  static bool verify(const crypto::Digest& root, std::size_t index,
+                     const crypto::Digest& leaf,
+                     std::span<const crypto::Digest> proof);
+
+  /// Recompute the root that results from replacing the leaf at `index`
+  /// (whose current proof is `proof`) with `new_leaf` — the client-side
+  /// half of a verified update.
+  static crypto::Digest root_after_update(std::size_t index,
+                                          const crypto::Digest& new_leaf,
+                                          std::span<const crypto::Digest> proof);
+
+ private:
+  void rebuild();
+
+  std::size_t n_leaves_ = 0;
+  // levels_[0] = padded leaves; levels_.back() = {root}.
+  std::vector<std::vector<crypto::Digest>> levels_;
+};
+
+}  // namespace geoproof::por

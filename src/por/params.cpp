@@ -1,0 +1,65 @@
+#include "por/params.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/errors.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace geoproof::por {
+
+void PorParams::validate() const {
+  if (block_size == 0) throw InvalidArgument("PorParams: block_size == 0");
+  if (blocks_per_segment == 0) {
+    throw InvalidArgument("PorParams: blocks_per_segment == 0");
+  }
+  if (ecc_data_blocks == 0 || ecc_data_blocks + ecc_parity_blocks > 255) {
+    throw InvalidArgument("PorParams: bad ECC geometry");
+  }
+  if (tag.tag_bits == 0) throw InvalidArgument("PorParams: tag_bits == 0");
+}
+
+PorKeys PorKeys::derive(BytesView master, std::uint64_t file_id,
+                        const crypto::TagParams& tag) {
+  Bytes info(8);
+  store_be64(info, file_id);
+  // One expand per key keeps the derivation domains separated by label.
+  PorKeys keys;
+  keys.enc_key = crypto::hkdf(bytes_of("geoproof.por.enc"), master, info, 16);
+  keys.enc_nonce =
+      crypto::hkdf(bytes_of("geoproof.por.nonce"), master, info, 12);
+  keys.prp_key = crypto::hkdf(bytes_of("geoproof.por.prp"), master, info, 32);
+  const std::size_t mac_len =
+      tag.alg == crypto::MacAlg::kAesCmac ? 16 : 32;
+  keys.mac_key =
+      crypto::hkdf(bytes_of("geoproof.por.mac"), master, info, mac_len);
+  return keys;
+}
+
+std::vector<std::uint64_t> sample_challenge(std::uint64_t n_segments,
+                                            unsigned k, Rng& rng) {
+  if (n_segments == 0) {
+    throw InvalidArgument("sample_challenge: no segments");
+  }
+  if (k >= n_segments) {
+    std::vector<std::uint64_t> all(static_cast<std::size_t>(n_segments));
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: k distinct values without building [0, n).
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n_segments - k; j < n_segments; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace geoproof::por

@@ -1,0 +1,59 @@
+// Parameters and key schedule for the proof-of-retrievability pipeline
+// (Juels-Kaliski [19], MAC-based variant - §IV/§V-A of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/mac.hpp"
+#include "ecc/block_code.hpp"
+
+namespace geoproof::por {
+
+struct PorParams {
+  /// File block size ℓ_B in bytes (paper: 128 bits = one AES block).
+  std::size_t block_size = 16;
+  /// Blocks per MACed segment v (paper example: 5).
+  std::size_t blocks_per_segment = 5;
+  /// Tag parameters ℓ_τ (paper example: 20 bits).
+  crypto::TagParams tag{};
+  /// Error-correction geometry (paper: RS(255, 223) per 16-byte lane).
+  std::size_t ecc_data_blocks = 223;
+  std::size_t ecc_parity_blocks = 32;
+
+  /// Bytes of one stored segment: v blocks plus the embedded tag.
+  /// Paper example: 5 * 128 + 20 bits = 660 bits -> here byte-aligned.
+  std::size_t segment_bytes() const {
+    return blocks_per_segment * block_size + tag.tag_size_bytes();
+  }
+
+  ecc::ChunkCodeParams ecc_params() const {
+    return ecc::ChunkCodeParams{.block_size = block_size,
+                                .data_blocks = ecc_data_blocks,
+                                .parity_blocks = ecc_parity_blocks};
+  }
+
+  /// Throws InvalidArgument when inconsistent.
+  void validate() const;
+};
+
+/// Keys for the four setup-phase primitives, derived from one master key and
+/// the file id via HKDF so each file's keys are independent.
+struct PorKeys {
+  Bytes enc_key;    // AES-128 for F'' = E_K(F')
+  Bytes enc_nonce;  // CTR nonce
+  Bytes prp_key;    // block-reordering PRP
+  Bytes mac_key;    // segment tags
+
+  static PorKeys derive(BytesView master, std::uint64_t file_id,
+                        const crypto::TagParams& tag);
+};
+
+/// The challenge c = {c_1..c_k}: k distinct segment indices sampled
+/// uniformly from [0, n). If k >= n, all indices are returned.
+std::vector<std::uint64_t> sample_challenge(std::uint64_t n_segments,
+                                            unsigned k, Rng& rng);
+
+}  // namespace geoproof::por

@@ -1,0 +1,68 @@
+// The sentinel variant of Juels-Kaliski POR (§IV).
+//
+// Random-looking sentinel blocks are appended to the encrypted file and the
+// whole block sequence is permuted; because the ciphertext is
+// indistinguishable from the PRF-generated sentinels, the provider cannot
+// tell which blocks are sentinels. A challenge reveals a few sentinel
+// *positions*; the provider must return the values, and any bulk
+// modification of the stored data hits sentinels with high probability.
+//
+// This implementation keeps the sentinel machinery pure (no ECC layer) -
+// the MAC variant in encoder.hpp carries the full §V-A pipeline; here the
+// point is position-hiding detection, which bench_detection_probability
+// quantifies against the closed form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace geoproof::por {
+
+struct SentinelParams {
+  std::size_t block_size = 16;
+  unsigned n_sentinels = 1000;
+};
+
+struct SentinelEncoded {
+  std::uint64_t file_id = 0;
+  std::uint64_t original_size = 0;
+  std::uint64_t n_file_blocks = 0;
+  std::uint64_t total_blocks = 0;  // file blocks + sentinels, permuted
+  std::vector<Bytes> blocks;
+};
+
+class SentinelPor {
+ public:
+  explicit SentinelPor(SentinelParams params);
+
+  const SentinelParams& params() const { return params_; }
+
+  /// Encrypt, append sentinels, permute.
+  SentinelEncoded encode(BytesView file, std::uint64_t file_id,
+                         BytesView master_key) const;
+
+  /// Verifier-side: the permuted position of sentinel j.
+  std::uint64_t sentinel_position(const SentinelEncoded& meta,
+                                  BytesView master_key, unsigned j) const;
+
+  /// Verifier-side: the expected value of sentinel j.
+  Bytes sentinel_value(std::uint64_t file_id, BytesView master_key,
+                       unsigned j) const;
+
+  /// One challenge round: does the block the provider returned for sentinel
+  /// j match the expected value?
+  bool check(const SentinelEncoded& meta, BytesView master_key, unsigned j,
+             BytesView returned_block) const;
+
+  /// Recover the original file (inverse permutation + decrypt). The
+  /// sentinel variant has no repair layer; corrupted blocks surface as-is.
+  Bytes decode(const SentinelEncoded& stored, BytesView master_key) const;
+
+ private:
+  SentinelParams params_;
+};
+
+}  // namespace geoproof::por

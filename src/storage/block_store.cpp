@@ -1,0 +1,94 @@
+#include "storage/block_store.hpp"
+
+#include "common/errors.hpp"
+
+namespace geoproof::storage {
+
+Bytes MemoryBlockStore::get(std::uint64_t index) {
+  if (index >= blocks_.size()) {
+    throw StorageError("MemoryBlockStore: no block at index " +
+                       std::to_string(index));
+  }
+  return blocks_[static_cast<std::size_t>(index)];
+}
+
+void MemoryBlockStore::put(std::uint64_t index, BytesView data) {
+  if (index >= blocks_.size()) {
+    blocks_.resize(static_cast<std::size_t>(index) + 1);
+  }
+  blocks_[static_cast<std::size_t>(index)].assign(data.begin(), data.end());
+}
+
+Bytes& MemoryBlockStore::at(std::uint64_t index) {
+  if (index >= blocks_.size()) {
+    throw StorageError("MemoryBlockStore::at: no block at index " +
+                       std::to_string(index));
+  }
+  return blocks_[static_cast<std::size_t>(index)];
+}
+
+bool LruCache::touch(std::uint64_t index) {
+  const auto it = map_.find(index);
+  if (it == map_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+void LruCache::insert(std::uint64_t index) {
+  if (capacity_ == 0) return;
+  if (touch(index)) return;
+  if (map_.size() >= capacity_) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    map_.erase(victim);
+  }
+  order_.push_front(index);
+  map_[index] = order_.begin();
+}
+
+SimulatedDiskStore::SimulatedDiskStore(std::unique_ptr<BlockStore> backing,
+                                       DiskModel disk, SimClock& clock,
+                                       SimulatedDiskOptions options,
+                                       std::uint64_t rng_seed)
+    : backing_(std::move(backing)),
+      disk_(std::move(disk)),
+      clock_(&clock),
+      options_(options),
+      rng_(rng_seed) {
+  if (!backing_) {
+    throw InvalidArgument("SimulatedDiskStore: null backing store");
+  }
+  if (options_.cache_blocks > 0) {
+    cache_ = std::make_unique<LruCache>(options_.cache_blocks);
+  }
+}
+
+Bytes SimulatedDiskStore::get(std::uint64_t index) {
+  Millis latency{0};
+  if (cache_ && cache_->touch(index)) {
+    ++cache_hits_;
+    latency = options_.cache_hit_latency;
+  } else {
+    ++cache_misses_;
+    latency = options_.sample_latency
+                  ? disk_.sample_lookup(options_.read_bytes, rng_)
+                  : disk_.lookup_time(options_.read_bytes);
+    if (cache_) cache_->insert(index);
+  }
+  clock_->advance(latency);
+  total_latency_ = total_latency_ + latency;
+  return backing_->get(index);
+}
+
+void SimulatedDiskStore::put(std::uint64_t index, BytesView data) {
+  // Writes happen at upload time, outside the timed audit path; they are
+  // not charged to the virtual clock.
+  backing_->put(index, data);
+}
+
+void SimulatedDiskStore::prewarm(std::span<const std::uint64_t> indices) {
+  if (!cache_) return;
+  for (const std::uint64_t i : indices) cache_->insert(i);
+}
+
+}  // namespace geoproof::storage

@@ -1,0 +1,119 @@
+// Block/segment storage for the cloud-provider side.
+//
+// A BlockStore holds the segments of an encoded file F~ addressed by segment
+// index. MemoryBlockStore is the plain container; SimulatedDiskStore wraps
+// any store with a DiskModel and charges look-up latency on a SimClock, with
+// an optional LRU read cache (disk caches are how a cheating provider might
+// try to beat the timing check, so the model must include them).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "storage/disk_model.hpp"
+
+namespace geoproof::storage {
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  /// Fetch the block at `index`; throws StorageError if absent.
+  virtual Bytes get(std::uint64_t index) = 0;
+
+  /// Store (or overwrite) the block at `index`.
+  virtual void put(std::uint64_t index, BytesView data) = 0;
+
+  /// Number of stored blocks (highest index + 1 for dense stores).
+  virtual std::uint64_t size() const = 0;
+};
+
+/// Dense in-memory store.
+class MemoryBlockStore final : public BlockStore {
+ public:
+  MemoryBlockStore() = default;
+
+  Bytes get(std::uint64_t index) override;
+  void put(std::uint64_t index, BytesView data) override;
+  std::uint64_t size() const override { return blocks_.size(); }
+
+  /// Direct mutable access for fault injection in tests.
+  Bytes& at(std::uint64_t index);
+
+ private:
+  std::vector<Bytes> blocks_;
+};
+
+/// Fixed-capacity LRU set keyed by block index (a disk read cache).
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns true (and refreshes recency) if `index` is cached.
+  bool touch(std::uint64_t index);
+
+  /// Insert `index`, evicting the least recently used entry if full.
+  void insert(std::uint64_t index);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool contains(std::uint64_t index) const { return map_.count(index) > 0; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;  // most recent at front
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+struct SimulatedDiskOptions {
+  /// Read size charged per block look-up (the paper's example uses 512 B
+  /// sector reads; segments span a few sectors but seek+rotate dominate).
+  std::size_t read_bytes = 512;
+  /// 0 disables the cache.
+  std::size_t cache_blocks = 0;
+  /// Latency charged on a cache hit (electronics + bus only).
+  Millis cache_hit_latency{0.05};
+  /// If true, look-ups use sampled seek/rotation; if false, the average.
+  bool sample_latency = true;
+};
+
+/// A BlockStore that charges disk latency on a shared SimClock.
+class SimulatedDiskStore final : public BlockStore {
+ public:
+  SimulatedDiskStore(std::unique_ptr<BlockStore> backing, DiskModel disk,
+                     SimClock& clock, SimulatedDiskOptions options,
+                     std::uint64_t rng_seed = 0x5eed);
+
+  Bytes get(std::uint64_t index) override;
+  void put(std::uint64_t index, BytesView data) override;
+  std::uint64_t size() const override { return backing_->size(); }
+
+  const DiskModel& disk() const { return disk_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  /// Total virtual time this store has charged to the clock.
+  Millis total_latency() const { return total_latency_; }
+
+  /// Pre-warm the cache with specific blocks (models a provider staging
+  /// likely challenge targets in RAM).
+  void prewarm(std::span<const std::uint64_t> indices);
+
+ private:
+  std::unique_ptr<BlockStore> backing_;
+  DiskModel disk_;
+  SimClock* clock_;
+  SimulatedDiskOptions options_;
+  std::unique_ptr<LruCache> cache_;  // null when disabled
+  Rng rng_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  Millis total_latency_{0};
+};
+
+}  // namespace geoproof::storage

@@ -1,0 +1,68 @@
+// Parametric hard-disk latency model (§V-D) and the Table I disk catalogue.
+//
+// The paper decomposes look-up latency as
+//   Δt_L = Δt_seek + Δt_rotate + Δt_transfer
+// with Δt_transfer = bytes*8 / media_rate. DiskModel reproduces exactly that
+// arithmetic for the expected (average) case and adds a sampled mode for
+// simulation: seek time varies with how far the arm must travel and
+// rotational delay is uniform over a full revolution.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace geoproof::storage {
+
+struct DiskSpec {
+  std::string name;
+  unsigned rpm = 7200;
+  Millis avg_seek{8.9};
+  Millis avg_rotate{4.2};
+  /// Average internal data rate as listed in Table I (MB/s).
+  double idr_mb_s = 93.5;
+  /// Media transfer rate used for Δt_transfer (kbit/ms, i.e. Mbit/s);
+  /// the paper uses 748 for the WD2500JD and 647 for the IBM 36Z15.
+  double media_rate_mbit_s = 748.0;
+
+  /// Time for one full platter revolution.
+  Millis revolution() const { return Millis{60'000.0 / rpm}; }
+};
+
+/// Table I catalogue (paper's five reference disks).
+std::span<const DiskSpec> disk_catalog();
+
+/// Look up a catalogue disk by name ("IBM 36Z15", "WD 2500JD", ...).
+std::optional<DiskSpec> find_disk(std::string_view name);
+
+/// The two disks the security analysis singles out (§V-C, §V-D).
+const DiskSpec& wd2500jd();   // "average" cloud disk, Δt_L = 13.1055 ms
+const DiskSpec& ibm36z15();   // best-case relay-attack disk, Δt_L = 5.406 ms
+
+class DiskModel {
+ public:
+  explicit DiskModel(DiskSpec spec) : spec_(std::move(spec)) {}
+
+  const DiskSpec& spec() const { return spec_; }
+
+  /// Transfer time for `bytes` at the media rate.
+  Millis transfer_time(std::size_t bytes) const;
+
+  /// Expected (average) look-up latency for a `bytes`-sized read:
+  /// avg seek + avg rotate + transfer. Reproduces the paper's Δt_L.
+  Millis lookup_time(std::size_t bytes) const;
+
+  /// One sampled look-up: seek uniform in [0.3, 1.7] * avg seek (arm travel
+  /// varies), rotation uniform over a full revolution, plus transfer. The
+  /// mean over many samples equals lookup_time() by construction.
+  Millis sample_lookup(std::size_t bytes, Rng& rng) const;
+
+ private:
+  DiskSpec spec_;
+};
+
+}  // namespace geoproof::storage

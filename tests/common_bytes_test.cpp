@@ -1,0 +1,96 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace geoproof {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), InvalidArgument);
+}
+
+TEST(Bytes, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), InvalidArgument);
+  EXPECT_THROW(from_hex("0g"), InvalidArgument);
+}
+
+TEST(Bytes, BytesOf) {
+  const Bytes b = bytes_of("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0xff, 0x0f, 0x00};
+  const Bytes b = {0x0f, 0x0f, 0xa5};
+  xor_inplace(a, b);
+  EXPECT_EQ(a, Bytes({0xf0, 0x00, 0xa5}));
+}
+
+TEST(Bytes, XorLengthMismatchThrows) {
+  Bytes a = {1, 2};
+  const Bytes b = {1};
+  EXPECT_THROW(xor_inplace(a, b), InvalidArgument);
+}
+
+TEST(Bytes, Concat) {
+  EXPECT_EQ(concat(Bytes{1, 2}, Bytes{3}), Bytes({1, 2, 3}));
+  EXPECT_EQ(concat(Bytes{1}, Bytes{2}, Bytes{3}), Bytes({1, 2, 3}));
+  EXPECT_EQ(concat(Bytes{}, Bytes{}), Bytes{});
+}
+
+TEST(Bytes, Append) {
+  Bytes out = {1};
+  append(out, Bytes{2, 3});
+  EXPECT_EQ(out, Bytes({1, 2, 3}));
+}
+
+TEST(Bytes, BigEndianStoreLoad32) {
+  Bytes buf(4);
+  store_be32(buf, 0x12345678u);
+  EXPECT_EQ(buf, Bytes({0x12, 0x34, 0x56, 0x78}));
+  EXPECT_EQ(load_be32(buf), 0x12345678u);
+}
+
+TEST(Bytes, BigEndianStoreLoad64) {
+  Bytes buf(8);
+  store_be64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(load_be64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+}
+
+TEST(Bytes, LoadTooSmallThrows) {
+  const Bytes small = {1, 2};
+  EXPECT_THROW(load_be32(small), InvalidArgument);
+  EXPECT_THROW(load_be64(small), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geoproof

@@ -1,0 +1,134 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/units.hpp"
+
+namespace geoproof {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.now(), Nanos{0});
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock c;
+  c.advance(Nanos{100});
+  c.advance(Nanos{250});
+  EXPECT_EQ(c.now(), Nanos{350});
+}
+
+TEST(SimClock, AdvanceMillis) {
+  SimClock c;
+  c.advance(Millis{1.5});
+  EXPECT_EQ(c.now(), Nanos{1'500'000});
+}
+
+TEST(SimClock, NegativeAdvanceThrows) {
+  SimClock c;
+  EXPECT_THROW(c.advance(Nanos{-1}), InvalidArgument);
+}
+
+TEST(SimClock, AdvanceToPastThrows) {
+  SimClock c;
+  c.advance(Nanos{10});
+  EXPECT_THROW(c.advance_to(Nanos{5}), InvalidArgument);
+}
+
+TEST(SimStopwatch, MeasuresElapsed) {
+  SimClock c;
+  SimStopwatch sw(c);
+  sw.start();
+  c.advance(Millis{13.5});
+  EXPECT_DOUBLE_EQ(sw.elapsed_ms().count(), 13.5);
+}
+
+TEST(SimStopwatch, RestartResets) {
+  SimClock c;
+  SimStopwatch sw(c);
+  sw.start();
+  c.advance(Millis{5});
+  sw.start();
+  c.advance(Millis{2});
+  EXPECT_DOUBLE_EQ(sw.elapsed_ms().count(), 2.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.schedule_at(Nanos{300}, [&] { order.push_back(3); });
+  q.schedule_at(Nanos{100}, [&] { order.push_back(1); });
+  q.schedule_at(Nanos{200}, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), Nanos{300});
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(Nanos{50}, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  SimClock clock;
+  EventQueue q(clock);
+  int fired = 0;
+  q.schedule_at(Nanos{10}, [&] {
+    ++fired;
+    q.schedule_after(Nanos{10}, [&] { ++fired; });
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(clock.now(), Nanos{20});
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  SimClock clock;
+  EventQueue q(clock);
+  int fired = 0;
+  q.schedule_at(Nanos{10}, [&] { ++fired; });
+  q.schedule_at(Nanos{30}, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(Nanos{20}), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now(), Nanos{20});
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, SchedulePastThrows) {
+  SimClock clock;
+  clock.advance(Nanos{100});
+  EventQueue q(clock);
+  EXPECT_THROW(q.schedule_at(Nanos{50}, [] {}), InvalidArgument);
+}
+
+TEST(Units, TravelTimeArithmetic) {
+  // 200 km at fibre speed (200 km/ms) takes 1 ms one-way (paper §V-E).
+  const Millis t = travel_time(Kilometers{200.0}, speeds::kLightFibre);
+  EXPECT_DOUBLE_EQ(t.count(), 1.0);
+}
+
+TEST(Units, InternetSpeedMatchesPaper) {
+  // §V-F: in 3 ms a packet covers 4/9 * 300 km/ms * 3 ms = 400 km one-way.
+  const Kilometers d = distance_covered(Millis{3.0}, speeds::kInternetEffective);
+  EXPECT_NEAR(d.value, 400.0, 1e-9);
+}
+
+TEST(Units, NanosMillisRoundTrip) {
+  const Millis ms{2.5};
+  EXPECT_EQ(to_nanos(ms), Nanos{2'500'000});
+  EXPECT_DOUBLE_EQ(to_millis(Nanos{2'500'000}).count(), 2.5);
+}
+
+}  // namespace
+}  // namespace geoproof

@@ -1,0 +1,138 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace geoproof {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_THROW(rng.next_in(2, 1), InvalidArgument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean should be ~0.5 for a uniform generator.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.25)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.02);
+}
+
+TEST(Rng, NextBytesLengthAndDeterminism) {
+  Rng a(21), b(21);
+  const Bytes x = a.next_bytes(37);
+  const Bytes y = b.next_bytes(37);
+  EXPECT_EQ(x.size(), 37u);
+  EXPECT_EQ(x, y);
+  EXPECT_TRUE(a.next_bytes(0).empty());
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng parent(55);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(33);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(34);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> orig = v;
+  shuffle(v, rng);
+  EXPECT_NE(v, orig);
+}
+
+}  // namespace
+}  // namespace geoproof

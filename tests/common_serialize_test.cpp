@@ -1,0 +1,110 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/errors.hpp"
+
+namespace geoproof {
+namespace {
+
+TEST(Serialize, IntegersRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  w.i64(-42);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i64(), -42);
+  r.expect_done();
+}
+
+TEST(Serialize, DoubleRoundTrip) {
+  ByteWriter w;
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+
+  ByteReader r(w.data());
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_TRUE(std::isinf(r.f64()));
+}
+
+TEST(Serialize, BytesAndStrings) {
+  ByteWriter w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes({});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.bytes(), Bytes({1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_done();
+}
+
+TEST(Serialize, RawHasNoPrefix) {
+  ByteWriter w;
+  w.raw(Bytes{9, 8, 7});
+  EXPECT_EQ(w.size(), 3u);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.raw(3), Bytes({9, 8, 7}));
+}
+
+TEST(Serialize, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.data());
+  r.u16();
+  EXPECT_THROW(r.u32(), SerializeError);
+}
+
+TEST(Serialize, TruncatedBytesThrows) {
+  // Length prefix says 100 bytes but only 2 follow.
+  ByteWriter w;
+  w.u32(100);
+  w.u16(0xffff);
+  ByteReader r(w.data());
+  EXPECT_THROW(r.bytes(), SerializeError);
+}
+
+TEST(Serialize, TrailingBytesDetected) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerializeError);
+}
+
+TEST(Serialize, RemainingCountsDown) {
+  ByteWriter w;
+  w.u32(0);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_FALSE(r.done());
+  r.u16();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, EmptyReaderIsDone) {
+  ByteReader r(BytesView{});
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), SerializeError);
+}
+
+}  // namespace
+}  // namespace geoproof

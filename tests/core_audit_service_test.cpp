@@ -1,0 +1,107 @@
+#include "core/audit_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "core/deployment.hpp"
+
+namespace geoproof::core {
+namespace {
+
+DeploymentConfig fast_config() {
+  DeploymentConfig cfg;
+  cfg.por.ecc_data_blocks = 48;
+  cfg.por.ecc_parity_blocks = 16;
+  cfg.provider.location = {-27.47, 153.02};
+  return cfg;
+}
+
+struct ServiceFixture {
+  SimulatedDeployment world{fast_config()};
+  Auditor::FileRecord record;
+  ServiceFixture() {
+    Rng rng(3);
+    record = world.upload(rng.next_bytes(30000), 1);
+  }
+};
+
+TEST(AuditService, RunOnceRecordsHistory) {
+  ServiceFixture f;
+  AuditService service(f.world.auditor(), f.world.verifier(), f.record, 10);
+  const AuditReport& report = service.run_once(f.world.clock());
+  EXPECT_TRUE(report.accepted);
+  ASSERT_EQ(service.history().size(), 1u);
+  EXPECT_EQ(service.compliance().total, 1u);
+  EXPECT_EQ(service.compliance().passed, 1u);
+}
+
+TEST(AuditService, ZeroChallengeRejected) {
+  ServiceFixture f;
+  EXPECT_THROW(
+      AuditService(f.world.auditor(), f.world.verifier(), f.record, 0),
+      InvalidArgument);
+}
+
+TEST(AuditService, ScheduledAuditsRunAtIntervals) {
+  ServiceFixture f;
+  AuditService service(f.world.auditor(), f.world.verifier(), f.record, 5);
+  const Nanos hour = std::chrono::duration_cast<Nanos>(std::chrono::hours(1));
+  const Nanos start = f.world.clock().now() + hour;
+  service.schedule(f.world.queue(), f.world.clock(), start, hour, 5);
+  f.world.queue().run_all();
+  ASSERT_EQ(service.history().size(), 5u);
+  // Entries are time-ordered and roughly an hour apart. Audits start
+  // exactly on the hour but the recorded time is completion, and each
+  // audit consumes a few virtual milliseconds, so gaps float around the
+  // hour by up to one audit's duration either way.
+  const Nanos tolerance =
+      std::chrono::duration_cast<Nanos>(std::chrono::seconds(5));
+  for (std::size_t i = 1; i < 5; ++i) {
+    const Nanos gap = service.history()[i].at - service.history()[i - 1].at;
+    EXPECT_GE(gap, hour - tolerance);
+    EXPECT_LT(gap, hour + tolerance);
+  }
+  EXPECT_TRUE(service.compliance().meets(0.99));
+}
+
+TEST(AuditService, ComplianceTracksFailures) {
+  ServiceFixture f;
+  AuditService service(f.world.auditor(), f.world.verifier(), f.record, 10);
+  // Two clean audits.
+  (void)service.run_once(f.world.clock());
+  (void)service.run_once(f.world.clock());
+  // Provider relocates the data; subsequent audits fail.
+  f.world.deploy_remote_relay(1, Kilometers{1500.0}, storage::ibm36z15());
+  (void)service.run_once(f.world.clock());
+  (void)service.run_once(f.world.clock());
+  (void)service.run_once(f.world.clock());
+
+  const auto compliance = service.compliance();
+  EXPECT_EQ(compliance.total, 5u);
+  EXPECT_EQ(compliance.passed, 2u);
+  EXPECT_FALSE(compliance.meets(0.99));
+  EXPECT_EQ(service.consecutive_failures(), 3u);
+}
+
+TEST(AuditService, ConsecutiveFailuresResetOnRecovery) {
+  ServiceFixture f;
+  AuditService service(f.world.auditor(), f.world.verifier(), f.record, 10);
+  f.world.deploy_remote_relay(1, Kilometers{1500.0}, storage::ibm36z15());
+  (void)service.run_once(f.world.clock());
+  EXPECT_EQ(service.consecutive_failures(), 1u);
+  f.world.restore_local_service();
+  (void)service.run_once(f.world.clock());
+  EXPECT_EQ(service.consecutive_failures(), 0u);
+}
+
+TEST(AuditService, EmptyHistoryIsCompliant) {
+  ServiceFixture f;
+  AuditService service(f.world.auditor(), f.world.verifier(), f.record, 10);
+  EXPECT_EQ(service.compliance().total, 0u);
+  EXPECT_DOUBLE_EQ(service.compliance().rate(), 1.0);
+  EXPECT_EQ(service.consecutive_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace geoproof::core

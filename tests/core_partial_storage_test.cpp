@@ -1,0 +1,108 @@
+// The partial-storage (hybrid relay) attack: the provider keeps a fraction
+// of the segments locally and offloads the rest. Detection probability per
+// audit follows 1 - f^k where f is the kept fraction - the same structure
+// as POR detection, but driven by *timing* rather than tags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "core/deployment.hpp"
+
+namespace geoproof::core {
+namespace {
+
+DeploymentConfig fast_config() {
+  DeploymentConfig cfg;
+  cfg.por.ecc_data_blocks = 48;
+  cfg.por.ecc_parity_blocks = 16;
+  cfg.provider.location = {-27.47, 153.02};
+  cfg.verifier.signer_height = 5;
+  return cfg;
+}
+
+TEST(PartialStorage, FullyLocalIsClean) {
+  SimulatedDeployment world(fast_config());
+  Rng rng(1);
+  const auto record = world.upload(rng.next_bytes(60000), 1);
+  world.deploy_partial_offload(1, 1.0, Kilometers{1500.0},
+                               storage::ibm36z15());
+  // keep_fraction = 1.0: nothing offloaded, audits pass.
+  EXPECT_TRUE(world.run_audit(record, 20).accepted);
+}
+
+TEST(PartialStorage, FullyOffloadedAlwaysCaught) {
+  SimulatedDeployment world(fast_config());
+  Rng rng(2);
+  const auto record = world.upload(rng.next_bytes(60000), 1);
+  world.deploy_partial_offload(1, 0.0, Kilometers{1500.0},
+                               storage::ibm36z15());
+  const AuditReport report = world.run_audit(record, 20);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.timing_violations, 20u);
+}
+
+TEST(PartialStorage, HalfOffloadedCaughtWithHighProbability) {
+  // P[all k challenges hit local] = f^k = 0.5^20 ~ 1e-6.
+  SimulatedDeployment world(fast_config());
+  Rng rng(3);
+  const auto record = world.upload(rng.next_bytes(60000), 1);
+  world.deploy_partial_offload(1, 0.5, Kilometers{1500.0},
+                               storage::ibm36z15());
+  const AuditReport report = world.run_audit(record, 20);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kTiming));
+  // Data itself is intact wherever it is.
+  EXPECT_EQ(report.bad_tags, 0u);
+}
+
+TEST(PartialStorage, DetectionRateMatchesTheory) {
+  // Sweep f with small k and many trials; acceptance ~ f^k.
+  const double f = 0.9;
+  const unsigned k = 5;
+  int accepted = 0;
+  const int trials = 120;
+  Rng seeds(4);
+  for (int t = 0; t < trials; ++t) {
+    DeploymentConfig cfg = fast_config();
+    cfg.provider.seed = seeds.next_u64();
+    cfg.lan_jitter_seed = seeds.next_u64();
+    cfg.verifier.challenge_seed = seeds.next_u64();
+    cfg.verifier.signer_height = 1;  // one audit per world
+    SimulatedDeployment world(cfg);
+    Rng rng(static_cast<std::uint64_t>(t) + 100);
+    const auto record = world.upload(rng.next_bytes(30000), 1);
+    world.deploy_partial_offload(1, f, Kilometers{1500.0},
+                                 storage::ibm36z15(), seeds.next_u64());
+    accepted += world.run_audit(record, k).accepted;
+  }
+  const double expect = std::pow(f, k);  // ~0.59
+  EXPECT_NEAR(static_cast<double>(accepted) / trials, expect, 0.15);
+}
+
+TEST(PartialStorage, OffloadValidation) {
+  SimulatedDeployment world(fast_config());
+  Rng rng(5);
+  (void)world.upload(rng.next_bytes(30000), 1);
+  EXPECT_THROW(world.deploy_partial_offload(99, 0.5, Kilometers{100.0},
+                                            storage::ibm36z15()),
+               InvalidArgument);
+  Rng r2(6);
+  EXPECT_THROW(world.provider().offload_segments(1, 1.5, nullptr, r2),
+               InvalidArgument);
+}
+
+TEST(PartialStorage, ClearOffloadRestoresService) {
+  SimulatedDeployment world(fast_config());
+  Rng rng(7);
+  const auto record = world.upload(rng.next_bytes(30000), 1);
+  world.deploy_partial_offload(1, 0.0, Kilometers{1500.0},
+                               storage::ibm36z15());
+  EXPECT_FALSE(world.run_audit(record, 10).accepted);
+  world.provider().clear_offload(1);
+  EXPECT_TRUE(world.run_audit(record, 10).accepted);
+}
+
+}  // namespace
+}  // namespace geoproof::core

@@ -1,0 +1,76 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk_model.hpp"
+
+namespace geoproof::core {
+namespace {
+
+TEST(LatencyPolicy, PaperBudgetSixteenMs) {
+  // §V-C(b): Δt_VP <= 3 ms, Δt_L <= 13 ms => Δt_max ~ 16 ms.
+  const LatencyPolicy policy;  // defaults are the paper's numbers
+  EXPECT_NEAR(policy.max_round_trip().count(), 16.0, 1e-9);
+}
+
+TEST(LatencyPolicy, ForDiskCoversSampledWorstCase) {
+  const LatencyPolicy policy = LatencyPolicy::for_disk(storage::wd2500jd());
+  // Worst sampled look-up: 1.7 * 8.9 + 8.33 + transfer ~ 23.5 ms.
+  EXPECT_GT(policy.max_lookup.count(), 23.0);
+  EXPECT_LT(policy.max_lookup.count(), 24.5);
+  // And the budget must cover every sampled look-up the model can produce.
+  const storage::DiskModel model(storage::wd2500jd());
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(model.sample_lookup(512, rng).count(),
+              policy.max_lookup.count() + 1e-9);
+  }
+}
+
+TEST(PaperRelayBound, Reproduces360Km) {
+  // §V-C(b): (4/9 * 300 km/ms) * 5.406 ms / 2 = 360.4 km.
+  const storage::DiskModel best(storage::ibm36z15());
+  const Kilometers bound =
+      paper_relay_distance_bound(best.lookup_time(512));
+  EXPECT_NEAR(bound.value, 360.0, 1.0);
+}
+
+TEST(PaperRelayBound, ScalesWithDiskSpeed) {
+  // A slower remote disk leaves the relay *less* distance, not more.
+  const Kilometers fast = paper_relay_distance_bound(Millis{5.406});
+  const Kilometers slow = paper_relay_distance_bound(Millis{13.1});
+  EXPECT_GT(slow.value, fast.value);  // the formula gives time*speed: a
+  // slower disk means the Internet travels farther during the look-up. The
+  // *paper's* bound is about what distance is coverable while the remote
+  // disk works - larger look-up, larger distance covered.
+}
+
+TEST(BudgetRelayBound, EnforcedBudgetArithmetic) {
+  // Budget view: Δt_max = 16 ms, LAN RTT 1 ms, remote look-up 5.406 ms
+  // leaves 9.594 ms of Internet RTT -> one-way 4.797 ms at 133.3 km/ms
+  // ~ 639.6 km.
+  const LatencyPolicy policy;
+  const Kilometers bound = budget_relay_distance_bound(
+      policy, Millis{1.0}, Millis{5.406});
+  EXPECT_NEAR(bound.value, 639.6, 1.0);
+}
+
+TEST(BudgetRelayBound, NeverNegative) {
+  const LatencyPolicy policy;
+  // Remote look-up alone exceeds the budget: no distance is feasible.
+  const Kilometers bound = budget_relay_distance_bound(
+      policy, Millis{1.0}, Millis{20.0});
+  EXPECT_EQ(bound.value, 0.0);
+}
+
+TEST(BudgetRelayBound, TightensWithSlowerRemoteDisk) {
+  const LatencyPolicy policy;
+  const Kilometers fast = budget_relay_distance_bound(policy, Millis{1.0},
+                                                      Millis{5.406});
+  const Kilometers slow = budget_relay_distance_bound(policy, Millis{1.0},
+                                                      Millis{13.1});
+  EXPECT_GT(fast.value, slow.value);
+}
+
+}  // namespace
+}  // namespace geoproof::core

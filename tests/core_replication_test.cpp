@@ -1,0 +1,116 @@
+// Replica placement auditing across multiple sites.
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace geoproof::core {
+namespace {
+
+por::PorParams small_params() {
+  por::PorParams p;
+  p.ecc_data_blocks = 48;
+  p.ecc_parity_blocks = 16;
+  return p;
+}
+
+std::vector<ReplicatedStore::SiteSpec> three_sites() {
+  return {
+      {"bne", net::places::brisbane(), storage::wd2500jd()},
+      {"syd", net::places::sydney(), storage::find_disk("IBM 73LZX").value()},
+      {"mel", net::places::melbourne(), storage::ibm36z15()},
+  };
+}
+
+Bytes test_file() {
+  Rng rng(8);
+  return rng.next_bytes(30000);
+}
+
+TEST(Replication, AllHonestReplicasMeetPolicy) {
+  ReplicatedStore store(three_sites(), small_params(), bytes_of("master"));
+  store.upload(test_file(), 1);
+  const ReplicationReport report =
+      store.audit_all(10, ReplicaPolicy{.min_replicas = 3});
+  EXPECT_TRUE(report.all_accepted);
+  EXPECT_TRUE(report.diverse);
+  EXPECT_TRUE(report.policy_met) << report.summary();
+  ASSERT_EQ(report.sites.size(), 3u);
+}
+
+TEST(Replication, RelocatedReplicaBreaksPolicy) {
+  ReplicatedStore store(three_sites(), small_params(), bytes_of("master"));
+  store.upload(test_file(), 1);
+  // Site 1 (Sydney) quietly moves its replica 1400 km away.
+  store.site(1).deploy_remote_relay(1, Kilometers{1400.0},
+                                    storage::ibm36z15());
+  const ReplicationReport report = store.audit_all(10, ReplicaPolicy{});
+  EXPECT_FALSE(report.all_accepted);
+  EXPECT_FALSE(report.policy_met);
+  EXPECT_FALSE(report.sites[1].report.accepted);
+  EXPECT_TRUE(report.sites[0].report.accepted);
+  EXPECT_TRUE(report.sites[2].report.accepted);
+}
+
+TEST(Replication, CorruptReplicaBreaksPolicy) {
+  ReplicatedStore store(three_sites(), small_params(), bytes_of("master"));
+  store.upload(test_file(), 1);
+  Rng rng(11);
+  store.site(2).provider().corrupt_segments(1, 0.5, rng);
+  const ReplicationReport report = store.audit_all(15, ReplicaPolicy{});
+  EXPECT_FALSE(report.policy_met);
+  EXPECT_FALSE(report.sites[2].report.accepted);
+  EXPECT_TRUE(report.sites[2].report.failed(AuditFailure::kTag));
+}
+
+TEST(Replication, DiversityViolationDetected) {
+  // Two "replicas" in the same metro area: audits pass but the placement
+  // policy fails on separation.
+  std::vector<ReplicatedStore::SiteSpec> sites = {
+      {"bne-a", net::places::brisbane(), storage::wd2500jd()},
+      {"bne-b", {-27.50, 153.05}, storage::wd2500jd()},  // ~4 km away
+  };
+  ReplicatedStore store(sites, small_params(), bytes_of("master"));
+  store.upload(test_file(), 1);
+  const ReplicationReport report =
+      store.audit_all(10, ReplicaPolicy{.min_separation = Kilometers{100.0}});
+  EXPECT_TRUE(report.all_accepted);
+  EXPECT_FALSE(report.diverse);
+  EXPECT_FALSE(report.policy_met);
+}
+
+TEST(Replication, MinReplicasEnforced) {
+  std::vector<ReplicatedStore::SiteSpec> sites = {
+      {"bne", net::places::brisbane(), storage::wd2500jd()},
+  };
+  ReplicatedStore store(sites, small_params(), bytes_of("master"));
+  store.upload(test_file(), 1);
+  const ReplicationReport report =
+      store.audit_all(10, ReplicaPolicy{.min_replicas = 2});
+  EXPECT_TRUE(report.all_accepted);
+  EXPECT_FALSE(report.policy_met);
+}
+
+TEST(Replication, EachSiteHasDistinctDeviceKeys) {
+  ReplicatedStore store(three_sites(), small_params(), bytes_of("master"));
+  EXPECT_NE(store.site(0).verifier().public_key(),
+            store.site(1).verifier().public_key());
+  EXPECT_NE(store.site(1).verifier().public_key(),
+            store.site(2).verifier().public_key());
+}
+
+TEST(Replication, AuditBeforeUploadThrows) {
+  ReplicatedStore store(three_sites(), small_params(), bytes_of("master"));
+  EXPECT_THROW(store.audit_all(5, ReplicaPolicy{}), InvalidArgument);
+}
+
+TEST(Replication, NoSitesRejected) {
+  EXPECT_THROW(
+      ReplicatedStore({}, small_params(), bytes_of("master")),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geoproof::core

@@ -1,0 +1,160 @@
+// End-to-end tests of the sentinel-variant GeoProof (§IV's original
+// Juels-Kaliski flavour under the timed protocol).
+#include "core/sentinel_geoproof.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "core/provider.hpp"
+#include "net/channel.hpp"
+
+namespace geoproof::core {
+namespace {
+
+const Bytes kMaster = bytes_of("sentinel geoproof master");
+
+struct SentinelWorld {
+  por::SentinelParams params{.block_size = 16, .n_sentinels = 200};
+  SimClock clock;
+  CloudProvider provider;
+  std::unique_ptr<net::SimRequestChannel> channel;
+  net::SimAuditTimer timer{clock};
+  std::unique_ptr<VerifierDevice> verifier;
+  std::unique_ptr<SentinelAuditor> auditor;
+  SentinelAuditor::FileRecord record;
+  por::SentinelEncoded encoded;
+
+  explicit SentinelWorld(net::GeoPoint site = {-27.47, 153.02})
+      : provider(
+            CloudProvider::Config{.name = "dc", .location = site},
+            clock) {
+    Rng rng(3);
+    const por::SentinelPor por(params);
+    encoded = por.encode(rng.next_bytes(40000), 9, kMaster);
+    provider.store_blocks(9, encoded.blocks, params.block_size);
+    record = {9, encoded.n_file_blocks, encoded.total_blocks};
+
+    net::LanModelParams lan;
+    channel = std::make_unique<net::SimRequestChannel>(
+        clock, net::lan_latency(net::LanModel(lan), Kilometers{0.1}, 5),
+        provider.handler());
+    VerifierDevice::Config vcfg;
+    vcfg.position = site;
+    verifier = std::make_unique<VerifierDevice>(vcfg, *channel, timer);
+
+    SentinelAuditor::Config acfg;
+    acfg.params = params;
+    acfg.master_key = kMaster;
+    acfg.verifier_pk = verifier->public_key();
+    acfg.expected_position = site;
+    acfg.policy = LatencyPolicy::for_disk(storage::wd2500jd());
+    auditor = std::make_unique<SentinelAuditor>(acfg);
+  }
+
+  AuditReport run(unsigned count) {
+    const auto request = auditor->make_request(record, count);
+    const SignedTranscript transcript = verifier->run_block_audit(request);
+    return auditor->verify(record, transcript);
+  }
+};
+
+TEST(SentinelGeoProof, HonestProviderAccepted) {
+  SentinelWorld world;
+  const AuditReport report = world.run(20);
+  EXPECT_TRUE(report.accepted) << report.summary();
+  EXPECT_EQ(report.bad_tags, 0u);
+}
+
+TEST(SentinelGeoProof, SentinelsAreConsumed) {
+  SentinelWorld world;
+  EXPECT_EQ(world.auditor->sentinels_remaining(9), 200u);
+  (void)world.run(20);
+  EXPECT_EQ(world.auditor->sentinels_remaining(9), 180u);
+  // Exhausting the supply throws.
+  (void)world.run(180);
+  EXPECT_EQ(world.auditor->sentinels_remaining(9), 0u);
+  EXPECT_THROW(world.auditor->make_request(world.record, 1), CryptoError);
+}
+
+TEST(SentinelGeoProof, RepeatedAuditsUseFreshSentinels) {
+  SentinelWorld world;
+  const auto r1 = world.auditor->make_request(world.record, 5);
+  const auto r2 = world.auditor->make_request(world.record, 5);
+  // Different sentinels -> different positions (with overwhelming prob.).
+  EXPECT_NE(r1.positions, r2.positions);
+}
+
+TEST(SentinelGeoProof, CorruptedSentinelBlockDetected) {
+  SentinelWorld world;
+  // Corrupt the blocks at the first few sentinel positions.
+  const por::SentinelPor por(world.params);
+  for (unsigned j = 0; j < 5; ++j) {
+    const std::uint64_t pos =
+        por.sentinel_position(world.encoded, kMaster, j);
+    world.provider.tamper_segment(9, pos, 0xff);
+  }
+  const AuditReport report = world.run(5);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kTag));
+  EXPECT_EQ(report.bad_tags, 5u);
+}
+
+TEST(SentinelGeoProof, BulkCorruptionHitsSentinels) {
+  // The sentinel design's point: the provider cannot tell sentinels from
+  // data, so corrupting 30% of blocks hits ~30% of challenged sentinels.
+  SentinelWorld world;
+  Rng rng(9);
+  for (std::uint64_t i = 0; i < world.encoded.total_blocks; ++i) {
+    if (rng.next_bool(0.3)) world.provider.tamper_segment(9, i, 0x55);
+  }
+  const AuditReport report = world.run(40);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_GT(report.bad_tags, 3u);
+  EXPECT_LT(report.bad_tags, 25u);
+}
+
+TEST(SentinelGeoProof, GpsSpoofDetected) {
+  SentinelWorld world;
+  world.verifier->gps().spoof({-33.87, 151.21});
+  const AuditReport report = world.run(5);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kPosition));
+}
+
+TEST(SentinelGeoProof, ReplayRejected) {
+  SentinelWorld world;
+  const auto request = world.auditor->make_request(world.record, 5);
+  const SignedTranscript transcript = world.verifier->run_block_audit(request);
+  EXPECT_TRUE(world.auditor->verify(world.record, transcript).accepted);
+  const AuditReport replay = world.auditor->verify(world.record, transcript);
+  EXPECT_FALSE(replay.accepted);
+  EXPECT_TRUE(replay.failed(AuditFailure::kNonceMismatch));
+}
+
+TEST(SentinelGeoProof, TimingStillEnforced) {
+  // Same audit, but the provider's disk is replaced by an implausibly slow
+  // budget: every round violates.
+  SentinelWorld world;
+  SentinelAuditor::Config acfg;
+  acfg.params = world.params;
+  acfg.master_key = kMaster;
+  acfg.verifier_pk = world.verifier->public_key();
+  acfg.expected_position = {-27.47, 153.02};
+  acfg.policy = LatencyPolicy{Millis{0.01}, Millis{0.01}, Millis{0}};
+  SentinelAuditor strict(acfg);
+  const auto request = strict.make_request(world.record, 5);
+  const SignedTranscript transcript = world.verifier->run_block_audit(request);
+  const AuditReport report = strict.verify(world.record, transcript);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kTiming));
+}
+
+TEST(SentinelGeoProof, ConfigValidated) {
+  SentinelAuditor::Config cfg;
+  cfg.master_key = {};
+  EXPECT_THROW(SentinelAuditor{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geoproof::core

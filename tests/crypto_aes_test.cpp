@@ -1,0 +1,137 @@
+// AES known-answer tests from FIPS-197 Appendix C and CTR-mode properties.
+#include "crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+#include "crypto/aes_ctr.hpp"
+
+namespace geoproof::crypto {
+namespace {
+
+Bytes block_bytes(const AesBlock& b) { return Bytes(b.begin(), b.end()); }
+
+AesBlock block_of(const Bytes& b) {
+  AesBlock out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+const Bytes kFipsPlain = from_hex("00112233445566778899aabbccddeeff");
+
+TEST(Aes, Fips197Aes128) {
+  const Aes aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  EXPECT_EQ(aes.rounds(), 10);
+  const AesBlock ct = aes.encrypt(block_of(kFipsPlain));
+  EXPECT_EQ(to_hex(block_bytes(ct)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(block_bytes(aes.decrypt(ct)), kFipsPlain);
+}
+
+TEST(Aes, Fips197Aes192) {
+  const Aes aes(from_hex("000102030405060708090a0b0c0d0e0f1011121314151617"));
+  EXPECT_EQ(aes.rounds(), 12);
+  const AesBlock ct = aes.encrypt(block_of(kFipsPlain));
+  EXPECT_EQ(to_hex(block_bytes(ct)), "dda97ca4864cdfe06eaf70a0ec0d7191");
+  EXPECT_EQ(block_bytes(aes.decrypt(ct)), kFipsPlain);
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Aes aes(from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  EXPECT_EQ(aes.rounds(), 14);
+  const AesBlock ct = aes.encrypt(block_of(kFipsPlain));
+  EXPECT_EQ(to_hex(block_bytes(ct)), "8ea2b7ca516745bfeafc49904b496089");
+  EXPECT_EQ(block_bytes(aes.decrypt(ct)), kFipsPlain);
+}
+
+TEST(Aes, Sp80038aEcbAes128) {
+  // SP 800-38A F.1.1 ECB-AES128.Encrypt, first two blocks.
+  const Aes aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_EQ(to_hex(block_bytes(aes.encrypt(
+                block_of(from_hex("6bc1bee22e409f96e93d7e117393172a"))))),
+            "3ad77bb40d7a3660a89ecaf32466ef97");
+  EXPECT_EQ(to_hex(block_bytes(aes.encrypt(
+                block_of(from_hex("ae2d8a571e03ac9c9eb76fac45af8e51"))))),
+            "f5d3d58503b9699de785895a96fdbaaf");
+}
+
+TEST(Aes, InvalidKeySizeThrows) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), InvalidArgument);
+  EXPECT_THROW(Aes(Bytes(0, 0)), InvalidArgument);
+  EXPECT_THROW(Aes(Bytes(33, 0)), InvalidArgument);
+}
+
+TEST(Aes, EncryptDecryptRoundTripRandomBlocks) {
+  const Aes aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  AesBlock b{};
+  for (int trial = 0; trial < 64; ++trial) {
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(byte * 31 + trial + 1);
+    EXPECT_EQ(aes.decrypt(aes.encrypt(b)), b);
+  }
+}
+
+TEST(AesCtr, NonceMustBe12Bytes) {
+  const Bytes key(16, 0);
+  EXPECT_THROW(AesCtr(key, Bytes(11, 0)), InvalidArgument);
+  EXPECT_THROW(AesCtr(key, Bytes(16, 0)), InvalidArgument);
+}
+
+TEST(AesCtr, RoundTrip) {
+  const AesCtr ctr(Bytes(16, 0x42), Bytes(12, 0x01));
+  const Bytes plain = bytes_of("The data to be protected, longer than one block.");
+  const Bytes ct = ctr.xcrypt(plain);
+  EXPECT_NE(ct, plain);
+  EXPECT_EQ(ctr.xcrypt(ct), plain);
+}
+
+TEST(AesCtr, FirstBlockMatchesAesOfCounterZero) {
+  const Bytes key(16, 0x11);
+  const Bytes nonce(12, 0x22);
+  const AesCtr ctr(key, nonce);
+  // Keystream block 0 = AES_K(nonce || 00000000).
+  const Aes aes(key);
+  Bytes counter_block = nonce;
+  counter_block.resize(16, 0x00);
+  const AesBlock ks = aes.encrypt(block_of(counter_block));
+
+  Bytes zeros(16, 0x00);
+  ctr.xcrypt_at(0, zeros);
+  EXPECT_EQ(zeros, block_bytes(ks));
+}
+
+TEST(AesCtr, SeekMatchesLinear) {
+  const AesCtr ctr(Bytes(16, 0x07), Bytes(12, 0x09));
+  Bytes whole(100, 0x00);
+  ctr.xcrypt_at(0, whole);
+
+  // Decrypting an interior window starting at an unaligned offset must
+  // reproduce the same keystream bytes.
+  for (std::size_t off : {0u, 1u, 15u, 16u, 17u, 50u}) {
+    Bytes window(20, 0x00);
+    ctr.xcrypt_at(off, window);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      EXPECT_EQ(window[i], whole[off + i]) << "offset " << off << " i " << i;
+    }
+  }
+}
+
+TEST(AesCtr, DifferentNoncesDifferentStreams) {
+  const Bytes key(16, 0x01);
+  const AesCtr a(key, Bytes(12, 0x00));
+  const AesCtr b(key, Bytes(12, 0x01));
+  Bytes za(32, 0), zb(32, 0);
+  a.xcrypt_at(0, za);
+  b.xcrypt_at(0, zb);
+  EXPECT_NE(za, zb);
+}
+
+TEST(AesCtr, EmptyBufferNoop) {
+  const AesCtr ctr(Bytes(16, 0x01), Bytes(12, 0x00));
+  Bytes empty;
+  ctr.xcrypt_at(12345, empty);  // must not throw
+  EXPECT_TRUE(ctr.xcrypt({}).empty());
+}
+
+}  // namespace
+}  // namespace geoproof::crypto

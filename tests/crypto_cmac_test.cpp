@@ -1,0 +1,66 @@
+// AES-CMAC known-answer tests from RFC 4493 / NIST SP 800-38B.
+#include "crypto/cmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+namespace {
+
+const Bytes kKey = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+const Bytes kMsg64 = from_hex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710");
+
+std::string mac_hex(BytesView key, BytesView msg) {
+  const AesBlock t = AesCmac::compute(key, msg);
+  return to_hex(BytesView(t.data(), t.size()));
+}
+
+TEST(AesCmac, Rfc4493EmptyMessage) {
+  EXPECT_EQ(mac_hex(kKey, {}), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(AesCmac, Rfc4493OneBlock) {
+  EXPECT_EQ(mac_hex(kKey, BytesView(kMsg64.data(), 16)),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(AesCmac, Rfc4493FortyBytes) {
+  EXPECT_EQ(mac_hex(kKey, BytesView(kMsg64.data(), 40)),
+            "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(AesCmac, Rfc4493FourBlocks) {
+  EXPECT_EQ(mac_hex(kKey, kMsg64), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(AesCmac, PaddingBoundaryDistinct) {
+  // 15-, 16- and 17-byte messages exercise the padded/complete/CBC paths.
+  const AesCmac cmac(kKey);
+  const AesBlock t15 = cmac.mac(BytesView(kMsg64.data(), 15));
+  const AesBlock t16 = cmac.mac(BytesView(kMsg64.data(), 16));
+  const AesBlock t17 = cmac.mac(BytesView(kMsg64.data(), 17));
+  EXPECT_NE(t15, t16);
+  EXPECT_NE(t16, t17);
+  EXPECT_NE(t15, t17);
+}
+
+TEST(AesCmac, KeySensitivity) {
+  const Bytes other_key = from_hex("000102030405060708090a0b0c0d0e0f");
+  EXPECT_NE(mac_hex(kKey, kMsg64), mac_hex(other_key, kMsg64));
+}
+
+TEST(AesCmac, Aes256KeyWorks) {
+  const Bytes key256 = from_hex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  // RFC 4493 defines AES-128 CMAC; SP 800-38B covers other key sizes.
+  // D.3 CMAC-AES256 Example 1 (empty message).
+  EXPECT_EQ(mac_hex(key256, {}), "028962f61b7bf89efc6b551f4667d983");
+}
+
+}  // namespace
+}  // namespace geoproof::crypto

@@ -1,0 +1,56 @@
+#include "crypto/drbg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+namespace {
+
+TEST(HmacDrbg, DeterministicFromSeed) {
+  HmacDrbg a(bytes_of("seed material"));
+  HmacDrbg b(bytes_of("seed material"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(HmacDrbg, DifferentSeedsDiffer) {
+  HmacDrbg a(bytes_of("seed-a"));
+  HmacDrbg b(bytes_of("seed-b"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, SequentialOutputsDiffer) {
+  HmacDrbg d(bytes_of("seed"));
+  const Bytes x = d.generate(32);
+  const Bytes y = d.generate(32);
+  EXPECT_NE(x, y);
+}
+
+TEST(HmacDrbg, GenerateLengths) {
+  HmacDrbg d(bytes_of("seed"));
+  for (std::size_t len : {1u, 16u, 31u, 32u, 33u, 100u, 1000u}) {
+    EXPECT_EQ(d.generate(len).size(), len);
+  }
+}
+
+TEST(HmacDrbg, ReseedChangesStream) {
+  HmacDrbg a(bytes_of("seed"));
+  HmacDrbg b(bytes_of("seed"));
+  (void)a.generate(16);
+  (void)b.generate(16);
+  b.reseed(bytes_of("extra entropy"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, OutputLooksUniform) {
+  // Crude sanity check: all 256 byte values appear in a long output.
+  HmacDrbg d(bytes_of("uniformity"));
+  const Bytes out = d.generate(16384);
+  std::set<std::uint8_t> seen(out.begin(), out.end());
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+}  // namespace
+}  // namespace geoproof::crypto

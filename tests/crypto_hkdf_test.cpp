@@ -1,0 +1,62 @@
+// HKDF known-answer tests from RFC 5869.
+#include "crypto/hkdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+
+namespace geoproof::crypto {
+namespace {
+
+TEST(Hkdf, Rfc5869TestCase1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+
+  const Bytes prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+
+  const Bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869TestCase3ZeroSaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthExact) {
+  const Bytes prk = hkdf_extract(bytes_of("salt"), bytes_of("ikm"));
+  for (std::size_t len : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(hkdf_expand(prk, bytes_of("info"), len).size(), len);
+  }
+}
+
+TEST(Hkdf, ExpandTooLongThrows) {
+  const Bytes prk = hkdf_extract(bytes_of("salt"), bytes_of("ikm"));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), InvalidArgument);
+}
+
+TEST(Hkdf, InfoSeparatesOutputs) {
+  const Bytes prk = hkdf_extract(bytes_of("salt"), bytes_of("ikm"));
+  EXPECT_NE(hkdf_expand(prk, bytes_of("a"), 32),
+            hkdf_expand(prk, bytes_of("b"), 32));
+}
+
+TEST(Hkdf, PrefixConsistency) {
+  // Shorter outputs are prefixes of longer ones (streaming T(n) property).
+  const Bytes prk = hkdf_extract(bytes_of("s"), bytes_of("i"));
+  const Bytes long_out = hkdf_expand(prk, bytes_of("x"), 64);
+  const Bytes short_out = hkdf_expand(prk, bytes_of("x"), 16);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+}  // namespace
+}  // namespace geoproof::crypto

@@ -1,0 +1,82 @@
+// HMAC-SHA256 known-answer tests from RFC 4231.
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace geoproof::crypto {
+namespace {
+
+std::string hex_digest(const Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_digest(HmacSha256::mac(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      hex_digest(HmacSha256::mac(bytes_of("Jefe"),
+                                 bytes_of("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_digest(HmacSha256::mac(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex_digest(HmacSha256::mac(
+                key, bytes_of("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, StreamingMatchesOneShot) {
+  const Bytes key = bytes_of("secret-key");
+  const Bytes msg = bytes_of("a message split across update calls");
+  HmacSha256 h(key);
+  h.update(BytesView(msg.data(), 10));
+  h.update(BytesView(msg.data() + 10, msg.size() - 10));
+  EXPECT_EQ(h.finalize(), HmacSha256::mac(key, msg));
+}
+
+TEST(HmacSha256, ResetAllowsReuse) {
+  const Bytes key = bytes_of("k");
+  HmacSha256 h(key);
+  h.update(bytes_of("first"));
+  (void)h.finalize();
+  h.reset();
+  h.update(bytes_of("second"));
+  EXPECT_EQ(h.finalize(), HmacSha256::mac(key, bytes_of("second")));
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const Bytes msg = bytes_of("msg");
+  EXPECT_NE(HmacSha256::mac(bytes_of("key1"), msg),
+            HmacSha256::mac(bytes_of("key2"), msg));
+}
+
+TEST(Prf, LabelsSeparateDomains) {
+  const Bytes key = bytes_of("master");
+  const Bytes input = bytes_of("input");
+  EXPECT_NE(prf(key, "enc", input), prf(key, "mac", input));
+  EXPECT_NE(prf(key, "enc", input), prf(key, "enc", bytes_of("other")));
+}
+
+TEST(Prf, Deterministic) {
+  const Bytes key = bytes_of("master");
+  EXPECT_EQ(prf(key, "label", bytes_of("x")), prf(key, "label", bytes_of("x")));
+}
+
+}  // namespace
+}  // namespace geoproof::crypto

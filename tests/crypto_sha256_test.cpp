@@ -1,0 +1,105 @@
+// Known-answer tests from FIPS 180-4 / NIST examples, plus streaming
+// behaviour checks.
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+
+namespace geoproof::crypto {
+namespace {
+
+std::string hex_digest(const Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_digest(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest(Sha256::hash(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const auto msg =
+      bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(hex_digest(Sha256::hash(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_digest(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes msg = bytes_of("The quick brown fox jumps over the lazy dog");
+  const Digest oneshot = Sha256::hash(msg);
+  // Absorb in awkward chunk sizes crossing block boundaries.
+  for (std::size_t chunk : {1u, 3u, 7u, 13u, 63u, 64u, 65u}) {
+    Sha256 h;
+    std::size_t off = 0;
+    while (off < msg.size()) {
+      const std::size_t take = std::min(chunk, msg.size() - off);
+      h.update(BytesView(msg.data() + off, take));
+      off += take;
+    }
+    EXPECT_EQ(h.finalize(), oneshot) << "chunk size " << chunk;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // Lengths around the 64-byte block / 56-byte padding boundary all hash
+  // without error and produce distinct digests.
+  Digest prev{};
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x5a);
+    const Digest d = Sha256::hash(msg);
+    EXPECT_NE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  (void)h.finalize();
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(hex_digest(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, UpdateAfterFinalizeThrows) {
+  Sha256 h;
+  (void)h.finalize();
+  EXPECT_THROW(h.update(bytes_of("x")), CryptoError);
+}
+
+TEST(Sha256, DoubleFinalizeThrows) {
+  Sha256 h;
+  (void)h.finalize();
+  EXPECT_THROW(h.finalize(), CryptoError);
+}
+
+TEST(Sha256, Hash2EqualsConcatenation) {
+  const Bytes a = bytes_of("foo"), b = bytes_of("bar");
+  EXPECT_EQ(Sha256::hash2(a, b), Sha256::hash(bytes_of("foobar")));
+}
+
+TEST(Sha256, DigestBytesCopies) {
+  const Digest d = Sha256::hash(bytes_of("abc"));
+  const Bytes b = digest_bytes(d);
+  ASSERT_EQ(b.size(), kSha256DigestSize);
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), d.begin()));
+}
+
+}  // namespace
+}  // namespace geoproof::crypto

@@ -1,0 +1,115 @@
+// Property tests: measured attack acceptance rates match the theoretical
+// bounds the literature gives for each adversary.
+#include "distbound/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geoproof::distbound {
+namespace {
+
+ExchangeParams params_n(unsigned n) {
+  return ExchangeParams{.rounds = n, .max_rtt = Millis{2.0}};
+}
+
+constexpr Millis kNearLink{0.3};  // honest RTT 0.6 ms, inside the bound
+
+// Binomial-ish tolerance: 5 sigma on `trials` Bernoulli(p) samples.
+double tolerance(double p, unsigned trials) {
+  return 5.0 * std::sqrt(p * (1 - p) / trials) + 1e-3;
+}
+
+class GuessingTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GuessingTest, AcceptanceIsTwoToMinusN) {
+  const unsigned n = GetParam();
+  const unsigned trials = 4000;
+  const AttackStats stats =
+      measure_hk_guessing(trials, params_n(n), kNearLink, 1000 + n);
+  const double expect = std::pow(0.5, n);
+  EXPECT_NEAR(stats.acceptance_rate(), expect, tolerance(expect, trials))
+      << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, GuessingTest, ::testing::Values(1u, 2u, 4u, 8u));
+
+class PreAskTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PreAskTest, AcceptanceIsThreeQuartersToN) {
+  const unsigned n = GetParam();
+  const unsigned trials = 4000;
+  const AttackStats stats =
+      measure_hk_preask(trials, params_n(n), kNearLink, 2000 + n);
+  const double expect = std::pow(0.75, n);
+  EXPECT_NEAR(stats.acceptance_rate(), expect, tolerance(expect, trials))
+      << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, PreAskTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+class DistanceFraudTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DistanceFraudTest, AcceptanceIsThreeQuartersToN) {
+  const unsigned n = GetParam();
+  const unsigned trials = 4000;
+  const AttackStats stats =
+      measure_hk_distance_fraud(trials, params_n(n), kNearLink, 3000 + n);
+  const double expect = std::pow(0.75, n);
+  EXPECT_NEAR(stats.acceptance_rate(), expect, tolerance(expect, trials))
+      << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, DistanceFraudTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(RelayAttack, AlwaysCaughtWhenRelayExceedsSlack) {
+  // Honest RTT 0.6 ms, threshold 2.0 ms: a relay adding 2 x 1.0 ms per
+  // round pushes every round to 2.6 ms.
+  const AttackStats stats =
+      measure_relay(200, params_n(16), kNearLink, Millis{1.0}, 4000);
+  EXPECT_EQ(stats.accepted, 0u);
+}
+
+TEST(RelayAttack, UndetectedWhenInsideSlack) {
+  // A relay to a *very* close accomplice (0.1 ms leg) stays under the
+  // threshold: distance bounding only bounds, it cannot pinpoint.
+  const AttackStats stats =
+      measure_relay(200, params_n(16), kNearLink, Millis{0.1}, 4100);
+  EXPECT_EQ(stats.accepted, 200u);
+}
+
+TEST(RelayAttack, ThresholdIsSharp) {
+  // Slack = 2.0 - 0.6 = 1.4 ms of allowable extra RTT; relay legs of
+  // 0.69 ms (RTT 1.38) pass and 0.71 ms (RTT 1.42) fail.
+  EXPECT_EQ(measure_relay(50, params_n(8), kNearLink, Millis{0.69}, 42).accepted,
+            50u);
+  EXPECT_EQ(measure_relay(50, params_n(8), kNearLink, Millis{0.71}, 43).accepted,
+            0u);
+}
+
+TEST(TerroristFraud, HanckeKuhnVulnerable) {
+  const TerroristOutcome out =
+      simulate_terrorist_hancke_kuhn(params_n(32), kNearLink, 5000);
+  EXPECT_TRUE(out.accepted);                 // the attack works...
+  EXPECT_FALSE(out.long_term_secret_leaked); // ...and costs the prover nothing
+}
+
+TEST(TerroristFraud, ReidDeters) {
+  const TerroristOutcome out =
+      simulate_terrorist_reid(params_n(32), kNearLink, 5001);
+  EXPECT_TRUE(out.accepted);                // the accomplice still passes...
+  EXPECT_TRUE(out.long_term_secret_leaked); // ...but the registers leak s
+}
+
+TEST(AttackStats, RateArithmetic) {
+  AttackStats s;
+  EXPECT_EQ(s.acceptance_rate(), 0.0);
+  s.trials = 10;
+  s.accepted = 4;
+  EXPECT_DOUBLE_EQ(s.acceptance_rate(), 0.4);
+}
+
+}  // namespace
+}  // namespace geoproof::distbound

@@ -1,0 +1,96 @@
+// Noisy-channel distance bounding (the setting of the paper's refs [30],
+// [40]): honest sessions must survive realistic bit-error rates once the
+// acceptance rule tolerates a bounded number of errors, without widening
+// the adversary's window beyond the binomial slack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distbound/attacks.hpp"
+#include "distbound/hancke_kuhn.hpp"
+
+namespace geoproof::distbound {
+namespace {
+
+double honest_acceptance(unsigned rounds, unsigned tolerance, double noise,
+                         unsigned trials, std::uint64_t seed) {
+  Rng rng(seed);
+  unsigned accepted = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    SimClock clock;
+    const ExchangeParams params{.rounds = rounds,
+                                .max_rtt = Millis{2.0},
+                                .max_bit_errors = tolerance,
+                                .bit_flip_prob = noise};
+    const Bytes secret = rng.next_bytes(32);
+    const auto res =
+        run_hancke_kuhn(clock, Millis{0.3}, params, secret, rng);
+    accepted += res.exchange.accepted;
+  }
+  return static_cast<double>(accepted) / trials;
+}
+
+TEST(NoisyChannel, ZeroToleranceFailsUnderNoise) {
+  // 2% bit-flip per direction, 32 rounds. A flipped *response* is always
+  // an error; a flipped *challenge* makes the prover answer the other
+  // register, which matches the expected bit half the time. Per-round
+  // error rate: (1-p)*p + p*(1/2) = 2.96%, so strict acceptance is
+  // 0.9704^32 ~ 38% - strict protocols are unusable on noisy channels.
+  const double p = 0.02;
+  const double rate = honest_acceptance(32, 0, p, 1500, 1);
+  const double p_round = (1.0 - p) * p + p * 0.5;
+  const double expect = std::pow(1.0 - p_round, 32);
+  EXPECT_NEAR(rate, expect, 0.06);
+}
+
+TEST(NoisyChannel, ToleranceRestoresAvailability) {
+  // Allowing 4 errors in 32 rounds at the same noise level: acceptance
+  // goes from ~27% to >95% (binomial tail).
+  const double strict = honest_acceptance(32, 0, 0.02, 800, 2);
+  const double tolerant = honest_acceptance(32, 4, 0.02, 800, 3);
+  EXPECT_LT(strict, 0.45);
+  EXPECT_GT(tolerant, 0.90);
+}
+
+TEST(NoisyChannel, NoiselessUnaffectedByTolerance) {
+  EXPECT_DOUBLE_EQ(honest_acceptance(32, 0, 0.0, 50, 4), 1.0);
+  EXPECT_DOUBLE_EQ(honest_acceptance(32, 4, 0.0, 50, 5), 1.0);
+}
+
+TEST(NoisyChannel, ToleranceWidensAttackWindowPredictably) {
+  // The price of tolerance: a guessing adversary now wins if it gets at
+  // least n - tol bits right: sum_{j<=tol} C(n,j) 2^-n. For n = 16,
+  // tol = 2 that is (1 + 16 + 120) * 2^-16 ~ 0.21%.
+  const ExchangeParams params{.rounds = 16,
+                              .max_rtt = Millis{2.0},
+                              .max_bit_errors = 2};
+  const auto stats = measure_hk_guessing(20000, params, Millis{0.3}, 6);
+  const double expect = (1.0 + 16.0 + 120.0) / 65536.0;
+  EXPECT_NEAR(stats.acceptance_rate(), expect, 0.002);
+}
+
+TEST(NoisyChannel, ErrorCountsMatchBinomialMean) {
+  Rng rng(7);
+  const ExchangeParams params{.rounds = 64,
+                              .max_rtt = Millis{2.0},
+                              .max_bit_errors = 64,  // count only
+                              .bit_flip_prob = 0.05};
+  double total_errors = 0;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    SimClock clock;
+    const Bytes secret = rng.next_bytes(32);
+    const auto res = run_hancke_kuhn(clock, Millis{0.3}, params, secret, rng);
+    total_errors += res.exchange.bit_errors;
+  }
+  // Per-round error probability: challenge flip always causes a mismatch
+  // only if the two registers differ at that index (probability 1/2 when
+  // the challenge was answered for the wrong branch) plus response flips.
+  // Expected round-error rate: p_resp + p_chal * 1/2 (- overlap), with
+  // p = 0.05: 0.05 + 0.05*0.5 - small ~ 0.073.
+  const double mean_rate = total_errors / (trials * 64.0);
+  EXPECT_NEAR(mean_rate, 0.073, 0.012);
+}
+
+}  // namespace
+}  // namespace geoproof::distbound

@@ -1,0 +1,125 @@
+#include "ecc/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace geoproof::ecc {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(gf::add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(gf::add(0xff, 0xff), 0);
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf::mul(v, 1), v);
+    EXPECT_EQ(gf::mul(1, v), v);
+    EXPECT_EQ(gf::mul(v, 0), 0);
+    EXPECT_EQ(gf::mul(0, v), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                gf::mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MulAssociative) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 19) {
+      for (int c = 1; c < 256; c += 23) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(gf::mul(gf::mul(x, y), z), gf::mul(x, gf::mul(y, z)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, Distributive) {
+  for (int a = 0; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 29) {
+      for (int c = 0; c < 256; c += 31) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(gf::mul(x, gf::add(y, z)),
+                  gf::add(gf::mul(x, y), gf::mul(x, z)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, EveryNonzeroHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf::mul(v, gf::inv(v)), 1) << "a = " << a;
+  }
+}
+
+TEST(Gf256, InverseOfZeroThrows) {
+  EXPECT_THROW(gf::inv(0), InvalidArgument);
+  EXPECT_THROW(gf::div(1, 0), InvalidArgument);
+  EXPECT_THROW(gf::log(0), InvalidArgument);
+}
+
+TEST(Gf256, DivMatchesMulInv) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 9) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf::div(x, y), gf::mul(x, gf::inv(y)));
+    }
+  }
+}
+
+TEST(Gf256, ExpLogRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf::exp(gf::log(v)), v);
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // alpha = 2 generates all 255 non-zero elements.
+  std::uint8_t x = 1;
+  for (int i = 1; i < 255; ++i) {
+    x = gf::mul(x, 2);
+    EXPECT_NE(x, 1) << "order divides " << i;
+  }
+  EXPECT_EQ(gf::mul(x, 2), 1);  // alpha^255 = 1
+}
+
+TEST(Gf256, ExpWrapsMod255) {
+  EXPECT_EQ(gf::exp(0), gf::exp(255));
+  EXPECT_EQ(gf::exp(1), gf::exp(256));
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (std::uint8_t base : {std::uint8_t{2}, std::uint8_t{3}, std::uint8_t{0x53}}) {
+    std::uint8_t acc = 1;
+    for (unsigned n = 0; n < 300; ++n) {
+      EXPECT_EQ(gf::pow(base, n), acc) << "base " << int(base) << " n " << n;
+      acc = gf::mul(acc, base);
+    }
+  }
+  EXPECT_EQ(gf::pow(0, 0), 1);
+  EXPECT_EQ(gf::pow(0, 5), 0);
+}
+
+TEST(Gf256, KnownProducts) {
+  // Spot values under polynomial 0x11d: 2*128 = 0x1d (reduction kicks in).
+  EXPECT_EQ(gf::mul(0x02, 0x80), 0x1d);
+  EXPECT_EQ(gf::mul(0x80, 0x80), gf::pow(0x80, 2));
+}
+
+}  // namespace
+}  // namespace geoproof::ecc

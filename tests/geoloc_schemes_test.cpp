@@ -1,0 +1,195 @@
+#include "geoloc/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace geoproof::geoloc {
+namespace {
+
+using net::GeoPoint;
+using net::haversine;
+using net::InternetModel;
+using net::InternetModelParams;
+
+InternetModel clean_model() {
+  InternetModelParams p;
+  p.jitter_stddev_ms = 0;
+  return InternetModel(p);
+}
+
+TEST(HonestProbe, RttGrowsWithLandmarkDistance) {
+  const auto probe = honest_probe(clean_model(), net::places::brisbane());
+  const Landmark near{"Brisbane", net::places::brisbane()};
+  const Landmark far{"Perth", net::places::perth()};
+  EXPECT_LT(probe(near).count(), probe(far).count());
+}
+
+TEST(DelayPaddedProbe, AddsExactPadding) {
+  const auto base = honest_probe(clean_model(), net::places::sydney());
+  const auto padded = delay_padded_probe(base, Millis{25.0});
+  const Landmark lm{"Brisbane", net::places::brisbane()};
+  EXPECT_NEAR(padded(lm).count(), base(lm).count() + 25.0, 1e-9);
+}
+
+TEST(DelayPaddedProbe, RejectsNegativePadding) {
+  const auto base = honest_probe(clean_model(), net::places::sydney());
+  EXPECT_THROW(delay_padded_probe(base, Millis{-1.0}), InvalidArgument);
+  EXPECT_THROW(delay_padded_probe(nullptr, Millis{1.0}), InvalidArgument);
+}
+
+TEST(GeoPing, PicksNearestLandmarkForHonestTarget) {
+  const GeoPing gp(australian_landmarks());
+  // Target in Sydney: nearest landmark is the Sydney one.
+  const auto probe = honest_probe(clean_model(), net::places::sydney());
+  const GeoPoint est = gp.locate(probe);
+  EXPECT_NEAR(haversine(est, net::places::sydney()).value, 0.0, 1.0);
+}
+
+TEST(GeoPing, ErrorBoundedByLandmarkDensity) {
+  // A target between landmarks (rural NSW) maps to some capital; the error
+  // is the distance to the nearest landmark - potentially hundreds of km.
+  const GeoPing gp(australian_landmarks());
+  const GeoPoint outback{-31.0, 146.0};
+  const auto probe = honest_probe(clean_model(), outback);
+  const GeoPoint est = gp.locate(probe);
+  const double err = haversine(est, outback).value;
+  EXPECT_GT(err, 100.0);   // cannot do better than landmark spacing
+  EXPECT_LT(err, 1000.0);  // but lands on *some* nearby capital
+}
+
+TEST(GeoPing, DelayPaddingDisplacesEstimate) {
+  // Padding makes everything look far; the argmin landmark can flip and the
+  // estimate no longer tracks the true position reliably. With uniform
+  // padding the ordering survives, so pad asymmetrically by distance-
+  // dependent queueing (modelled: pad only when the landmark is close).
+  const GeoPing gp(australian_landmarks());
+  const GeoPoint truth = net::places::sydney();
+  const auto base = honest_probe(clean_model(), truth);
+  const RttProbe adversarial = [&base](const Landmark& lm) {
+    const Millis honest = base(lm);
+    // The malicious target answers slowly to nearby landmarks only.
+    return honest.count() < 40.0 ? honest + Millis{60.0} : honest;
+  };
+  const GeoPoint est = gp.locate(adversarial);
+  EXPECT_GT(haversine(est, truth).value, 500.0);
+}
+
+TEST(GeoPing, RequiresLandmarks) {
+  EXPECT_THROW(GeoPing({}), InvalidArgument);
+}
+
+TEST(OctantLite, HonestTargetInsideRegion) {
+  const OctantLite oct(australian_landmarks(), clean_model());
+  const GeoPoint truth = net::places::melbourne();
+  const auto region = oct.locate(honest_probe(clean_model(), truth));
+  ASSERT_FALSE(region.empty);
+  // The centroid should be within a few hundred km of the truth and the
+  // region should have non-trivial area (geolocation is rough).
+  EXPECT_LT(haversine(region.centroid, truth).value, 500.0);
+  EXPECT_GT(region.area_km2, 0.0);
+}
+
+TEST(OctantLite, PaddingInflatesOrEmptiesRegion) {
+  const OctantLite oct(australian_landmarks(), clean_model());
+  const GeoPoint truth = net::places::melbourne();
+  const auto honest_region = oct.locate(honest_probe(clean_model(), truth));
+  const auto padded_region = oct.locate(
+      delay_padded_probe(honest_probe(clean_model(), truth), Millis{80.0}));
+  ASSERT_FALSE(honest_region.empty);
+  // Padded delays claim "everything is far": the annuli exclude the true
+  // position, so either the region vanishes or its centroid moves away.
+  if (!padded_region.empty) {
+    EXPECT_GT(haversine(padded_region.centroid, truth).value,
+              haversine(honest_region.centroid, truth).value);
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(OctantLite, ParameterValidation) {
+  EXPECT_THROW(OctantLite({}, clean_model()), InvalidArgument);
+  EXPECT_THROW(OctantLite(australian_landmarks(), clean_model(), 1.5),
+               InvalidArgument);
+  EXPECT_THROW(OctantLite(australian_landmarks(), clean_model(), 0.3, 2),
+               InvalidArgument);
+}
+
+TEST(TbgMultilateration, LocatesHonestTargetWell) {
+  const TbgMultilateration tbg(australian_landmarks(), clean_model());
+  for (const GeoPoint truth : {net::places::sydney(), net::places::adelaide(),
+                               GeoPoint{-30.0, 145.0}}) {
+    const GeoPoint est = tbg.locate(honest_probe(clean_model(), truth));
+    EXPECT_LT(haversine(est, truth).value, 150.0)
+        << "target " << truth.lat_deg << "," << truth.lon_deg;
+  }
+}
+
+TEST(TbgMultilateration, JitterDegradesAccuracy) {
+  const TbgMultilateration tbg(australian_landmarks(), clean_model());
+  const GeoPoint truth{-29.0, 147.0};
+  const GeoPoint clean_est = tbg.locate(honest_probe(clean_model(), truth));
+  InternetModelParams noisy;
+  noisy.jitter_stddev_ms = 8.0;  // congested paths
+  const InternetModel noisy_model(noisy);
+  const GeoPoint noisy_est = tbg.locate(honest_probe(noisy_model, truth, 99));
+  EXPECT_LE(haversine(clean_est, truth).value,
+            haversine(noisy_est, truth).value + 50.0);
+}
+
+TEST(TbgMultilateration, DelayPaddingDefeatsIt) {
+  // §III-B's security claim: schemes assume an honest target. 60 ms of
+  // padding inflates every distance estimate and drags the fix far away.
+  const TbgMultilateration tbg(australian_landmarks(), clean_model());
+  const GeoPoint truth = net::places::brisbane();
+  const GeoPoint honest_est = tbg.locate(honest_probe(clean_model(), truth));
+  const GeoPoint attacked_est = tbg.locate(
+      delay_padded_probe(honest_probe(clean_model(), truth), Millis{60.0}));
+  EXPECT_LT(haversine(honest_est, truth).value, 150.0);
+  EXPECT_GT(haversine(attacked_est, truth).value, 400.0);
+}
+
+TEST(TbgMultilateration, NeedsThreeLandmarks) {
+  std::vector<Landmark> two = {australian_landmarks()[0],
+                               australian_landmarks()[1]};
+  EXPECT_THROW(TbgMultilateration(two, clean_model()), InvalidArgument);
+}
+
+TEST(IpMappingDb, ReturnsRecordedLocation) {
+  IpMappingDb db;
+  db.add("storage.example.au", net::places::sydney());
+  EXPECT_TRUE(db.contains("storage.example.au"));
+  EXPECT_EQ(db.locate("storage.example.au"), net::places::sydney());
+}
+
+TEST(IpMappingDb, UnknownHostThrows) {
+  IpMappingDb db;
+  EXPECT_FALSE(db.contains("nowhere"));
+  EXPECT_THROW(db.locate("nowhere"), InvalidArgument);
+}
+
+TEST(IpMappingDb, AdversaryControlsTheAnswer) {
+  // A provider that registers a Sydney address while hosting in Singapore:
+  // the scheme's "estimate" is whatever the database says - error unbounded
+  // and undetectable from the mapping alone.
+  IpMappingDb db;
+  const GeoPoint claimed = net::places::sydney();
+  const GeoPoint actual{1.3521, 103.8198};  // Singapore
+  db.add("cloud.example.au", claimed);
+  const GeoPoint est = db.locate("cloud.example.au");
+  EXPECT_GT(haversine(est, actual).value, 5000.0);
+}
+
+TEST(AustralianLandmarks, EightDistinctCities) {
+  const auto lms = australian_landmarks();
+  ASSERT_EQ(lms.size(), 8u);
+  for (std::size_t i = 0; i < lms.size(); ++i) {
+    for (std::size_t j = i + 1; j < lms.size(); ++j) {
+      EXPECT_GT(haversine(lms[i].pos, lms[j].pos).value, 100.0)
+          << lms[i].name << " vs " << lms[j].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geoproof::geoloc

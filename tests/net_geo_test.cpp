@@ -1,0 +1,77 @@
+#include "net/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geoproof::net {
+namespace {
+
+TEST(Haversine, ZeroDistanceForSamePoint) {
+  const GeoPoint p{-27.47, 153.02};
+  EXPECT_NEAR(haversine(p, p).value, 0.0, 1e-9);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a = places::brisbane();
+  const GeoPoint b = places::perth();
+  EXPECT_NEAR(haversine(a, b).value, haversine(b, a).value, 1e-9);
+}
+
+TEST(Haversine, BrisbaneSydneyApprox730km) {
+  // The paper's Table III lists 722 km (road-adjusted Google Maps line);
+  // great-circle is ~730 km.
+  const double d = haversine(places::brisbane(), places::sydney()).value;
+  EXPECT_NEAR(d, 730.0, 30.0);
+}
+
+TEST(Haversine, BrisbanePerthApprox3605km) {
+  const double d = haversine(places::brisbane(), places::perth()).value;
+  EXPECT_NEAR(d, 3605.0, 100.0);
+}
+
+TEST(Haversine, TriangleInequality) {
+  const GeoPoint a = places::brisbane();
+  const GeoPoint b = places::melbourne();
+  const GeoPoint c = places::adelaide();
+  EXPECT_LE(haversine(a, c).value,
+            haversine(a, b).value + haversine(b, c).value + 1e-9);
+}
+
+TEST(Table3Survey, MatchesPaperRows) {
+  const auto rows = table3_survey();
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_EQ(rows[0].url, "uq.edu.au");
+  EXPECT_EQ(rows[0].paper_latency_ms, 18);
+  EXPECT_EQ(rows[8].url, "uwa.edu.au");
+  EXPECT_EQ(rows[8].paper_distance_km, 3605);
+  EXPECT_EQ(rows[8].paper_latency_ms, 82);
+}
+
+TEST(Table3Survey, LatencyIncreasesWithDistance) {
+  // The paper's headline observation for Table III.
+  const auto rows = table3_survey();
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    EXPECT_LE(rows[i].paper_distance_km, rows[i + 1].paper_distance_km);
+    EXPECT_LE(rows[i].paper_latency_ms, rows[i + 1].paper_latency_ms);
+  }
+}
+
+TEST(Table3Survey, GreatCircleRoughlyMatchesPaperDistances) {
+  // Our coordinates should reproduce the paper's distance column within
+  // geography noise (the paper used a point-to-point web calculator).
+  for (const auto& row : table3_survey()) {
+    if (row.paper_distance_km < 50) continue;  // same-city rows
+    const double d = haversine(places::brisbane(), row.pos).value;
+    EXPECT_NEAR(d, row.paper_distance_km, row.paper_distance_km * 0.15)
+        << row.url;
+  }
+}
+
+TEST(Table2Survey, MatchesPaperRows) {
+  const auto rows = table2_survey();
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows[0].distance_km, 0.0);
+  EXPECT_EQ(rows[7].distance_km, 45.0);
+}
+
+}  // namespace
+}  // namespace geoproof::net

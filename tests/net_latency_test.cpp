@@ -1,0 +1,123 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/geo.hpp"
+
+namespace geoproof::net {
+namespace {
+
+TEST(LanModel, PropagationMatchesPaperConstant) {
+  // §V-E: fibre carries data at 200 km/ms, so 200 km one-way ~ 1 ms.
+  LanModelParams p;
+  p.switch_hops = 0;
+  p.jitter_stddev_ms = 0;
+  const LanModel lan(p);
+  EXPECT_NEAR(lan.one_way(Kilometers{200.0}, 0).count(), 1.0, 1e-9);
+}
+
+TEST(LanModel, CampusDistancesUnderOneMillisecond) {
+  // Table II: all QUT probes (up to 45 km) measured < 1 ms.
+  const LanModel lan;
+  for (const auto& row : table2_survey()) {
+    const Millis rtt = lan.rtt(Kilometers{row.distance_km}, 64, 1024);
+    EXPECT_LT(rtt.count(), 1.0) << "machine " << row.machine;
+  }
+}
+
+TEST(LanModel, EthernetWorstCasePropagationMatchesPaper) {
+  // §V-E cites 0.0256 ms worst-case Ethernet propagation; our model at the
+  // max Ethernet segment scale stays in that order of magnitude.
+  LanModelParams p;
+  p.switch_hops = 0;
+  p.jitter_stddev_ms = 0;
+  const LanModel lan(p);
+  // ~5 km of cable ~ 0.025 ms.
+  EXPECT_NEAR(lan.one_way(Kilometers{5.0}, 0).count(), 0.025, 0.002);
+}
+
+TEST(LanModel, TransmissionScalesWithSize) {
+  LanModelParams p;
+  p.jitter_stddev_ms = 0;
+  const LanModel lan(p);
+  const double small = lan.one_way(Kilometers{0.1}, 64).count();
+  const double big = lan.one_way(Kilometers{0.1}, 64 * 1024).count();
+  EXPECT_GT(big, small);
+  // 64 KiB at 1 Gbps is ~0.52 ms of serialisation.
+  EXPECT_NEAR(big - small, 0.524, 0.01);
+}
+
+TEST(LanModel, JitterOnlyAddsDelay) {
+  const LanModel lan;  // default jitter on
+  Rng rng(5);
+  const Millis base = lan.one_way(Kilometers{1.0}, 128);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(lan.sample_one_way(Kilometers{1.0}, 128, rng).count(),
+              base.count());
+  }
+}
+
+TEST(InternetModel, PaperSpeedExample) {
+  // §V-F: at 4/9 c, a 3 ms RTT covers 200 km one-way. With no base latency
+  // and perfectly straight routes our model reproduces that exactly.
+  InternetModelParams p;
+  p.base_rtt = Millis{0};
+  p.route_efficiency = 1.0;
+  p.jitter_stddev_ms = 0;
+  const InternetModel inet(p);
+  EXPECT_NEAR(inet.rtt(Kilometers{200.0}).count(), 3.0, 1e-9);
+}
+
+TEST(InternetModel, MonotoneInDistance) {
+  const InternetModel inet;
+  double prev = 0;
+  for (double d : {0.0, 10.0, 100.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+    const double t = inet.rtt(Kilometers{d}).count();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(InternetModel, ReproducesTable3Magnitudes) {
+  // Calibration check: model RTT within ~25% or 6 ms of each paper row.
+  const InternetModel inet;
+  for (const auto& row : table3_survey()) {
+    const double t = inet.rtt(Kilometers{row.paper_distance_km}).count();
+    const double tolerance = std::max(6.0, row.paper_latency_ms * 0.25);
+    EXPECT_NEAR(t, row.paper_latency_ms, tolerance) << row.url;
+  }
+}
+
+TEST(InternetModel, LanIsOrdersOfMagnitudeFaster) {
+  // The architectural premise (§V-E): placing the verifier on the provider's
+  // LAN removes Internet latency from the timing budget.
+  const LanModel lan;
+  const InternetModel inet;
+  const double lan_rtt = lan.rtt(Kilometers{0.5}, 64, 1024).count();
+  const double inet_rtt = inet.rtt(Kilometers{0.5}).count();
+  EXPECT_LT(lan_rtt, 0.1);
+  EXPECT_GT(inet_rtt, 15.0);
+}
+
+TEST(InternetModel, JitterStaysAboveFloor) {
+  const InternetModel inet;
+  Rng rng(9);
+  const double floor = inet.rtt(Kilometers{1000.0}).count() * 0.6;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(inet.sample_rtt(Kilometers{1000.0}, rng).count(), floor);
+  }
+}
+
+TEST(InternetModel, SampledMeanNearDeterministic) {
+  const InternetModel inet;
+  Rng rng(11);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += inet.sample_rtt(Kilometers{1000.0}, rng).count();
+  }
+  EXPECT_NEAR(sum / n, inet.rtt(Kilometers{1000.0}).count(), 0.2);
+}
+
+}  // namespace
+}  // namespace geoproof::net

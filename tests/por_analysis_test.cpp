@@ -1,0 +1,152 @@
+#include "por/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace geoproof::por {
+namespace {
+
+TEST(DetectionProbability, PaperExample71Percent) {
+  // §V-C(a): 1,000,000 segments, 1,000 queried per challenge, corruption
+  // rate such that detection ~ 71.3% - i.e. ~1,250 corrupted segments
+  // (1 - (1 - 0.00125)^1000 = 0.7135).
+  const double p = detection_probability(1'000'000, 1'250, 1'000);
+  EXPECT_NEAR(p, 0.713, 0.005);
+  const double p_iid = detection_probability_iid(0.00125, 1'000);
+  EXPECT_NEAR(p_iid, 0.7135, 0.001);
+}
+
+TEST(DetectionProbability, EdgeCases) {
+  EXPECT_EQ(detection_probability(100, 0, 10), 0.0);
+  EXPECT_EQ(detection_probability(100, 100, 1), 1.0);
+  // Pigeonhole: querying more segments than there are clean ones.
+  EXPECT_EQ(detection_probability(100, 50, 51), 1.0);
+  EXPECT_THROW(detection_probability(0, 0, 1), InvalidArgument);
+  EXPECT_THROW(detection_probability(10, 11, 1), InvalidArgument);
+}
+
+TEST(DetectionProbability, MonotoneInChallengeSize) {
+  double prev = -1;
+  for (unsigned k : {1u, 10u, 100u, 500u, 1000u}) {
+    const double p = detection_probability(10'000, 50, k);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DetectionProbability, HypergeometricVsIidClose) {
+  // For small sampling fractions the two models agree closely.
+  const double h = detection_probability(1'000'000, 5'000, 200);
+  const double i = detection_probability_iid(0.005, 200);
+  EXPECT_NEAR(h, i, 0.002);
+}
+
+TEST(DetectionProbability, MatchesMonteCarlo) {
+  // Property check against simulation: n=2000 segments, m=40 corrupted,
+  // k=50 queries.
+  const double closed = detection_probability(2000, 40, 50);
+  Rng rng(77);
+  int detected = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    // Sample k distinct indices; detection iff any < m (corrupt the first
+    // m w.l.o.g. - the challenge is uniform).
+    bool hit = false;
+    std::uint64_t remaining = 2000, need = 50;
+    for (std::uint64_t i = 0; i < 2000 && need > 0; ++i) {
+      if (rng.next_below(remaining) < need) {
+        --need;
+        if (i < 40) {
+          hit = true;
+          break;
+        }
+      }
+      --remaining;
+    }
+    detected += hit;
+  }
+  EXPECT_NEAR(static_cast<double>(detected) / trials, closed, 0.01);
+}
+
+TEST(ChallengesForDetection, InvertsTheFormula) {
+  const unsigned k = challenges_for_detection(0.00125, 0.7135);
+  EXPECT_NEAR(k, 1000u, 5u);
+  // And the result actually achieves the target.
+  EXPECT_GE(detection_probability_iid(0.00125, k), 0.7135 - 1e-6);
+}
+
+TEST(ChallengesForDetection, ValidatesInput) {
+  EXPECT_THROW(challenges_for_detection(0.0, 0.5), InvalidArgument);
+  EXPECT_THROW(challenges_for_detection(0.5, 1.0), InvalidArgument);
+}
+
+TEST(BinomialTail, KnownSmallCases) {
+  // X ~ Bin(3, 0.5): P[X > 1] = P[2] + P[3] = 3/8 + 1/8 = 0.5.
+  EXPECT_NEAR(binomial_tail_gt(3, 0.5, 1), 0.5, 1e-12);
+  // P[X > 2] = 1/8.
+  EXPECT_NEAR(binomial_tail_gt(3, 0.5, 2), 0.125, 1e-12);
+  EXPECT_EQ(binomial_tail_gt(3, 0.5, 3), 0.0);
+  EXPECT_EQ(binomial_tail_gt(10, 0.0, 0), 0.0);
+  EXPECT_EQ(binomial_tail_gt(10, 1.0, 5), 1.0);
+}
+
+TEST(BinomialTail, MatchesMonteCarlo) {
+  Rng rng(88);
+  const int trials = 50000;
+  int above = 0;
+  for (int t = 0; t < trials; ++t) {
+    int x = 0;
+    for (int i = 0; i < 255; ++i) x += rng.next_bool(0.02);
+    above += x > 10;
+  }
+  const double closed = binomial_tail_gt(255, 0.02, 10);
+  EXPECT_NEAR(static_cast<double>(above) / trials, closed, 0.01);
+}
+
+TEST(FileIrretrievable, PaperClaimHalfPercentCorruption) {
+  // §V-C(a): with 0.5% block corruption and the (255,223,32) code the
+  // adversary makes the file irretrievable with probability < 1/200,000.
+  // The 2 GB example has 153M encoded blocks ~ 600k chunks; with erasure
+  // decoding (tags localise damage) each chunk absorbs 32 bad blocks.
+  const double p_chunk_erasure =
+      binomial_tail_gt(255, 0.005, 32);
+  EXPECT_LT(p_chunk_erasure, 1e-30);  // essentially impossible per chunk
+  const double p_file =
+      file_irretrievable_probability(600'000, 255, 32, 0.005);
+  EXPECT_LT(p_file, 1.0 / 200'000.0);
+}
+
+TEST(FileIrretrievable, BlindDecodingWeaker) {
+  // Without erasure information the budget halves (16 errors): the bound
+  // is weaker but still minuscule at 0.5% corruption.
+  const double p_file =
+      file_irretrievable_probability(600'000, 255, 16, 0.005);
+  EXPECT_LT(p_file, 1.0 / 200'000.0);
+  // At 3% corruption blind decoding starts failing while erasure decoding
+  // holds on - the ordering must be strict.
+  const double blind = file_irretrievable_probability(1000, 255, 16, 0.03);
+  const double erasure = file_irretrievable_probability(1000, 255, 32, 0.03);
+  EXPECT_GT(blind, erasure);
+}
+
+TEST(FileIrretrievable, MonotoneInCorruption) {
+  double prev = -1;
+  for (double rate : {0.001, 0.01, 0.03, 0.06, 0.1}) {
+    const double p = file_irretrievable_probability(1000, 255, 16, rate);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(TagForgery, TwentyBitTagsTimesK) {
+  // One 20-bit tag: 2^-20 ~ 1e-6. A 100-round audit: 2^-2000.
+  EXPECT_NEAR(log10_tag_forgery_probability(20, 1), -6.02, 0.01);
+  EXPECT_NEAR(log10_tag_forgery_probability(20, 100), -602.06, 0.1);
+}
+
+}  // namespace
+}  // namespace geoproof::por

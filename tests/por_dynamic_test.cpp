@@ -1,0 +1,200 @@
+#include "por/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "por/merkle.hpp"
+
+namespace geoproof::por {
+namespace {
+
+const Bytes kMaster = bytes_of("dynamic por master");
+
+PorParams small_params() {
+  PorParams p;
+  p.ecc_data_blocks = 48;
+  p.ecc_parity_blocks = 16;
+  p.tag.tag_bits = 64;
+  return p;
+}
+
+crypto::Digest leaf(int v) {
+  Bytes b(4);
+  store_be32(b, static_cast<std::uint32_t>(v));
+  return crypto::Sha256::hash(b);
+}
+
+TEST(MerkleTree, SingleLeaf) {
+  MerkleTree tree({leaf(1)});
+  EXPECT_EQ(tree.size(), 1u);
+  const auto proof = tree.proof(0);
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), 0, leaf(1), proof));
+}
+
+TEST(MerkleTree, AllProofsVerify) {
+  std::vector<crypto::Digest> leaves;
+  for (int i = 0; i < 13; ++i) leaves.push_back(leaf(i));  // non-power-of-2
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < 13; ++i) {
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), i, leaf(static_cast<int>(i)),
+                                   tree.proof(i)))
+        << i;
+  }
+}
+
+TEST(MerkleTree, WrongLeafFails) {
+  std::vector<crypto::Digest> leaves = {leaf(0), leaf(1), leaf(2), leaf(3)};
+  MerkleTree tree(leaves);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 2, leaf(9), tree.proof(2)));
+}
+
+TEST(MerkleTree, WrongIndexFails) {
+  std::vector<crypto::Digest> leaves = {leaf(0), leaf(1), leaf(2), leaf(3)};
+  MerkleTree tree(leaves);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 1, leaf(2), tree.proof(2)));
+}
+
+TEST(MerkleTree, IndexBeyondTreeFails) {
+  MerkleTree tree({leaf(0), leaf(1)});
+  const auto proof = tree.proof(0);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 4, leaf(0), proof));
+}
+
+TEST(MerkleTree, UpdateChangesRootConsistently) {
+  std::vector<crypto::Digest> leaves = {leaf(0), leaf(1), leaf(2), leaf(3),
+                                        leaf(4)};
+  MerkleTree tree(leaves);
+  const crypto::Digest old_root = tree.root();
+  const auto proof = tree.proof(2);
+  const crypto::Digest predicted =
+      MerkleTree::root_after_update(2, leaf(99), proof);
+  tree.update(2, leaf(99));
+  EXPECT_NE(tree.root(), old_root);
+  EXPECT_EQ(tree.root(), predicted);
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), 2, leaf(99), tree.proof(2)));
+  // Untouched leaves still verify.
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), 0, leaf(0), tree.proof(0)));
+}
+
+TEST(MerkleTree, AppendGrows) {
+  MerkleTree tree({leaf(0)});
+  for (int i = 1; i < 20; ++i) {
+    tree.append(leaf(i));
+    EXPECT_EQ(tree.size(), static_cast<std::size_t>(i) + 1);
+    for (std::size_t j = 0; j <= static_cast<std::size_t>(i); ++j) {
+      ASSERT_TRUE(MerkleTree::verify(tree.root(), j, leaf(static_cast<int>(j)),
+                                     tree.proof(j)))
+          << "after append " << i << " leaf " << j;
+    }
+  }
+}
+
+TEST(MerkleTree, EmptyRejected) {
+  EXPECT_THROW(MerkleTree({}), InvalidArgument);
+}
+
+TEST(MerkleTree, ProofIndexValidated) {
+  MerkleTree tree({leaf(0), leaf(1)});
+  EXPECT_THROW(tree.proof(2), InvalidArgument);
+  EXPECT_THROW(tree.update(2, leaf(0)), InvalidArgument);
+}
+
+struct DynFixture {
+  PorParams params = small_params();
+  EncodedFile file;
+  DynFixture() {
+    Rng rng(42);
+    const PorEncoder enc(params);
+    file = enc.encode(rng.next_bytes(8000), 77, kMaster);
+  }
+};
+
+TEST(DynamicPor, HonestReadsVerify) {
+  DynFixture f;
+  DynamicPorProvider provider(f.file);
+  DynamicPorClient client(provider.root(), f.params, kMaster, 77);
+  for (std::uint64_t i = 0; i < provider.n_segments(); i += 7) {
+    EXPECT_TRUE(client.verify_read(i, provider.read(i))) << i;
+  }
+}
+
+TEST(DynamicPor, TamperedSegmentDetected) {
+  DynFixture f;
+  DynamicPorProvider provider(f.file);
+  DynamicPorClient client(provider.root(), f.params, kMaster, 77);
+  provider.tamper(5, 3, 0x40);
+  EXPECT_FALSE(client.verify_read(5, provider.read(5)));
+  // Other segments unaffected.
+  EXPECT_TRUE(client.verify_read(6, provider.read(6)));
+}
+
+TEST(DynamicPor, VerifiedUpdateRoundTrip) {
+  DynFixture f;
+  DynamicPorProvider provider(f.file);
+  DynamicPorClient client(provider.root(), f.params, kMaster, 77);
+
+  // Owner writes new content to segment 4.
+  Rng rng(1);
+  const Bytes new_data = rng.next_bytes(f.params.blocks_per_segment *
+                                        f.params.block_size);
+  const Bytes new_segment = client.make_segment(4, new_data);
+
+  const ReadProof old_proof = provider.read(4);
+  ASSERT_TRUE(client.apply_write(4, old_proof, new_segment));
+  const crypto::Digest provider_root = provider.write(4, new_segment);
+
+  // Client's predicted root matches the provider's actual root.
+  EXPECT_EQ(client.root(), provider_root);
+  // And subsequent reads verify against the new root.
+  EXPECT_TRUE(client.verify_read(4, provider.read(4)));
+}
+
+TEST(DynamicPor, StaleProofRejectedOnWrite) {
+  DynFixture f;
+  DynamicPorProvider provider(f.file);
+  DynamicPorClient client(provider.root(), f.params, kMaster, 77);
+
+  const ReadProof proof_before = provider.read(4);
+  // Another write happens first; the old proof for segment 4 goes stale
+  // only if it shares the path - write to a sibling-adjacent index.
+  const Bytes other = client.make_segment(5, Bytes(f.params.blocks_per_segment *
+                                                       f.params.block_size,
+                                                   0x11));
+  ASSERT_TRUE(client.apply_write(5, provider.read(5), other));
+  provider.write(5, other);
+
+  // The stale proof no longer authenticates against the advanced root.
+  EXPECT_FALSE(client.apply_write(4, proof_before,
+                                  client.make_segment(4, Bytes(80, 0x22))));
+}
+
+TEST(DynamicPor, DroppedUpdateCaughtOnNextRead) {
+  DynFixture f;
+  DynamicPorProvider provider(f.file);
+  DynamicPorClient client(provider.root(), f.params, kMaster, 77);
+
+  const Bytes new_segment = client.make_segment(
+      3, Bytes(f.params.blocks_per_segment * f.params.block_size, 0x33));
+  ASSERT_TRUE(client.apply_write(3, provider.read(3), new_segment));
+  // Provider "acknowledges" but silently discards the write.
+  // Next read of segment 3 serves the old data: proof fails against the
+  // client's advanced root.
+  EXPECT_FALSE(client.verify_read(3, provider.read(3)));
+}
+
+TEST(DynamicPor, ReadValidation) {
+  DynFixture f;
+  DynamicPorProvider provider(f.file);
+  EXPECT_THROW(provider.read(provider.n_segments()), StorageError);
+  EXPECT_THROW(provider.tamper(provider.n_segments(), 0, 1), StorageError);
+}
+
+TEST(DynamicPor, MakeSegmentValidatesSize) {
+  DynFixture f;
+  DynamicPorClient client(crypto::Digest{}, f.params, kMaster, 77);
+  EXPECT_THROW(client.make_segment(0, Bytes(3, 0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geoproof::por

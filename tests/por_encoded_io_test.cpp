@@ -1,0 +1,104 @@
+#include "por/encoded_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace geoproof::por {
+namespace {
+
+const Bytes kMaster = bytes_of("io master key");
+
+PorParams small_params() {
+  PorParams p;
+  p.ecc_data_blocks = 48;
+  p.ecc_parity_blocks = 16;
+  return p;
+}
+
+EncodedFile sample_file(std::size_t size = 5000) {
+  Rng rng(1);
+  const PorEncoder enc(small_params());
+  return enc.encode(rng.next_bytes(size), 77, kMaster);
+}
+
+TEST(EncodedIo, SerializeRoundTrip) {
+  const EncodedFile file = sample_file();
+  const Bytes wire = serialize_encoded_file(file);
+  const EncodedFile back = deserialize_encoded_file(wire);
+  EXPECT_EQ(back.file_id, file.file_id);
+  EXPECT_EQ(back.original_size, file.original_size);
+  EXPECT_EQ(back.n_data_blocks, file.n_data_blocks);
+  EXPECT_EQ(back.n_encoded_blocks, file.n_encoded_blocks);
+  EXPECT_EQ(back.n_permuted_blocks, file.n_permuted_blocks);
+  EXPECT_EQ(back.n_segments, file.n_segments);
+  EXPECT_EQ(back.segment_bytes, file.segment_bytes);
+  EXPECT_EQ(back.segments, file.segments);
+}
+
+TEST(EncodedIo, RoundTrippedFileStillExtracts) {
+  const EncodedFile file = sample_file();
+  const EncodedFile back =
+      deserialize_encoded_file(serialize_encoded_file(file));
+  const PorExtractor ext(small_params());
+  const auto a = ext.extract(file, kMaster);
+  const auto b = ext.extract(back, kMaster);
+  EXPECT_EQ(a.file, b.file);
+}
+
+TEST(EncodedIo, BadMagicRejected) {
+  Bytes wire = serialize_encoded_file(sample_file());
+  wire[0] ^= 0xff;
+  EXPECT_THROW(deserialize_encoded_file(wire), SerializeError);
+}
+
+TEST(EncodedIo, BadVersionRejected) {
+  Bytes wire = serialize_encoded_file(sample_file());
+  wire[5] ^= 0x01;  // version low byte
+  EXPECT_THROW(deserialize_encoded_file(wire), SerializeError);
+}
+
+TEST(EncodedIo, TruncationRejected) {
+  Bytes wire = serialize_encoded_file(sample_file());
+  wire.resize(wire.size() - 1);
+  EXPECT_THROW(deserialize_encoded_file(wire), SerializeError);
+}
+
+TEST(EncodedIo, TrailingBytesRejected) {
+  Bytes wire = serialize_encoded_file(sample_file());
+  wire.push_back(0x00);
+  EXPECT_THROW(deserialize_encoded_file(wire), SerializeError);
+}
+
+TEST(EncodedIo, ImplausibleGeometryRejected) {
+  // Hand-craft a header that claims 2^40 segments.
+  Bytes wire = serialize_encoded_file(sample_file());
+  // n_segments lives at offset 4+2+8*5 = 46 (u64, big-endian).
+  for (int i = 0; i < 8; ++i) wire[46 + i] = 0xff;
+  EXPECT_THROW(deserialize_encoded_file(wire), SerializeError);
+}
+
+TEST(EncodedIo, SaveLoadFile) {
+  const std::string path = "/tmp/geoproof_io_test.gprf";
+  const EncodedFile file = sample_file();
+  save_encoded_file(path, file);
+  const EncodedFile back = load_encoded_file(path);
+  EXPECT_EQ(back.segments, file.segments);
+  std::remove(path.c_str());
+}
+
+TEST(EncodedIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_encoded_file("/tmp/no/such/dir/x.gprf"), StorageError);
+}
+
+TEST(EncodedIo, SaveToBadPathThrows) {
+  EXPECT_THROW(save_encoded_file("/tmp/no/such/dir/x.gprf", sample_file()),
+               StorageError);
+}
+
+}  // namespace
+}  // namespace geoproof::por

@@ -1,0 +1,178 @@
+#include "storage/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace geoproof::storage {
+namespace {
+
+TEST(MemoryBlockStore, PutGetRoundTrip) {
+  MemoryBlockStore store;
+  store.put(0, bytes_of("alpha"));
+  store.put(1, bytes_of("beta"));
+  EXPECT_EQ(store.get(0), bytes_of("alpha"));
+  EXPECT_EQ(store.get(1), bytes_of("beta"));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(MemoryBlockStore, OverwriteReplaces) {
+  MemoryBlockStore store;
+  store.put(0, bytes_of("old"));
+  store.put(0, bytes_of("new"));
+  EXPECT_EQ(store.get(0), bytes_of("new"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MemoryBlockStore, SparsePutFillsGaps) {
+  MemoryBlockStore store;
+  store.put(5, bytes_of("five"));
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_TRUE(store.get(2).empty());
+}
+
+TEST(MemoryBlockStore, MissingIndexThrows) {
+  MemoryBlockStore store;
+  EXPECT_THROW(store.get(0), StorageError);
+  EXPECT_THROW(store.at(3), StorageError);
+}
+
+TEST(MemoryBlockStore, AtAllowsFaultInjection) {
+  MemoryBlockStore store;
+  store.put(0, bytes_of("data"));
+  store.at(0)[0] ^= 0xff;
+  EXPECT_NE(store.get(0), bytes_of("data"));
+}
+
+TEST(LruCache, HitAndMiss) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.touch(1));
+  cache.insert(1);
+  EXPECT_TRUE(cache.touch(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(3);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LruCache, TouchRefreshesRecency) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_TRUE(cache.touch(1));  // 2 is now LRU
+  cache.insert(3);              // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruCache, ZeroCapacityNeverStores) {
+  LruCache cache(0);
+  cache.insert(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, ReinsertExistingRefreshes) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(1);  // refresh, not duplicate
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(3);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+std::unique_ptr<BlockStore> make_backing(int blocks) {
+  auto store = std::make_unique<MemoryBlockStore>();
+  for (int i = 0; i < blocks; ++i) {
+    store->put(static_cast<std::uint64_t>(i), bytes_of("block"));
+  }
+  return store;
+}
+
+TEST(SimulatedDiskStore, ChargesLookupLatency) {
+  SimClock clock;
+  SimulatedDiskStore store(make_backing(10), DiskModel(wd2500jd()), clock,
+                           SimulatedDiskOptions{.sample_latency = false});
+  (void)store.get(3);
+  // Deterministic mode charges exactly the paper's average Δt_L.
+  EXPECT_NEAR(to_millis(clock.now()).count(), 13.1055, 1e-3);
+  (void)store.get(4);
+  EXPECT_NEAR(to_millis(clock.now()).count(), 2 * 13.1055, 1e-3);
+  EXPECT_NEAR(store.total_latency().count(), 2 * 13.1055, 1e-3);
+}
+
+TEST(SimulatedDiskStore, SampledLatencyVaries) {
+  SimClock clock;
+  SimulatedDiskStore store(make_backing(10), DiskModel(wd2500jd()), clock,
+                           SimulatedDiskOptions{.sample_latency = true});
+  (void)store.get(0);
+  const Nanos t1 = clock.now();
+  (void)store.get(1);
+  const Nanos t2 = clock.now() - t1;
+  EXPECT_NE(t1, t2);  // two independent samples almost surely differ
+}
+
+TEST(SimulatedDiskStore, CacheHitIsFast) {
+  SimClock clock;
+  SimulatedDiskStore store(
+      make_backing(10), DiskModel(wd2500jd()), clock,
+      SimulatedDiskOptions{.cache_blocks = 4, .sample_latency = false});
+  (void)store.get(3);  // miss
+  const Nanos after_miss = clock.now();
+  (void)store.get(3);  // hit
+  const Nanos hit_cost = clock.now() - after_miss;
+  EXPECT_EQ(store.cache_hits(), 1u);
+  EXPECT_EQ(store.cache_misses(), 1u);
+  EXPECT_LT(to_millis(hit_cost).count(), 0.1);
+}
+
+TEST(SimulatedDiskStore, PrewarmMakesFirstAccessHit) {
+  SimClock clock;
+  SimulatedDiskStore store(
+      make_backing(10), DiskModel(wd2500jd()), clock,
+      SimulatedDiskOptions{.cache_blocks = 4, .sample_latency = false});
+  const std::uint64_t indices[] = {1, 2};
+  store.prewarm(indices);
+  (void)store.get(1);
+  EXPECT_EQ(store.cache_hits(), 1u);
+  EXPECT_EQ(store.cache_misses(), 0u);
+}
+
+TEST(SimulatedDiskStore, PutDoesNotChargeClock) {
+  SimClock clock;
+  SimulatedDiskStore store(make_backing(1), DiskModel(wd2500jd()), clock,
+                           SimulatedDiskOptions{});
+  store.put(5, bytes_of("new"));
+  EXPECT_EQ(clock.now(), Nanos{0});
+  EXPECT_EQ(store.size(), 6u);
+}
+
+TEST(SimulatedDiskStore, NullBackingThrows) {
+  SimClock clock;
+  EXPECT_THROW(SimulatedDiskStore(nullptr, DiskModel(wd2500jd()), clock,
+                                  SimulatedDiskOptions{}),
+               InvalidArgument);
+}
+
+TEST(SimulatedDiskStore, FasterDiskLowerLatency) {
+  SimClock clock_fast, clock_slow;
+  SimulatedDiskStore fast(make_backing(10), DiskModel(ibm36z15()), clock_fast,
+                          SimulatedDiskOptions{.sample_latency = false});
+  SimulatedDiskStore slow(make_backing(10), DiskModel(wd2500jd()), clock_slow,
+                          SimulatedDiskOptions{.sample_latency = false});
+  (void)fast.get(0);
+  (void)slow.get(0);
+  EXPECT_LT(clock_fast.now(), clock_slow.now());
+}
+
+}  // namespace
+}  // namespace geoproof::storage

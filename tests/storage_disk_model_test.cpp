@@ -1,0 +1,95 @@
+#include "storage/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace geoproof::storage {
+namespace {
+
+TEST(DiskCatalog, HasFiveTableOneDisks) {
+  const auto disks = disk_catalog();
+  ASSERT_EQ(disks.size(), 5u);
+  EXPECT_EQ(disks[0].name, "IBM 36Z15");
+  EXPECT_EQ(disks[4].name, "Hitachi DK23DA");
+}
+
+TEST(DiskCatalog, FindByName) {
+  EXPECT_TRUE(find_disk("WD 2500JD").has_value());
+  EXPECT_EQ(find_disk("WD 2500JD")->rpm, 7200u);
+  EXPECT_FALSE(find_disk("No Such Disk").has_value());
+}
+
+TEST(DiskModel, Wd2500jdLookupMatchesPaper) {
+  // §V-D: Δt_L = 8.9 + 4.2 + 512*8/748e3 = 13.1055 ms.
+  const DiskModel disk(wd2500jd());
+  EXPECT_NEAR(disk.lookup_time(512).count(), 13.1055, 1e-3);
+  EXPECT_NEAR(disk.transfer_time(512).count(), 5.48e-3, 1e-4);
+}
+
+TEST(DiskModel, Ibm36z15LookupMatchesPaper) {
+  // §V-D: Δt_L = 3.4 + 2 + 512*8/647e3 = 5.406 ms.
+  const DiskModel disk(ibm36z15());
+  EXPECT_NEAR(disk.lookup_time(512).count(), 5.406, 1e-3);
+}
+
+TEST(DiskModel, RpmOrdersLatency) {
+  // Table I's qualitative claim: higher RPM => lower look-up latency.
+  const auto disks = disk_catalog();
+  for (std::size_t i = 0; i + 1 < disks.size(); ++i) {
+    const DiskModel faster(disks[i]);
+    const DiskModel slower(disks[i + 1]);
+    EXPECT_GT(disks[i].rpm, disks[i + 1].rpm);
+    EXPECT_LT(faster.lookup_time(512).count(), slower.lookup_time(512).count())
+        << disks[i].name << " vs " << disks[i + 1].name;
+  }
+}
+
+TEST(DiskModel, RevolutionTimeFromRpm) {
+  // 7200 RPM = 120 rev/s = 8.333 ms per revolution; avg rotate ~ half.
+  EXPECT_NEAR(wd2500jd().revolution().count(), 8.3333, 1e-3);
+  EXPECT_NEAR(ibm36z15().revolution().count(), 4.0, 1e-9);
+}
+
+TEST(DiskModel, TransferScalesWithBytes) {
+  const DiskModel disk(wd2500jd());
+  EXPECT_NEAR(disk.transfer_time(1024).count(),
+              2.0 * disk.transfer_time(512).count(), 1e-12);
+  EXPECT_EQ(disk.transfer_time(0).count(), 0.0);
+}
+
+TEST(DiskModel, SampledLookupMeanMatchesAverage) {
+  const DiskModel disk(wd2500jd());
+  Rng rng(77);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += disk.sample_lookup(512, rng).count();
+  }
+  const double mean = sum / n;
+  // Sampled seek mean = avg_seek; sampled rotation mean = revolution/2.
+  const double expected = disk.spec().avg_seek.count() +
+                          disk.spec().revolution().count() / 2.0 +
+                          disk.transfer_time(512).count();
+  EXPECT_NEAR(mean, expected, 0.05);
+}
+
+TEST(DiskModel, SampledLookupAlwaysPositive) {
+  const DiskModel disk(ibm36z15());
+  Rng rng(78);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(disk.sample_lookup(512, rng).count(), 0.0);
+  }
+}
+
+TEST(DiskModel, PaperRelayBoundArithmetic) {
+  // §V-C(b): with the best disk's 5.406 ms look-up, Internet speed 4/9 c:
+  // max one-way distance = (4/9)*300 km/ms * 5.406 ms / 2 = 360 km.
+  const DiskModel best(ibm36z15());
+  const double t = best.lookup_time(512).count();
+  const double bound_km = (4.0 / 9.0) * 300.0 * t / 2.0;
+  EXPECT_NEAR(bound_km, 360.0, 1.0);
+}
+
+}  // namespace
+}  // namespace geoproof::storage

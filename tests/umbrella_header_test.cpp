@@ -1,0 +1,22 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "geoproof.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, ExposesEveryLayer) {
+  using namespace geoproof;
+  // One symbol per layer proves the includes resolve.
+  EXPECT_EQ(crypto::kSha256DigestSize, 32u);
+  EXPECT_EQ(ecc::ChunkCodeParams{}.chunk_blocks(), 255u);
+  EXPECT_EQ(storage::wd2500jd().rpm, 7200u);
+  EXPECT_GT(net::haversine(net::places::brisbane(), net::places::perth()).value,
+            3000.0);
+  EXPECT_EQ(por::PorParams{}.segment_bytes(), 83u);
+  EXPECT_NEAR(core::LatencyPolicy{}.max_round_trip().count(), 16.0, 1e-9);
+  EXPECT_EQ(distbound::ExchangeParams{}.rounds, 32u);
+  EXPECT_EQ(geoloc::australian_landmarks().size(), 8u);
+}
+
+}  // namespace
