@@ -1,0 +1,4 @@
+// Compile-only translation unit: pulls in the umbrella header so that any
+// drift between geoproof.hpp and the per-module headers breaks the build
+// rather than the first downstream consumer.
+#include "geoproof.hpp"
