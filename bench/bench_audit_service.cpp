@@ -1,0 +1,144 @@
+// Multi-scheme AuditService throughput: how fast the scheme-agnostic
+// registry can drive heterogeneous audits (MAC + dynamic-POR) through one
+// service instance. This is the single-threaded baseline the ROADMAP's
+// sharded audit engine will be measured against.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/audit_service.hpp"
+#include "core/dynamic_geoproof.hpp"
+#include "core/provider.hpp"
+#include "net/channel.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::core;
+
+constexpr net::GeoPoint kSite{-27.47, 153.02};
+
+por::PorParams bench_params() {
+  por::PorParams p;
+  p.ecc_data_blocks = 48;
+  p.ecc_parity_blocks = 16;
+  return p;
+}
+
+/// One simulated world with a MAC registration and a dynamic registration
+/// behind one AuditService.
+struct ServiceWorld {
+  const Bytes master = bytes_of("bench-audit-service-master");
+  por::PorParams params = bench_params();
+  SimClock clock;
+  net::SimAuditTimer timer{clock};
+
+  std::unique_ptr<CloudProvider> provider;
+  std::unique_ptr<net::SimRequestChannel> mac_channel;
+  std::unique_ptr<VerifierDevice> mac_verifier;
+  std::unique_ptr<MacAuditScheme> mac_scheme;
+
+  std::unique_ptr<por::DynamicPorProvider> dyn_provider;
+  std::unique_ptr<DynamicProviderService> dyn_wire;
+  std::unique_ptr<net::SimRequestChannel> dyn_channel;
+  std::unique_ptr<VerifierDevice> dyn_verifier;
+  std::unique_ptr<DynamicAuditScheme> dyn_scheme;
+
+  std::unique_ptr<AuditService> service;
+
+  ServiceWorld() { rebuild(); }
+
+  void rebuild() {
+    Rng rng(23);
+    const por::PorEncoder encoder(params);
+    const auto lan = [this](net::RequestHandler handler, std::uint64_t seed) {
+      return std::make_unique<net::SimRequestChannel>(
+          clock, net::lan_latency(net::LanModel{}, Kilometers{0.1}, seed),
+          std::move(handler));
+    };
+    VerifierDevice::Config vcfg;
+    vcfg.position = kSite;
+    vcfg.signer_height = 12;  // thousands of audits per key
+    AuditorConfig base;
+    base.master_key = master;
+    base.expected_position = kSite;
+    base.policy = LatencyPolicy::for_disk(storage::wd2500jd());
+
+    provider = std::make_unique<CloudProvider>(
+        CloudProvider::Config{.name = "dc", .location = kSite}, clock);
+    const por::EncodedFile mac_file =
+        encoder.encode(rng.next_bytes(50000), 1, master);
+    provider->store(mac_file);
+    mac_channel = lan(provider->handler(), 5);
+    mac_verifier = std::make_unique<VerifierDevice>(vcfg, *mac_channel,
+                                                    timer);
+    AuditorConfig mac_cfg = base;
+    mac_cfg.verifier_pk = mac_verifier->public_key();
+    mac_scheme = std::make_unique<MacAuditScheme>(mac_cfg, params);
+
+    dyn_provider = std::make_unique<por::DynamicPorProvider>(
+        encoder.encode(rng.next_bytes(50000), 2, master));
+    dyn_wire = std::make_unique<DynamicProviderService>(
+        *dyn_provider, clock, storage::DiskModel(storage::wd2500jd()));
+    dyn_channel = lan(dyn_wire->handler(), 7);
+    dyn_verifier = std::make_unique<VerifierDevice>(vcfg, *dyn_channel,
+                                                    timer);
+    AuditorConfig dyn_cfg = base;
+    dyn_cfg.verifier_pk = dyn_verifier->public_key();
+    dyn_scheme = std::make_unique<DynamicAuditScheme>(dyn_cfg, params);
+    const FileRecord dyn_record = dyn_scheme->register_file(
+        2, dyn_provider->root(), dyn_provider->n_segments());
+
+    service = std::make_unique<AuditService>();
+    service->add(*mac_scheme, *mac_verifier,
+                 FileRecord{1, mac_file.n_segments, 0}, 10, "mac/dc");
+    service->add(*dyn_scheme, *dyn_verifier, dyn_record, 10, "dynamic/dc");
+  }
+
+  void ensure_keys(benchmark::State& state) {
+    if (mac_verifier->audits_remaining() < 2 ||
+        dyn_verifier->audits_remaining() < 2) {
+      state.PauseTiming();
+      rebuild();
+      state.ResumeTiming();
+    }
+  }
+};
+
+/// One heterogeneous sweep: every registration audited once.
+void BM_ServiceRunAll(benchmark::State& state) {
+  ServiceWorld w;
+  for (auto _ : state) {
+    w.ensure_keys(state);
+    benchmark::DoNotOptimize(w.service->run_all(w.clock));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_ServiceRunAll);
+
+/// Single-registration audit through the registry (the per-audit overhead
+/// a sharded engine pays per work item).
+void BM_ServiceRunOnceMac(benchmark::State& state) {
+  ServiceWorld w;
+  for (auto _ : state) {
+    w.ensure_keys(state);
+    benchmark::DoNotOptimize(w.service->run_once(w.clock, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceRunOnceMac);
+
+void BM_ServiceRunOnceDynamic(benchmark::State& state) {
+  ServiceWorld w;
+  for (auto _ : state) {
+    w.ensure_keys(state);
+    benchmark::DoNotOptimize(w.service->run_once(w.clock, 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceRunOnceDynamic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

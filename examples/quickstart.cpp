@@ -46,9 +46,17 @@ int main() {
               config.por.segment_bytes());
 
   // --- TPA: audit ------------------------------------------------------
+  // The TPA is programmed against the polymorphic audit API: every flavour
+  // (MAC, sentinel, dynamic) exposes the same make_request/verify pair
+  // through core::AuditScheme, which is also what AuditService schedules.
+  AuditScheme& tpa = world.scheme();
   const std::uint32_t k = 20;
-  std::printf("running GeoProof audit with k = %u timed challenges...\n", k);
-  const AuditReport report = world.run_audit(record, k);
+  std::printf("running GeoProof audit (scheme '%s') with k = %u timed "
+              "challenges...\n",
+              tpa.name().c_str(), k);
+  const AuditRequest request = tpa.make_request(record, k);
+  const SignedTranscript transcript = world.verifier().run_audit(request);
+  const AuditReport report = tpa.verify(record, transcript);
   std::printf("  %s\n", report.summary().c_str());
   std::printf("  per-round RTT: mean %.3f ms, max %.3f ms (LAN + disk "
               "look-up)\n\n",

@@ -35,7 +35,10 @@ std::size_t EventQueue::run_all() {
     // Copy out before pop so the handler may schedule further events.
     Event ev = events_.top();
     events_.pop();
-    clock_->advance_to(ev.at);
+    // A handler may itself consume virtual time (an audit's request
+    // rounds), pushing the clock past coincident events; those run
+    // immediately at the current time rather than rewinding.
+    if (ev.at > clock_->now()) clock_->advance_to(ev.at);
     ev.fn();
     ++n;
   }
@@ -47,11 +50,11 @@ std::size_t EventQueue::run_until(Nanos t) {
   while (!events_.empty() && events_.top().at <= t) {
     Event ev = events_.top();
     events_.pop();
-    clock_->advance_to(ev.at);
+    if (ev.at > clock_->now()) clock_->advance_to(ev.at);
     ev.fn();
     ++n;
   }
-  clock_->advance_to(t);
+  if (t > clock_->now()) clock_->advance_to(t);
   return n;
 }
 

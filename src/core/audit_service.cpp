@@ -1,53 +1,205 @@
 #include "core/audit_service.hpp"
 
+#include <sstream>
+
 #include "common/errors.hpp"
 
 namespace geoproof::core {
 
-AuditService::AuditService(Auditor& auditor, VerifierDevice& verifier,
-                           Auditor::FileRecord file,
-                           std::uint32_t challenge_size)
-    : auditor_(&auditor),
-      verifier_(&verifier),
-      file_(file),
-      challenge_size_(challenge_size) {
-  if (challenge_size_ == 0) {
+AuditService::AuditService(AuditScheme& scheme, VerifierDevice& verifier,
+                           FileRecord file, std::uint32_t challenge_size) {
+  add(scheme, verifier, file, challenge_size);
+}
+
+std::uint64_t AuditService::add(AuditScheme& scheme, VerifierDevice& verifier,
+                                FileRecord file, std::uint32_t challenge_size,
+                                std::string label) {
+  if (challenge_size == 0) {
     throw InvalidArgument("AuditService: challenge_size must be >= 1");
+  }
+  if (registry_.count(file.file_id) != 0) {
+    throw InvalidArgument("AuditService: file id already registered");
+  }
+  Registration reg;
+  reg.file_id = file.file_id;
+  reg.label = label.empty()
+                  ? scheme.name() + "/file-" + std::to_string(file.file_id)
+                  : std::move(label);
+  reg.scheme = &scheme;
+  reg.verifier = &verifier;
+  reg.file = file;
+  reg.challenge_size = challenge_size;
+  registry_.emplace(file.file_id, std::move(reg));
+  return file.file_id;
+}
+
+void AuditService::remove(std::uint64_t file_id) {
+  if (registry_.erase(file_id) == 0) {
+    throw InvalidArgument("AuditService: unknown file id");
   }
 }
 
-const AuditReport& AuditService::run_once(const SimClock& clock) {
-  const AuditRequest request = auditor_->make_request(file_, challenge_size_);
-  const SignedTranscript transcript = verifier_->run_audit(request);
+bool AuditService::has(std::uint64_t file_id) const {
+  return registry_.count(file_id) != 0;
+}
+
+std::vector<std::uint64_t> AuditService::file_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(registry_.size());
+  for (const auto& [id, reg] : registry_) ids.push_back(id);
+  return ids;
+}
+
+AuditService::Registration& AuditService::find(std::uint64_t file_id) {
+  const auto it = registry_.find(file_id);
+  if (it == registry_.end()) {
+    throw InvalidArgument("AuditService: unknown file id");
+  }
+  return it->second;
+}
+
+const AuditService::Registration& AuditService::find(
+    std::uint64_t file_id) const {
+  const auto it = registry_.find(file_id);
+  if (it == registry_.end()) {
+    throw InvalidArgument("AuditService: unknown file id");
+  }
+  return it->second;
+}
+
+const AuditService::Registration& AuditService::sole(const char* what) const {
+  if (registry_.size() != 1) {
+    throw InvalidArgument(std::string("AuditService::") + what +
+                          ": requires exactly one registration; pass a "
+                          "file id");
+  }
+  return registry_.begin()->second;
+}
+
+const AuditService::Registration& AuditService::registration(
+    std::uint64_t file_id) const {
+  return find(file_id);
+}
+
+const AuditReport& AuditService::run_once(const SimClock& clock,
+                                          std::uint64_t file_id) {
+  Registration& reg = find(file_id);
+  const AuditRequest request =
+      reg.scheme->make_request(reg.file, reg.challenge_size);
+  const SignedTranscript transcript = reg.verifier->run_audit(request);
   Entry entry;
-  entry.report = auditor_->verify(file_, transcript);
+  entry.report = reg.scheme->verify(reg.file, transcript);
   entry.at = clock.now();
-  history_.push_back(std::move(entry));
-  return history_.back().report;
+  reg.history.push_back(std::move(entry));
+  return reg.history.back().report;
+}
+
+const AuditReport& AuditService::run_once(const SimClock& clock) {
+  return run_once(clock, sole("run_once").file_id);
+}
+
+unsigned AuditService::run_all(const SimClock& clock) {
+  unsigned passed = 0;
+  for (auto& [id, reg] : registry_) {
+    if (run_once(clock, id).accepted) ++passed;
+  }
+  return passed;
+}
+
+void AuditService::schedule(EventQueue& queue, const SimClock& clock,
+                            std::uint64_t file_id, Nanos start, Nanos interval,
+                            unsigned count) {
+  (void)find(file_id);  // fail fast on unknown registrations
+  for (unsigned i = 0; i < count; ++i) {
+    queue.schedule_at(start + interval * static_cast<std::int64_t>(i),
+                      [this, &clock, file_id] {
+                        // The registration may have been remove()d after
+                        // scheduling; a stale event must not abort the
+                        // queue (and every other registration's audits).
+                        if (!has(file_id)) return;
+                        try {
+                          (void)run_once(clock, file_id);
+                        } catch (const Error&) {
+                          // A scheme/device error (sentinel or signing-key
+                          // exhaustion) is this registration's problem
+                          // alone: record it as a failed audit and keep
+                          // the queue — and the other registrations —
+                          // running.
+                          Entry entry;
+                          entry.at = clock.now();
+                          entry.report.accepted = false;
+                          entry.report.failures.push_back(
+                              AuditFailure::kAborted);
+                          find(file_id).history.push_back(std::move(entry));
+                        }
+                      });
+  }
 }
 
 void AuditService::schedule(EventQueue& queue, const SimClock& clock,
                             Nanos start, Nanos interval, unsigned count) {
-  for (unsigned i = 0; i < count; ++i) {
-    queue.schedule_at(start + interval * static_cast<std::int64_t>(i),
-                      [this, &clock] { (void)run_once(clock); });
+  for (const auto& [id, reg] : registry_) {
+    schedule(queue, clock, id, start, interval, count);
   }
+}
+
+const std::vector<AuditService::Entry>& AuditService::history(
+    std::uint64_t file_id) const {
+  return find(file_id).history;
+}
+
+const std::vector<AuditService::Entry>& AuditService::history() const {
+  return sole("history").history;
+}
+
+AuditService::Compliance AuditService::compliance_of(const Registration& reg) {
+  Compliance c;
+  c.total = static_cast<unsigned>(reg.history.size());
+  for (const Entry& e : reg.history) c.passed += e.report.accepted;
+  return c;
+}
+
+AuditService::Compliance AuditService::compliance(
+    std::uint64_t file_id) const {
+  return compliance_of(find(file_id));
 }
 
 AuditService::Compliance AuditService::compliance() const {
   Compliance c;
-  c.total = static_cast<unsigned>(history_.size());
-  for (const Entry& e : history_) c.passed += e.report.accepted;
+  for (const auto& [id, reg] : registry_) {
+    const Compliance r = compliance_of(reg);
+    c.total += r.total;
+    c.passed += r.passed;
+  }
   return c;
 }
 
-unsigned AuditService::consecutive_failures() const {
+unsigned AuditService::consecutive_failures_of(const Registration& reg) {
   unsigned n = 0;
-  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+  for (auto it = reg.history.rbegin(); it != reg.history.rend(); ++it) {
     if (it->report.accepted) break;
     ++n;
   }
   return n;
+}
+
+unsigned AuditService::consecutive_failures(std::uint64_t file_id) const {
+  return consecutive_failures_of(find(file_id));
+}
+
+unsigned AuditService::consecutive_failures() const {
+  return consecutive_failures_of(sole("consecutive_failures"));
+}
+
+std::string AuditService::summary() const {
+  std::ostringstream os;
+  for (const auto& [id, reg] : registry_) {
+    const Compliance c = compliance_of(reg);
+    os << reg.label << ": audits=" << c.total << " passed=" << c.passed
+       << " rate=" << c.rate()
+       << " consecutive_failures=" << consecutive_failures_of(reg) << '\n';
+  }
+  return os.str();
 }
 
 }  // namespace geoproof::core

@@ -3,13 +3,21 @@
 // (The paper's protocol is a single interaction; this is the service layer
 // that makes "the measurements could be tested every time" of §V-C(b)
 // concrete.)
+//
+// One service instance drives *many* (scheme, file, verifier) registrations
+// through the polymorphic core::AuditScheme interface: heterogeneous
+// flavours (MAC, sentinel, dynamic), heterogeneous providers, one registry
+// keyed by file id with per-registration history and compliance. This is
+// the API surface the sharded audit engine and the multicloud sweep
+// workloads build on.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
-#include "core/auditor.hpp"
+#include "core/scheme.hpp"
 #include "core/verifier.hpp"
 
 namespace geoproof::core {
@@ -31,30 +39,75 @@ class AuditService {
     bool meets(double required_rate) const { return rate() >= required_rate; }
   };
 
-  AuditService(Auditor& auditor, VerifierDevice& verifier,
-               Auditor::FileRecord file, std::uint32_t challenge_size);
+  /// One audited target: which scheme judges it, which device runs the
+  /// timed phase, which file, and how many rounds per audit.
+  struct Registration {
+    std::uint64_t file_id = 0;
+    std::string label;  // defaults to "<scheme>/file-<id>"
+    AuditScheme* scheme = nullptr;
+    VerifierDevice* verifier = nullptr;
+    FileRecord file;
+    std::uint32_t challenge_size = 0;
+    std::vector<Entry> history;
+  };
 
-  /// Run one audit immediately; records and returns the report.
+  AuditService() = default;
+
+  /// Convenience: a service born with a single registration (the common
+  /// one-file case, and the pre-registry constructor shape).
+  AuditService(AuditScheme& scheme, VerifierDevice& verifier, FileRecord file,
+               std::uint32_t challenge_size);
+
+  /// Register a target; the registry is keyed by file id (one registration
+  /// per file id — re-registering an id throws). Returns the file id.
+  std::uint64_t add(AuditScheme& scheme, VerifierDevice& verifier,
+                    FileRecord file, std::uint32_t challenge_size,
+                    std::string label = {});
+  void remove(std::uint64_t file_id);
+  bool has(std::uint64_t file_id) const;
+  std::size_t size() const { return registry_.size(); }
+  std::vector<std::uint64_t> file_ids() const;
+  const Registration& registration(std::uint64_t file_id) const;
+
+  /// Run one audit of `file_id` immediately; records and returns the report.
+  const AuditReport& run_once(const SimClock& clock, std::uint64_t file_id);
+  /// Single-registration convenience (throws unless exactly one target).
   const AuditReport& run_once(const SimClock& clock);
+  /// Audit every registration once; returns how many passed.
+  unsigned run_all(const SimClock& clock);
 
-  /// Schedule `count` audits on `queue`, one every `interval`, starting at
-  /// `start`. Results land in history() as the queue runs.
+  /// Schedule `count` audits of `file_id` on `queue`, one every `interval`,
+  /// starting at `start`. Results land in history() as the queue runs.
+  void schedule(EventQueue& queue, const SimClock& clock,
+                std::uint64_t file_id, Nanos start, Nanos interval,
+                unsigned count);
+  /// Schedule the same cadence for every registration.
   void schedule(EventQueue& queue, const SimClock& clock, Nanos start,
                 Nanos interval, unsigned count);
 
-  const std::vector<Entry>& history() const { return history_; }
-  Compliance compliance() const;
+  const std::vector<Entry>& history(std::uint64_t file_id) const;
+  Compliance compliance(std::uint64_t file_id) const;
+  /// Consecutive failures at the tail of the registration's history — the
+  /// usual paging trigger for an operator.
+  unsigned consecutive_failures(std::uint64_t file_id) const;
 
-  /// Consecutive failures at the tail of the history — the usual paging
-  /// trigger for an operator.
+  /// Single-registration conveniences (throw unless exactly one target) —
+  /// except compliance(), which aggregates across the whole registry.
+  const std::vector<Entry>& history() const;
+  Compliance compliance() const;
   unsigned consecutive_failures() const;
 
+  /// One line per registration: label, audits, pass rate, tail failures.
+  std::string summary() const;
+
  private:
-  Auditor* auditor_;
-  VerifierDevice* verifier_;
-  Auditor::FileRecord file_;
-  std::uint32_t challenge_size_;
-  std::vector<Entry> history_;
+  Registration& find(std::uint64_t file_id);
+  const Registration& find(std::uint64_t file_id) const;
+  const Registration& sole(const char* what) const;
+  static Compliance compliance_of(const Registration& reg);
+  static unsigned consecutive_failures_of(const Registration& reg);
+
+  std::map<std::uint64_t, Registration> registry_;
 };
 
 }  // namespace geoproof::core

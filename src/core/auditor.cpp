@@ -1,142 +1,8 @@
 #include "core/auditor.hpp"
 
-#include <algorithm>
-#include <sstream>
-#include <unordered_set>
-
-#include "common/errors.hpp"
-#include "net/geo.hpp"
-
 namespace geoproof::core {
 
-std::string to_string(AuditFailure f) {
-  switch (f) {
-    case AuditFailure::kSignature: return "signature";
-    case AuditFailure::kPosition: return "gps-position";
-    case AuditFailure::kTag: return "segment-tag";
-    case AuditFailure::kTiming: return "round-trip-time";
-    case AuditFailure::kNonceMismatch: return "nonce";
-    case AuditFailure::kChallengeInvalid: return "challenge";
-  }
-  return "unknown";
-}
-
-bool AuditReport::failed(AuditFailure f) const {
-  return std::find(failures.begin(), failures.end(), f) != failures.end();
-}
-
-std::string AuditReport::summary() const {
-  std::ostringstream os;
-  os << (accepted ? "ACCEPTED" : "REJECTED");
-  os << " max_rtt=" << max_rtt.count() << "ms";
-  os << " mean_rtt=" << mean_rtt.count() << "ms";
-  if (!accepted) {
-    os << " failures:";
-    for (const AuditFailure f : failures) os << ' ' << to_string(f);
-    if (bad_tags > 0) os << " (bad_tags=" << bad_tags << ")";
-    if (timing_violations > 0) {
-      os << " (slow_rounds=" << timing_violations << ")";
-    }
-  }
-  return os.str();
-}
-
 Auditor::Auditor(Config config)
-    : config_(std::move(config)), nonce_rng_(config_.nonce_seed) {
-  config_.por.validate();
-  if (config_.master_key.empty()) {
-    throw InvalidArgument("Auditor: empty master key");
-  }
-}
-
-AuditRequest Auditor::make_request(const FileRecord& file, std::uint32_t k) {
-  if (file.n_segments == 0) {
-    throw InvalidArgument("make_request: file with no segments");
-  }
-  if (k == 0) throw InvalidArgument("make_request: k must be >= 1");
-  AuditRequest req;
-  req.file_id = file.file_id;
-  req.n_segments = file.n_segments;
-  req.k = k;
-  req.nonce = nonce_rng_.next_bytes(16);
-  outstanding_nonces_.insert(req.nonce);
-  return req;
-}
-
-AuditReport Auditor::verify(const FileRecord& file,
-                            const SignedTranscript& st) {
-  AuditReport report;
-  const AuditTranscript& t = st.transcript;
-  report.bytes_exchanged = t.exchanged_bytes();
-
-  // Nonce freshness: must be one we issued and not yet consumed.
-  const auto nonce_it = outstanding_nonces_.find(t.nonce);
-  if (nonce_it == outstanding_nonces_.end() || t.file_id != file.file_id) {
-    report.failures.push_back(AuditFailure::kNonceMismatch);
-  } else {
-    outstanding_nonces_.erase(nonce_it);
-  }
-
-  // Step 1: the device signature over the serialised transcript.
-  if (!crypto::merkle_verify(config_.verifier_pk, t.serialize(),
-                             st.signature)) {
-    report.failures.push_back(AuditFailure::kSignature);
-  }
-
-  // Step 2: GPS position against the contracted site.
-  report.position_error = net::haversine(t.position, config_.expected_position);
-  if (report.position_error > config_.position_tolerance) {
-    report.failures.push_back(AuditFailure::kPosition);
-  }
-
-  // Challenge sanity: right count, in range, distinct.
-  bool challenge_ok = t.challenge.size() == t.rtts.size() &&
-                      t.challenge.size() == t.segments.size() &&
-                      !t.challenge.empty();
-  if (challenge_ok) {
-    std::unordered_set<std::uint64_t> seen;
-    for (const std::uint64_t c : t.challenge) {
-      if (c >= file.n_segments || !seen.insert(c).second) {
-        challenge_ok = false;
-        break;
-      }
-    }
-  }
-  if (!challenge_ok) {
-    report.failures.push_back(AuditFailure::kChallengeInvalid);
-  }
-
-  // Step 3: MAC tags bind content, index and file id.
-  if (challenge_ok) {
-    const por::SegmentVerifier verifier(config_.por, config_.master_key,
-                                        file.file_id);
-    for (std::size_t j = 0; j < t.challenge.size(); ++j) {
-      if (!verifier.verify(t.challenge[j], t.segments[j])) {
-        ++report.bad_tags;
-      }
-    }
-    if (report.bad_tags > 0) {
-      report.failures.push_back(AuditFailure::kTag);
-    }
-  }
-
-  // Step 4: Δt' = max Δt_j <= Δt_max.
-  const Millis dt_max = config_.policy.max_round_trip();
-  double sum = 0.0;
-  for (const Millis& rtt : t.rtts) {
-    report.max_rtt = std::max(report.max_rtt, rtt);
-    sum += rtt.count();
-    if (rtt > dt_max) ++report.timing_violations;
-  }
-  if (!t.rtts.empty()) {
-    report.mean_rtt = Millis{sum / static_cast<double>(t.rtts.size())};
-  }
-  if (report.max_rtt > dt_max) {
-    report.failures.push_back(AuditFailure::kTiming);
-  }
-
-  report.accepted = report.failures.empty();
-  return report;
-}
+    : MacAuditScheme(make_auditor_config(config), config.por) {}
 
 }  // namespace geoproof::core

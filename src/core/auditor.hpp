@@ -1,58 +1,27 @@
-// The third-party auditor A (TPA): initiates audits and performs the
-// four-step verification of §V-B:
+// The third-party auditor A (TPA) for the paper's MAC flavour: initiates
+// audits and performs the four-step verification of §V-B:
 //   1. verify Sign_SK(R) against the device's public key;
 //   2. verify the device's GPS position Pos_v against the contracted site;
 //   3. check τ_cj = MAC_K(S_cj, cj, fid) for every challenged segment;
 //   4. check Δt' = max_j Δt_j <= Δt_max from the latency policy.
-// Plus the protocol hygiene the paper leaves implicit: nonce freshness
-// (no transcript replay), challenge sanity (distinct, in range, right
-// count), and well-formed segments.
+//
+// The protocol skeleton (and the hygiene the paper leaves implicit: nonce
+// freshness, challenge sanity, well-formed segments) lives in
+// core::AuditScheme; this header keeps the historical `Auditor` name as a
+// thin adapter over MacAuditScheme so existing wiring keeps compiling.
+// New code should program against core::AuditScheme (scheme.hpp).
 #pragma once
 
-#include <set>
-#include <string>
-#include <vector>
-
-#include "common/rng.hpp"
-#include "core/policy.hpp"
-#include "core/transcript.hpp"
-#include "por/encoder.hpp"
+#include "core/scheme.hpp"
 
 namespace geoproof::core {
 
-enum class AuditFailure {
-  kSignature,        // step 1
-  kPosition,         // step 2
-  kTag,              // step 3
-  kTiming,           // step 4
-  kNonceMismatch,    // replayed or foreign transcript
-  kChallengeInvalid, // malformed challenge vector
-};
-
-std::string to_string(AuditFailure f);
-
-struct AuditReport {
-  bool accepted = false;
-  std::vector<AuditFailure> failures;
-  Millis max_rtt{0};
-  Millis mean_rtt{0};
-  unsigned bad_tags = 0;
-  unsigned timing_violations = 0;  // rounds individually above threshold
-  Kilometers position_error{0};
-  /// Audit traffic on the timed link (§IV: small, file-size independent).
-  std::uint64_t bytes_exchanged = 0;
-
-  bool failed(AuditFailure f) const;
-  std::string summary() const;
-};
-
-class Auditor {
+class Auditor : public MacAuditScheme {
  public:
-  struct FileRecord {
-    std::uint64_t file_id = 0;
-    std::uint64_t n_segments = 0;
-  };
+  using FileRecord = core::FileRecord;
 
+  /// Pre-unification config shape: the shared AuditorConfig fields plus
+  /// the MAC flavour's POR geometry in one struct.
   struct Config {
     por::PorParams por{};
     Bytes master_key;              // shared with the data owner
@@ -64,24 +33,6 @@ class Auditor {
   };
 
   explicit Auditor(Config config);
-
-  const LatencyPolicy& policy() const { return config_.policy; }
-
-  /// Install a new timing policy (e.g. after contract-time calibration,
-  /// §V-C(b), or when the provider upgrades its disks).
-  void set_policy(const LatencyPolicy& policy) { config_.policy = policy; }
-
-  /// Create a fresh audit request (nonce recorded for replay detection).
-  AuditRequest make_request(const FileRecord& file, std::uint32_t k);
-
-  /// §V-B verification. Consumes the request's nonce: verifying a second
-  /// transcript for the same nonce reports kNonceMismatch.
-  AuditReport verify(const FileRecord& file, const SignedTranscript& st);
-
- private:
-  Config config_;
-  Rng nonce_rng_;
-  std::set<Bytes> outstanding_nonces_;
 };
 
 }  // namespace geoproof::core

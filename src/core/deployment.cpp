@@ -35,17 +35,17 @@ SimulatedDeployment::SimulatedDeployment(DeploymentConfig config)
   auditor_ = std::make_unique<Auditor>(acfg);
 }
 
-Auditor::FileRecord SimulatedDeployment::upload(BytesView file,
+FileRecord SimulatedDeployment::upload(BytesView file,
                                                 std::uint64_t file_id) {
   const por::PorEncoder encoder(config_.por);
   por::EncodedFile encoded = encoder.encode(file, file_id, config_.master_key);
   provider_.store(encoded);
-  const Auditor::FileRecord record{file_id, encoded.n_segments};
+  const FileRecord record{file_id, encoded.n_segments};
   encoded_files_[file_id] = std::move(encoded);
   return record;
 }
 
-AuditReport SimulatedDeployment::run_audit(const Auditor::FileRecord& file,
+AuditReport SimulatedDeployment::run_audit(const FileRecord& file,
                                            std::uint32_t k) {
   const AuditRequest request = auditor_->make_request(file, k);
   const SignedTranscript transcript = verifier_->run_audit(request);
@@ -79,7 +79,7 @@ CloudProvider& SimulatedDeployment::deploy_remote_relay(
 }
 
 LatencyPolicy SimulatedDeployment::calibrate_policy(
-    const Auditor::FileRecord& file, unsigned probe_rounds, double margin) {
+    const FileRecord& file, unsigned probe_rounds, double margin) {
   if (probe_rounds == 0) {
     throw InvalidArgument("calibrate_policy: probe_rounds must be >= 1");
   }

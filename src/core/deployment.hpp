@@ -50,15 +50,18 @@ class SimulatedDeployment {
   CloudProvider& provider() { return provider_; }
   VerifierDevice& verifier() { return *verifier_; }
   Auditor& auditor() { return *auditor_; }
+  /// The TPA through the polymorphic audit API (what AuditService and the
+  /// sharded engine program against).
+  AuditScheme& scheme() { return *auditor_; }
   const DeploymentConfig& config() const { return config_; }
 
   /// Owner-side setup: encode F, upload F~ to the provider, register the
   /// file with the TPA. The encoded copy is retained so relay scenarios can
   /// mirror it to a remote data centre.
-  Auditor::FileRecord upload(BytesView file, std::uint64_t file_id);
+  FileRecord upload(BytesView file, std::uint64_t file_id);
 
   /// One end-to-end audit (TPA request -> verifier protocol -> TPA verdict).
-  AuditReport run_audit(const Auditor::FileRecord& file, std::uint32_t k);
+  AuditReport run_audit(const FileRecord& file, std::uint32_t k);
 
   /// §V-C(b): empirical contract-time calibration. Runs `probe_rounds`
   /// un-judged probe fetches against the live installation, sets the
@@ -66,7 +69,7 @@ class SimulatedDeployment {
   /// the auditor and returns it. Call while the provider is known-honest
   /// (at contract signing); afterwards every audit is judged against the
   /// measured reality of this specific data centre.
-  LatencyPolicy calibrate_policy(const Auditor::FileRecord& file,
+  LatencyPolicy calibrate_policy(const FileRecord& file,
                                  unsigned probe_rounds = 50,
                                  double margin = 1.2);
 

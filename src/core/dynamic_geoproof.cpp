@@ -1,12 +1,6 @@
 #include "core/dynamic_geoproof.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
-#include "common/errors.hpp"
 #include "core/transcript.hpp"
-#include "net/geo.hpp"
-#include "por/params.hpp"
 
 namespace geoproof::core {
 
@@ -33,97 +27,8 @@ net::RequestHandler DynamicProviderService::handler() {
 DynamicAuditor::DynamicAuditor(Config config, crypto::Digest root,
                                std::uint64_t file_id,
                                std::uint64_t n_segments)
-    : config_(std::move(config)),
-      file_id_(file_id),
-      n_segments_(n_segments),
-      client_(root, config_.por, config_.master_key, file_id),
-      rng_(config_.nonce_seed) {
-  if (config_.master_key.empty()) {
-    throw InvalidArgument("DynamicAuditor: empty master key");
-  }
-  if (n_segments_ == 0) {
-    throw InvalidArgument("DynamicAuditor: file with no segments");
-  }
-}
-
-VerifierDevice::BlockAuditRequest DynamicAuditor::make_request(
-    std::uint32_t k) {
-  if (k == 0) throw InvalidArgument("DynamicAuditor: k must be >= 1");
-  VerifierDevice::BlockAuditRequest request;
-  request.file_id = file_id_;
-  request.nonce = rng_.next_bytes(16);
-  request.positions = por::sample_challenge(n_segments_, k, rng_);
-  outstanding_nonces_.insert(request.nonce);
-  return request;
-}
-
-AuditReport DynamicAuditor::verify(const SignedTranscript& st) {
-  AuditReport report;
-  const AuditTranscript& t = st.transcript;
-
-  const auto nonce_it = outstanding_nonces_.find(t.nonce);
-  if (nonce_it == outstanding_nonces_.end() || t.file_id != file_id_) {
-    report.failures.push_back(AuditFailure::kNonceMismatch);
-  } else {
-    outstanding_nonces_.erase(nonce_it);
-  }
-
-  if (!crypto::merkle_verify(config_.verifier_pk, t.serialize(),
-                             st.signature)) {
-    report.failures.push_back(AuditFailure::kSignature);
-  }
-
-  report.position_error =
-      net::haversine(t.position, config_.expected_position);
-  if (report.position_error > config_.position_tolerance) {
-    report.failures.push_back(AuditFailure::kPosition);
-  }
-
-  bool challenge_ok = !t.challenge.empty() &&
-                      t.challenge.size() == t.rtts.size() &&
-                      t.challenge.size() == t.segments.size();
-  if (challenge_ok) {
-    std::unordered_set<std::uint64_t> seen;
-    for (const std::uint64_t c : t.challenge) {
-      if (c >= n_segments_ || !seen.insert(c).second) {
-        challenge_ok = false;
-        break;
-      }
-    }
-  }
-  if (!challenge_ok) {
-    report.failures.push_back(AuditFailure::kChallengeInvalid);
-  } else {
-    for (std::size_t i = 0; i < t.challenge.size(); ++i) {
-      bool round_ok = false;
-      try {
-        const por::ReadProof proof =
-            por::ReadProof::deserialize(t.segments[i]);
-        round_ok = client_.verify_read(t.challenge[i], proof);
-      } catch (const Error&) {
-        round_ok = false;  // malformed proof counts as a failed round
-      }
-      if (!round_ok) ++report.bad_tags;
-    }
-    if (report.bad_tags > 0) report.failures.push_back(AuditFailure::kTag);
-  }
-
-  const Millis dt_max = config_.policy.max_round_trip();
-  double sum = 0.0;
-  for (const Millis& rtt : t.rtts) {
-    report.max_rtt = std::max(report.max_rtt, rtt);
-    sum += rtt.count();
-    if (rtt > dt_max) ++report.timing_violations;
-  }
-  if (!t.rtts.empty()) {
-    report.mean_rtt = Millis{sum / static_cast<double>(t.rtts.size())};
-  }
-  if (report.max_rtt > dt_max) {
-    report.failures.push_back(AuditFailure::kTiming);
-  }
-
-  report.accepted = report.failures.empty();
-  return report;
+    : DynamicAuditScheme(make_auditor_config(config), config.por) {
+  file_ = register_file(file_id, root, n_segments);
 }
 
 }  // namespace geoproof::core

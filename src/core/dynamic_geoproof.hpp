@@ -7,16 +7,16 @@
 // proves three things at once: the data is intact (tag), *current*
 // (membership under the latest root — a provider serving pre-update state
 // fails), and nearby (timing). The verifier device is reused unchanged.
+//
+// The flavour itself is core::DynamicAuditScheme (scheme.hpp); this header
+// holds the provider-side wire service plus the historical single-file
+// `DynamicAuditor` adapter.
 #pragma once
 
-#include <set>
-
 #include "common/clock.hpp"
-#include "core/auditor.hpp"
-#include "core/policy.hpp"
+#include "core/scheme.hpp"
 #include "core/verifier.hpp"
 #include "net/channel.hpp"
-#include "por/dynamic.hpp"
 #include "storage/disk_model.hpp"
 
 namespace geoproof::core {
@@ -41,10 +41,12 @@ class DynamicProviderService {
   Rng rng_;
 };
 
-/// TPA for the dynamic flavour: Auditor's checks plus Merkle membership
-/// under the tracked root.
-class DynamicAuditor {
+/// Pre-unification TPA shape: a DynamicAuditScheme pinned to one file at
+/// construction, with single-file make_request/verify conveniences.
+class DynamicAuditor : public DynamicAuditScheme {
  public:
+  using FileRecord = core::FileRecord;
+
   struct Config {
     por::PorParams por{};
     Bytes master_key;
@@ -59,24 +61,24 @@ class DynamicAuditor {
   DynamicAuditor(Config config, crypto::Digest root, std::uint64_t file_id,
                  std::uint64_t n_segments);
 
-  const crypto::Digest& root() const { return client_.root(); }
-  por::DynamicPorClient& client() { return client_; }
+  const FileRecord& file() const { return file_; }
 
-  /// Random challenge of k segment indices.
-  VerifierDevice::BlockAuditRequest make_request(std::uint32_t k);
+  using DynamicAuditScheme::client;
+  using DynamicAuditScheme::root;
+  por::DynamicPorClient& client() { return client(file_.file_id); }
+  const crypto::Digest& root() const { return root(file_.file_id); }
 
-  /// Full verification: signature, GPS, nonce, Merkle proof + tag per
-  /// round, timing. `bad_tags` counts rounds failing either integrity
-  /// check.
-  AuditReport verify(const SignedTranscript& st);
+  using AuditScheme::make_request;
+  using AuditScheme::verify;
+  /// Random challenge of k segment indices against the pinned file.
+  AuditRequest make_request(std::uint32_t k) {
+    return make_request(file_, k);
+  }
+  /// Full verification against the pinned file.
+  AuditReport verify(const SignedTranscript& st) { return verify(file_, st); }
 
  private:
-  Config config_;
-  std::uint64_t file_id_;
-  std::uint64_t n_segments_;
-  por::DynamicPorClient client_;
-  Rng rng_;
-  std::set<Bytes> outstanding_nonces_;
+  FileRecord file_;
 };
 
 }  // namespace geoproof::core

@@ -29,7 +29,7 @@ void MultiAuditor::set_path_delay(const std::string& landmark_name,
 }
 
 CompositeReport MultiAuditor::audit(SimulatedDeployment& world,
-                                    const Auditor::FileRecord& file,
+                                    const FileRecord& file,
                                     std::uint32_t k) {
   CompositeReport report;
   report.geoproof = world.run_audit(file, k);

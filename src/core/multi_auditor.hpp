@@ -52,7 +52,7 @@ class MultiAuditor {
   /// plus triangulation of the device's *actual* network position against
   /// its claimed (possibly spoofed) GPS position.
   CompositeReport audit(SimulatedDeployment& world,
-                        const Auditor::FileRecord& file, std::uint32_t k);
+                        const FileRecord& file, std::uint32_t k);
 
  private:
   Config config_;

@@ -1,0 +1,317 @@
+// The unified audit API: every GeoProof flavour — the paper's MAC variant
+// (§V), the sentinel/Juels-Kaliski variant (§IV) and the dynamic-POR
+// variant (§IV via Wang et al.) — audits through one polymorphic
+// `AuditScheme` interface.
+//
+// The protocol skeleton is identical across flavours (nonce freshness,
+// device signature, GPS position, challenge sanity, per-round integrity,
+// timing), so the base class owns it as a template method and subclasses
+// supply exactly two things: how a challenge is planned (TPA-chosen
+// positions or device-sampled) and how a returned round is checked (MAC
+// tag, sentinel value, or Merkle proof). Nonce bookkeeping, which every
+// flavour previously hand-rolled as an unbounded set, lives in one bounded
+// `NonceLedger`.
+//
+// `AuditService` and the coming sharded audit engine drive heterogeneous
+// audits exclusively through this interface.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/policy.hpp"
+#include "core/transcript.hpp"
+#include "por/dynamic.hpp"
+#include "por/encoder.hpp"
+#include "por/sentinel.hpp"
+
+namespace geoproof::core {
+
+enum class AuditFailure {
+  kSignature,        // step 1: device signature over the transcript
+  kPosition,         // step 2: GPS position vs contracted site
+  kTag,              // step 3: per-round integrity (tag/sentinel/proof)
+  kTiming,           // step 4: Δt' = max_j Δt_j <= Δt_max
+  kNonceMismatch,    // replayed or foreign transcript
+  kChallengeInvalid, // malformed challenge vector
+  kAborted,          // the audit could not run (scheme/device error)
+};
+
+std::string to_string(AuditFailure f);
+
+struct AuditReport {
+  bool accepted = false;
+  std::vector<AuditFailure> failures;
+  Millis max_rtt{0};
+  Millis mean_rtt{0};
+  unsigned bad_tags = 0;
+  unsigned timing_violations = 0;  // rounds individually above threshold
+  Kilometers position_error{0};
+  /// Audit traffic on the timed link (§IV: small, file-size independent).
+  std::uint64_t bytes_exchanged = 0;
+
+  bool failed(AuditFailure f) const;
+  std::string summary() const;
+};
+
+/// What the TPA knows about an audited file, uniform across flavours.
+/// `n_segments` is the addressable challenge range (tagged segments for the
+/// MAC and dynamic flavours; permuted blocks for the sentinel flavour).
+/// `n_file_blocks` is sentinel-only metadata (pre-sentinel block count,
+/// needed to recompute sentinel positions); the other flavours leave it 0.
+struct FileRecord {
+  std::uint64_t file_id = 0;
+  std::uint64_t n_segments = 0;
+  std::uint64_t n_file_blocks = 0;
+};
+
+/// Shared TPA configuration: the keys and acceptance thresholds every
+/// flavour needs. Scheme-specific parameters (POR geometry, sentinel
+/// counts) are constructor arguments of the concrete scheme.
+struct AuditorConfig {
+  Bytes master_key;              // shared with the data owner
+  crypto::Digest verifier_pk{};  // device public key (out of band)
+  net::GeoPoint expected_position{};
+  Kilometers position_tolerance{5.0};
+  LatencyPolicy policy{};
+  std::uint64_t nonce_seed = 0xa0d1;
+  /// Upper bound on outstanding (issued, unconsumed) nonces. A long-running
+  /// service issues audits forever; without a cap the ledger grows without
+  /// bound when transcripts are lost. Oldest entries are expired first.
+  std::size_t max_outstanding_nonces = 1024;
+};
+
+/// Bounded ledger of outstanding audit nonces, shared by all flavours.
+/// Each nonce may carry a payload (the sentinel flavour stores the revealed
+/// sentinel indices); consuming a nonce returns the payload exactly once,
+/// which is what makes transcript replay detectable.
+class NonceLedger {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+  static constexpr std::size_t kNonceBytes = 16;
+
+  /// `capacity` must be >= 1; when full, issuing expires the oldest entry.
+  explicit NonceLedger(std::uint64_t seed,
+                       std::size_t capacity = kDefaultCapacity);
+
+  /// Generate and record a fresh 16-byte nonce carrying `payload`.
+  Bytes issue(std::vector<std::uint64_t> payload = {});
+
+  /// Consume an outstanding nonce: returns its payload and forgets it, or
+  /// nullopt if the nonce was never issued, already consumed, or expired.
+  std::optional<std::vector<std::uint64_t>> consume(const Bytes& nonce);
+
+  std::size_t outstanding() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Entries dropped because the ledger was full (observability: a rising
+  /// count means audits are being issued and never verified).
+  std::uint64_t expired() const { return expired_; }
+  /// Internal issue-order queue depth, including lazily-pruned consumed
+  /// entries. Bounded by a small multiple of capacity(); exposed so the
+  /// bound is testable.
+  std::size_t queue_depth() const { return order_.size(); }
+
+ private:
+  /// Nonces are fixed-width, so the ledger keys on a flat array (cheaper
+  /// comparisons than vector keys); wire nonces of any other length are
+  /// simply never found.
+  using Key = std::array<std::uint8_t, kNonceBytes>;
+
+  Rng rng_;
+  std::size_t capacity_;
+  std::uint64_t expired_ = 0;
+  std::map<Key, std::vector<std::uint64_t>> entries_;
+  std::deque<Key> order_;  // issue order; consumed entries pruned lazily
+};
+
+/// The polymorphic TPA interface. `make_request` and `verify` are the whole
+/// public protocol surface; everything scheme-specific hangs off the three
+/// protected hooks.
+class AuditScheme {
+ public:
+  explicit AuditScheme(AuditorConfig config);
+  virtual ~AuditScheme() = default;
+
+  AuditScheme(const AuditScheme&) = delete;
+  AuditScheme& operator=(const AuditScheme&) = delete;
+
+  /// Short flavour name ("mac", "sentinel", "dynamic").
+  virtual std::string name() const = 0;
+
+  const AuditorConfig& config() const { return config_; }
+  const LatencyPolicy& policy() const { return config_.policy; }
+
+  /// Install a new timing policy (e.g. after contract-time calibration,
+  /// §V-C(b), or when the provider upgrades its disks).
+  void set_policy(const LatencyPolicy& policy) { config_.policy = policy; }
+
+  NonceLedger& nonces() { return nonces_; }
+  const NonceLedger& nonces() const { return nonces_; }
+
+  /// Create a fresh audit request for k challenge rounds (nonce recorded
+  /// for replay detection). Flavours with TPA-chosen challenges fill in
+  /// explicit positions; otherwise the verifier device samples.
+  AuditRequest make_request(const FileRecord& file, std::uint32_t k);
+
+  /// The §V-B verification, uniform across flavours. Consumes the
+  /// transcript's nonce: verifying a second transcript for the same nonce
+  /// reports kNonceMismatch.
+  AuditReport verify(const FileRecord& file, const SignedTranscript& st);
+
+ protected:
+  struct ChallengePlan {
+    /// Explicit challenge positions; empty means the device samples k
+    /// positions itself (the MAC flavour, Fig. 5).
+    std::vector<std::uint64_t> positions;
+    /// Opaque per-nonce state returned at verify time (sentinel indices).
+    std::vector<std::uint64_t> payload;
+  };
+
+  /// Plan the challenge for one request of k rounds.
+  virtual ChallengePlan plan_challenge(const FileRecord& file,
+                                       std::uint32_t k) = 0;
+
+  /// Is the transcript's challenge vector well-formed for this flavour?
+  /// Default: non-empty, consistent sizes, distinct, in [0, n_segments).
+  virtual bool validate_challenge(
+      const FileRecord& file, const AuditTranscript& t,
+      const std::vector<std::uint64_t>& payload) const;
+
+  /// Count the rounds failing the flavour's integrity check. Only called
+  /// when validate_challenge passed.
+  virtual unsigned check_rounds(
+      const FileRecord& file, const AuditTranscript& t,
+      const std::vector<std::uint64_t>& payload) const = 0;
+
+ private:
+  AuditorConfig config_;
+  NonceLedger nonces_;
+};
+
+/// Build the shared config from any legacy per-flavour Config struct (the
+/// pre-unification Auditor/SentinelAuditor/DynamicAuditor::Config shapes
+/// expose identical member names for the shared fields).
+template <typename LegacyConfig>
+AuditorConfig make_auditor_config(const LegacyConfig& c) {
+  AuditorConfig shared;
+  shared.master_key = c.master_key;
+  shared.verifier_pk = c.verifier_pk;
+  shared.expected_position = c.expected_position;
+  shared.position_tolerance = c.position_tolerance;
+  shared.policy = c.policy;
+  shared.nonce_seed = c.nonce_seed;
+  return shared;
+}
+
+/// The paper's own flavour (§V): MAC tags bind segment content, index and
+/// file id; the device samples the challenge.
+class MacAuditScheme : public AuditScheme {
+ public:
+  MacAuditScheme(AuditorConfig config, por::PorParams por);
+
+  std::string name() const override { return "mac"; }
+  const por::PorParams& por() const { return por_; }
+
+ protected:
+  ChallengePlan plan_challenge(const FileRecord& file,
+                               std::uint32_t k) override;
+  unsigned check_rounds(
+      const FileRecord& file, const AuditTranscript& t,
+      const std::vector<std::uint64_t>& payload) const override;
+
+ private:
+  por::PorParams por_;
+};
+
+/// The sentinel/Juels-Kaliski flavour (§IV): the TPA reveals the positions
+/// of the next unspent sentinels (only the key holder can compute where
+/// they landed after the permutation) and compares the returned blocks
+/// against PRF-recomputed sentinel values. Sentinels are consumable; the
+/// nonce payload remembers which indices a request revealed.
+///
+/// Interaction with nonce expiry: sentinels are spent at make_request time
+/// (their positions are revealed to the provider), so a request whose nonce
+/// expires from the ledger before its transcript returns has burned its
+/// sentinels for good — the transcript is rejected with kNonceMismatch and
+/// the supply does not recover. Size max_outstanding_nonces to comfortably
+/// exceed the number of in-flight audits; a rising NonceLedger::expired()
+/// count is the operational signal that requests are being issued faster
+/// than transcripts return.
+class SentinelAuditScheme : public AuditScheme {
+ public:
+  SentinelAuditScheme(AuditorConfig config, por::SentinelParams params);
+
+  std::string name() const override { return "sentinel"; }
+  const por::SentinelParams& params() const { return por_.params(); }
+
+  /// The unified FileRecord for a sentinel-encoded file: the challenge
+  /// range is the permuted block count.
+  static FileRecord file_record(const por::SentinelEncoded& encoded);
+
+  /// Sentinels not yet spent on this file.
+  unsigned sentinels_remaining(std::uint64_t file_id) const;
+
+ protected:
+  /// Throws CryptoError when the sentinel supply is exhausted.
+  ChallengePlan plan_challenge(const FileRecord& file,
+                               std::uint32_t k) override;
+  bool validate_challenge(
+      const FileRecord& file, const AuditTranscript& t,
+      const std::vector<std::uint64_t>& payload) const override;
+  unsigned check_rounds(
+      const FileRecord& file, const AuditTranscript& t,
+      const std::vector<std::uint64_t>& payload) const override;
+
+ private:
+  por::SentinelPor por_;
+  /// Next unspent sentinel index per file.
+  std::map<std::uint64_t, unsigned> next_sentinel_;
+};
+
+/// The dynamic-POR flavour (§IV via Wang et al.): each round returns
+/// (segment || Merkle proof); the TPA tracks one Merkle root per file
+/// across verified updates, so an audit proves integrity, *freshness* and
+/// proximity at once.
+class DynamicAuditScheme : public AuditScheme {
+ public:
+  DynamicAuditScheme(AuditorConfig config, por::PorParams por);
+
+  std::string name() const override { return "dynamic"; }
+  const por::PorParams& por() const { return por_; }
+
+  /// Register a file by its post-upload Merkle root (from
+  /// DynamicPorProvider::root()). Returns the unified record.
+  FileRecord register_file(std::uint64_t file_id, const crypto::Digest& root,
+                           std::uint64_t n_segments);
+
+  /// The per-file update client (owner-side writes advance its root).
+  por::DynamicPorClient& client(std::uint64_t file_id);
+  const por::DynamicPorClient& client(std::uint64_t file_id) const;
+  const crypto::Digest& root(std::uint64_t file_id) const {
+    return client(file_id).root();
+  }
+
+ protected:
+  ChallengePlan plan_challenge(const FileRecord& file,
+                               std::uint32_t k) override;
+  /// Additionally requires the file to be registered: without a tracked
+  /// root there is nothing to validate membership against.
+  bool validate_challenge(
+      const FileRecord& file, const AuditTranscript& t,
+      const std::vector<std::uint64_t>& payload) const override;
+  unsigned check_rounds(
+      const FileRecord& file, const AuditTranscript& t,
+      const std::vector<std::uint64_t>& payload) const override;
+
+ private:
+  por::PorParams por_;
+  Rng challenge_rng_;
+  std::map<std::uint64_t, por::DynamicPorClient> clients_;
+};
+
+}  // namespace geoproof::core

@@ -1,115 +1,8 @@
 #include "core/sentinel_geoproof.hpp"
 
-#include <algorithm>
-
-#include "common/errors.hpp"
-#include "net/geo.hpp"
-
 namespace geoproof::core {
 
 SentinelAuditor::SentinelAuditor(Config config)
-    : config_(std::move(config)),
-      por_(config_.params),
-      nonce_rng_(config_.nonce_seed) {
-  if (config_.master_key.empty()) {
-    throw InvalidArgument("SentinelAuditor: empty master key");
-  }
-}
-
-unsigned SentinelAuditor::sentinels_remaining(std::uint64_t file_id) const {
-  const auto it = next_sentinel_.find(file_id);
-  const unsigned used = it == next_sentinel_.end() ? 0 : it->second;
-  return config_.params.n_sentinels - used;
-}
-
-VerifierDevice::BlockAuditRequest SentinelAuditor::make_request(
-    const FileRecord& file, unsigned count) {
-  if (count == 0) {
-    throw InvalidArgument("SentinelAuditor::make_request: count == 0");
-  }
-  if (sentinels_remaining(file.file_id) < count) {
-    throw CryptoError("SentinelAuditor: sentinel supply exhausted");
-  }
-  unsigned& next = next_sentinel_[file.file_id];
-
-  // Reconstruct just enough metadata for the position computation.
-  por::SentinelEncoded meta;
-  meta.file_id = file.file_id;
-  meta.n_file_blocks = file.n_file_blocks;
-  meta.total_blocks = file.total_blocks;
-
-  VerifierDevice::BlockAuditRequest request;
-  request.file_id = file.file_id;
-  request.nonce = nonce_rng_.next_bytes(16);
-  std::vector<unsigned> indices;
-  for (unsigned i = 0; i < count; ++i) {
-    const unsigned j = next++;
-    indices.push_back(j);
-    request.positions.push_back(
-        por_.sentinel_position(meta, config_.master_key, j));
-  }
-  outstanding_[request.nonce] = std::move(indices);
-  return request;
-}
-
-AuditReport SentinelAuditor::verify(const FileRecord& file,
-                                    const SignedTranscript& st) {
-  AuditReport report;
-  const AuditTranscript& t = st.transcript;
-
-  std::vector<unsigned> indices;
-  const auto nonce_it = outstanding_.find(t.nonce);
-  if (nonce_it == outstanding_.end() || t.file_id != file.file_id) {
-    report.failures.push_back(AuditFailure::kNonceMismatch);
-  } else {
-    indices = nonce_it->second;
-    outstanding_.erase(nonce_it);
-  }
-
-  if (!crypto::merkle_verify(config_.verifier_pk, t.serialize(),
-                             st.signature)) {
-    report.failures.push_back(AuditFailure::kSignature);
-  }
-
-  report.position_error =
-      net::haversine(t.position, config_.expected_position);
-  if (report.position_error > config_.position_tolerance) {
-    report.failures.push_back(AuditFailure::kPosition);
-  }
-
-  const bool challenge_ok = !indices.empty() &&
-                            t.challenge.size() == indices.size() &&
-                            t.segments.size() == indices.size() &&
-                            t.rtts.size() == indices.size();
-  if (!challenge_ok) {
-    report.failures.push_back(AuditFailure::kChallengeInvalid);
-  } else {
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      const Bytes expected = por_.sentinel_value(
-          file.file_id, config_.master_key, indices[i]);
-      if (!constant_time_equal(expected, t.segments[i])) {
-        ++report.bad_tags;  // "tag" = sentinel value in this flavour
-      }
-    }
-    if (report.bad_tags > 0) report.failures.push_back(AuditFailure::kTag);
-  }
-
-  const Millis dt_max = config_.policy.max_round_trip();
-  double sum = 0.0;
-  for (const Millis& rtt : t.rtts) {
-    report.max_rtt = std::max(report.max_rtt, rtt);
-    sum += rtt.count();
-    if (rtt > dt_max) ++report.timing_violations;
-  }
-  if (!t.rtts.empty()) {
-    report.mean_rtt = Millis{sum / static_cast<double>(t.rtts.size())};
-  }
-  if (report.max_rtt > dt_max) {
-    report.failures.push_back(AuditFailure::kTiming);
-  }
-
-  report.accepted = report.failures.empty();
-  return report;
-}
+    : SentinelAuditScheme(make_auditor_config(config), config.params) {}
 
 }  // namespace geoproof::core

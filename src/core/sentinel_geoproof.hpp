@@ -10,29 +10,25 @@
 //  - sentinels are consumable: each audit reveals (spends) the ones it
 //    checked, so the device's key-exhaustion story is mirrored by sentinel
 //    exhaustion on the TPA side.
-// The timed phase and the signed transcript are identical, so the tamper-
-// proof device is reused unchanged (VerifierDevice::run_block_audit).
+// The timed phase and the signed transcript are identical, so the
+// tamper-proof device is reused unchanged.
+//
+// The flavour itself is core::SentinelAuditScheme (scheme.hpp); this header
+// keeps the historical `SentinelAuditor` name as a thin adapter taking the
+// pre-unification config shape.
 #pragma once
 
-#include <map>
-#include <set>
-
-#include "common/rng.hpp"
-#include "core/auditor.hpp"
-#include "core/policy.hpp"
+#include "core/scheme.hpp"
 #include "core/verifier.hpp"
-#include "por/sentinel.hpp"
 
 namespace geoproof::core {
 
-class SentinelAuditor {
+class SentinelAuditor : public SentinelAuditScheme {
  public:
-  struct FileRecord {
-    std::uint64_t file_id = 0;
-    std::uint64_t n_file_blocks = 0;
-    std::uint64_t total_blocks = 0;
-  };
+  using FileRecord = core::FileRecord;
 
+  /// Pre-unification config shape: the shared AuditorConfig fields plus
+  /// the sentinel parameters in one struct.
   struct Config {
     por::SentinelParams params{};
     Bytes master_key;
@@ -44,27 +40,6 @@ class SentinelAuditor {
   };
 
   explicit SentinelAuditor(Config config);
-
-  /// Sentinels not yet spent on this file.
-  unsigned sentinels_remaining(std::uint64_t file_id) const;
-
-  /// Build a request revealing the positions of the next `count` unspent
-  /// sentinels. Throws CryptoError when the supply is exhausted.
-  VerifierDevice::BlockAuditRequest make_request(const FileRecord& file,
-                                                 unsigned count);
-
-  /// Verify a signed transcript: signature, GPS, nonce, sentinel values,
-  /// timing. Consumes the nonce.
-  AuditReport verify(const FileRecord& file, const SignedTranscript& st);
-
- private:
-  Config config_;
-  por::SentinelPor por_;
-  Rng nonce_rng_;
-  /// Next unspent sentinel index per file.
-  std::map<std::uint64_t, unsigned> next_sentinel_;
-  /// nonce -> the sentinel indices whose positions were revealed.
-  std::map<Bytes, std::vector<unsigned>> outstanding_;
 };
 
 }  // namespace geoproof::core

@@ -17,6 +17,8 @@ Bytes AuditRequest::serialize() const {
   w.u64(n_segments);
   w.u32(k);
   w.bytes(nonce);
+  w.u32(static_cast<std::uint32_t>(positions.size()));
+  for (const std::uint64_t p : positions) w.u64(p);
   return std::move(w).take();
 }
 
@@ -27,9 +29,20 @@ AuditRequest AuditRequest::deserialize(BytesView data) {
   req.n_segments = r.u64();
   req.k = r.u32();
   req.nonce = r.bytes();
+  const std::uint32_t n_positions = r.u32();
+  if (n_positions > kMaxChallenge) {
+    throw SerializeError("AuditRequest: position count exceeds sanity cap");
+  }
+  req.positions.reserve(n_positions);
+  for (std::uint32_t i = 0; i < n_positions; ++i) {
+    req.positions.push_back(r.u64());
+  }
   r.expect_done();
   if (req.k > kMaxChallenge) {
     throw SerializeError("AuditRequest: k exceeds sanity cap");
+  }
+  if (!req.positions.empty() && req.positions.size() != req.k) {
+    throw SerializeError("AuditRequest: k disagrees with explicit positions");
   }
   return req;
 }

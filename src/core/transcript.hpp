@@ -21,12 +21,17 @@
 
 namespace geoproof::core {
 
-/// TPA -> verifier: audit this file now.
+/// TPA -> verifier: audit this file now. When `positions` is empty the
+/// device samples k challenge positions from [0, n_segments) itself (the
+/// MAC flavour, Fig. 5); a non-empty `positions` carries a TPA-chosen
+/// challenge (sentinel positions are secret, Merkle challenges are
+/// index-driven) and then k == positions.size().
 struct AuditRequest {
   std::uint64_t file_id = 0;
   std::uint64_t n_segments = 0;  // ñ
   std::uint32_t k = 0;           // segments to challenge
   Bytes nonce;                   // N, freshness
+  std::vector<std::uint64_t> positions;  // TPA-chosen challenge (optional)
 
   Bytes serialize() const;
   static AuditRequest deserialize(BytesView data);

@@ -15,18 +15,23 @@ VerifierDevice::VerifierDevice(Config config, net::RequestChannel& channel,
       rng_(config_.challenge_seed) {}
 
 SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
-  if (request.n_segments == 0) {
-    throw ProtocolError("run_audit: request with zero segments");
-  }
   if (request.k == 0) {
     throw ProtocolError("run_audit: request with zero rounds");
+  }
+  if (request.positions.empty() && request.n_segments == 0) {
+    throw ProtocolError("run_audit: request with zero segments");
   }
 
   AuditTranscript t;
   t.file_id = request.file_id;
   t.nonce = request.nonce;
   t.position = gps_.report();
-  t.challenge = por::sample_challenge(request.n_segments, request.k, rng_);
+  // TPA-chosen challenges (sentinel positions, Merkle indices) come with
+  // the request; otherwise the device samples k positions itself (Fig. 5).
+  t.challenge = request.positions.empty()
+                    ? por::sample_challenge(request.n_segments, request.k,
+                                            rng_)
+                    : request.positions;
   t.rtts.reserve(t.challenge.size());
   t.segments.reserve(t.challenge.size());
 
@@ -52,28 +57,12 @@ SignedTranscript VerifierDevice::run_block_audit(
   if (request.positions.empty()) {
     throw ProtocolError("run_block_audit: no positions requested");
   }
-  AuditTranscript t;
-  t.file_id = request.file_id;
-  t.nonce = request.nonce;
-  t.position = gps_.report();
-  t.challenge = request.positions;
-  t.rtts.reserve(t.challenge.size());
-  t.segments.reserve(t.challenge.size());
-
-  for (const std::uint64_t index : t.challenge) {
-    const SegmentRequest req{request.file_id, index};
-    const Bytes wire = req.serialize();
-    const Millis start = timer_->now();
-    Bytes block = channel_->request(wire);
-    const Millis stop = timer_->now();
-    t.rtts.push_back(stop - start);
-    t.segments.push_back(std::move(block));
-  }
-
-  SignedTranscript st;
-  st.signature = signer_.sign(t.serialize());
-  st.transcript = std::move(t);
-  return st;
+  AuditRequest unified;
+  unified.file_id = request.file_id;
+  unified.k = static_cast<std::uint32_t>(request.positions.size());
+  unified.nonce = request.nonce;
+  unified.positions = request.positions;
+  return run_audit(unified);
 }
 
 }  // namespace geoproof::core

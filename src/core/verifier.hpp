@@ -48,14 +48,15 @@ class VerifierDevice {
     return signer_.signatures_remaining();
   }
 
-  /// Run the GeoProof protocol for one audit request (Fig. 5).
+  /// Run the GeoProof protocol for one audit request (Fig. 5). Handles
+  /// both challenge styles through the unified AuditRequest: when the
+  /// request carries explicit positions (sentinel positions are secret,
+  /// Merkle challenges are index-driven) the device fetches exactly those;
+  /// otherwise it samples k positions itself. Either way the device's job
+  /// is unchanged: time each fetch, sign what happened.
   SignedTranscript run_audit(const AuditRequest& request);
 
-  /// Variant with TPA-chosen positions: the sentinel POR flavour (§IV) and
-  /// the dynamic-POR flavour both need the key holder to pick what is
-  /// fetched (sentinel positions are secret; Merkle challenges are index-
-  /// driven). The device's job is unchanged: time each fetch, sign what
-  /// happened.
+  /// Deprecated pre-unification shape; forwards to run_audit.
   struct BlockAuditRequest {
     std::uint64_t file_id = 0;
     std::vector<std::uint64_t> positions;

@@ -9,7 +9,7 @@ HmacSha256::HmacSha256(BytesView key) {
   if (key.size() > 64) {
     const Digest d = Sha256::hash(key);
     std::memcpy(k.data(), d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {  // empty span may carry a null data() (UB in memcpy)
     std::memcpy(k.data(), key.data(), key.size());
   }
   for (std::size_t i = 0; i < 64; ++i) {

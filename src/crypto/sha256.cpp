@@ -84,6 +84,7 @@ void Sha256::compress(const std::uint8_t* block) {
 
 void Sha256::update(BytesView data) {
   if (finalized_) throw CryptoError("Sha256::update after finalize");
+  if (data.empty()) return;  // empty span may carry a null data() (UB in memcpy)
   total_len_ += data.size();
   std::size_t off = 0;
   if (buf_len_ > 0) {

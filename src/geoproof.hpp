@@ -56,7 +56,11 @@
 #include "por/params.hpp"
 #include "por/sentinel.hpp"
 
-// GeoProof
+// GeoProof. The public audit API is core::AuditScheme (scheme.hpp): all
+// three flavours — MAC (auditor.hpp), sentinel (sentinel_geoproof.hpp),
+// dynamic (dynamic_geoproof.hpp) — implement it, and core::AuditService
+// schedules heterogeneous (scheme, file, provider) registrations through
+// it.
 #include "core/audit_service.hpp"
 #include "core/auditor.hpp"
 #include "core/deployment.hpp"
@@ -66,6 +70,7 @@
 #include "core/policy.hpp"
 #include "core/provider.hpp"
 #include "core/replication.hpp"
+#include "core/scheme.hpp"
 #include "core/sentinel_geoproof.hpp"
 #include "core/transcript.hpp"
 #include "core/verifier.hpp"

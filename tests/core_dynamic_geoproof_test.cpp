@@ -59,7 +59,7 @@ struct DynWorld {
 
   AuditReport run(std::uint32_t k) {
     const auto request = auditor->make_request(k);
-    const SignedTranscript transcript = verifier->run_block_audit(request);
+    const SignedTranscript transcript = verifier->run_audit(request);
     return auditor->verify(transcript);
   }
 };
@@ -123,7 +123,7 @@ TEST(DynamicGeoProof, RollbackCaught) {
 TEST(DynamicGeoProof, ReplayRejected) {
   DynWorld world;
   const auto request = world.auditor->make_request(5);
-  const SignedTranscript transcript = world.verifier->run_block_audit(request);
+  const SignedTranscript transcript = world.verifier->run_audit(request);
   EXPECT_TRUE(world.auditor->verify(transcript).accepted);
   EXPECT_FALSE(world.auditor->verify(transcript).accepted);
 }
@@ -131,7 +131,7 @@ TEST(DynamicGeoProof, ReplayRejected) {
 TEST(DynamicGeoProof, MalformedProofCountsAsBadRound) {
   DynWorld world;
   const auto request = world.auditor->make_request(3);
-  SignedTranscript transcript = world.verifier->run_block_audit(request);
+  SignedTranscript transcript = world.verifier->run_audit(request);
   transcript.transcript.segments[1] = bytes_of("not a proof");
   const AuditReport report = world.auditor->verify(transcript);
   EXPECT_FALSE(report.accepted);
@@ -151,7 +151,7 @@ TEST(DynamicGeoProof, SlowServiceCaughtByTiming) {
   DynamicAuditor strict(acfg, world.provider->root(), 5,
                         world.provider->n_segments());
   const auto request = strict.make_request(5);
-  const SignedTranscript transcript = world.verifier->run_block_audit(request);
+  const SignedTranscript transcript = world.verifier->run_audit(request);
   const AuditReport report = strict.verify(transcript);
   EXPECT_FALSE(report.accepted);
   EXPECT_TRUE(report.failed(AuditFailure::kTiming));

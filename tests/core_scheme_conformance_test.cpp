@@ -1,0 +1,363 @@
+// Cross-scheme conformance suite: the same audit/replay/tamper/timing test
+// body runs against all three AuditScheme implementations (MAC, sentinel,
+// dynamic) strictly through the common core::AuditScheme interface — the
+// contract AuditService and the sharded audit engine rely on. Plus unit
+// coverage of the shared bounded NonceLedger (regression: the per-flavour
+// outstanding-nonce sets used to grow without bound).
+#include "core/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "core/dynamic_geoproof.hpp"
+#include "core/provider.hpp"
+#include "core/verifier.hpp"
+#include "net/channel.hpp"
+
+namespace geoproof::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NonceLedger
+// ---------------------------------------------------------------------------
+
+TEST(NonceLedger, IssueConsumeOnce) {
+  NonceLedger ledger(1, 8);
+  const Bytes nonce = ledger.issue();
+  EXPECT_EQ(ledger.outstanding(), 1u);
+  EXPECT_TRUE(ledger.consume(nonce).has_value());
+  EXPECT_EQ(ledger.outstanding(), 0u);
+  // Second consume (replay) fails.
+  EXPECT_FALSE(ledger.consume(nonce).has_value());
+}
+
+TEST(NonceLedger, PayloadRoundTrip) {
+  NonceLedger ledger(2, 8);
+  const Bytes nonce = ledger.issue({7, 11, 13});
+  const auto payload = ledger.consume(nonce);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, (std::vector<std::uint64_t>{7, 11, 13}));
+}
+
+TEST(NonceLedger, UnknownNonceFails) {
+  NonceLedger ledger(3, 8);
+  EXPECT_FALSE(ledger.consume(bytes_of("never issued")).has_value());
+}
+
+TEST(NonceLedger, CapExpiresOldestFirst) {
+  // Regression: outstanding nonces must not grow without bound in a
+  // long-running service that issues audits whose transcripts never return.
+  NonceLedger ledger(4, 4);
+  std::vector<Bytes> nonces;
+  for (int i = 0; i < 10; ++i) nonces.push_back(ledger.issue());
+  EXPECT_EQ(ledger.outstanding(), 4u);
+  EXPECT_EQ(ledger.expired(), 6u);
+  // The six oldest expired; the four newest are still consumable.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(ledger.consume(nonces[i]).has_value()) << i;
+  }
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_TRUE(ledger.consume(nonces[i]).has_value()) << i;
+  }
+}
+
+TEST(NonceLedger, ConsumedEntriesDoNotCountTowardCap) {
+  NonceLedger ledger(5, 2);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes nonce = ledger.issue();
+    ASSERT_TRUE(ledger.consume(nonce).has_value());
+  }
+  EXPECT_EQ(ledger.outstanding(), 0u);
+  EXPECT_EQ(ledger.expired(), 0u);  // nothing was dropped unconsumed
+}
+
+TEST(NonceLedger, ZeroCapacityRejected) {
+  EXPECT_THROW(NonceLedger(6, 0), InvalidArgument);
+}
+
+TEST(NonceLedger, QueueStaysBoundedBehindStuckFrontEntry) {
+  // Regression: a long-outstanding nonce at the front of the issue-order
+  // queue must not pin every consumed entry behind it — the internal queue
+  // is compacted, not just front-popped.
+  NonceLedger ledger(7, 8);
+  const Bytes stuck = ledger.issue();  // never consumed, stays at the front
+  for (int i = 0; i < 10000; ++i) {
+    const Bytes nonce = ledger.issue();
+    ASSERT_TRUE(ledger.consume(nonce).has_value());
+  }
+  EXPECT_EQ(ledger.outstanding(), 1u);
+  EXPECT_LE(ledger.queue_depth(), 2 * ledger.capacity() + 16);
+  // The stuck nonce survived (it never hit the capacity limit).
+  EXPECT_TRUE(ledger.consume(stuck).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Conformance harness: one world per flavour, driven only through
+// core::AuditScheme + VerifierDevice.
+// ---------------------------------------------------------------------------
+
+enum class Flavour { kMac, kSentinel, kDynamic };
+
+const char* flavour_name(Flavour f) {
+  switch (f) {
+    case Flavour::kMac: return "mac";
+    case Flavour::kSentinel: return "sentinel";
+    case Flavour::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+constexpr net::GeoPoint kSite{-27.47, 153.02};
+const Bytes kMaster = bytes_of("conformance master key");
+
+struct SchemeWorld {
+  SimClock clock;
+  // Flavour-specific provider state (only one pair is populated).
+  std::unique_ptr<CloudProvider> provider;
+  std::unique_ptr<por::DynamicPorProvider> dyn_provider;
+  std::unique_ptr<DynamicProviderService> dyn_service;
+  std::unique_ptr<net::SimRequestChannel> channel;
+  std::unique_ptr<net::SimAuditTimer> timer;
+  std::unique_ptr<VerifierDevice> verifier;
+  std::unique_ptr<AuditScheme> scheme;
+  FileRecord record;
+  // Corrupt every stored block/segment of the audited file.
+  std::function<void()> tamper_all;
+
+  AuditReport run(std::uint32_t k) {
+    const AuditRequest request = scheme->make_request(record, k);
+    const SignedTranscript transcript = verifier->run_audit(request);
+    return scheme->verify(record, transcript);
+  }
+};
+
+AuditorConfig base_config(const VerifierDevice& verifier,
+                          std::size_t nonce_capacity) {
+  AuditorConfig cfg;
+  cfg.master_key = kMaster;
+  cfg.verifier_pk = verifier.public_key();
+  cfg.expected_position = kSite;
+  cfg.policy = LatencyPolicy::for_disk(storage::wd2500jd());
+  cfg.max_outstanding_nonces = nonce_capacity;
+  return cfg;
+}
+
+std::unique_ptr<SchemeWorld> make_world(
+    Flavour flavour,
+    std::size_t nonce_capacity = NonceLedger::kDefaultCapacity) {
+  auto world = std::make_unique<SchemeWorld>();
+  SchemeWorld& w = *world;
+  w.timer = std::make_unique<net::SimAuditTimer>(w.clock);
+  Rng rng(17);
+  const auto lan = [&w](net::RequestHandler handler) {
+    return std::make_unique<net::SimRequestChannel>(
+        w.clock, net::lan_latency(net::LanModel{}, Kilometers{0.1}, 5),
+        std::move(handler));
+  };
+
+  switch (flavour) {
+    case Flavour::kMac: {
+      por::PorParams params;
+      params.ecc_data_blocks = 48;
+      params.ecc_parity_blocks = 16;
+      w.provider = std::make_unique<CloudProvider>(
+          CloudProvider::Config{.name = "dc", .location = kSite}, w.clock);
+      const por::PorEncoder encoder(params);
+      const por::EncodedFile encoded =
+          encoder.encode(rng.next_bytes(30000), 1, kMaster);
+      w.provider->store(encoded);
+      w.record = FileRecord{1, encoded.n_segments, 0};
+      w.channel = lan(w.provider->handler());
+      VerifierDevice::Config vcfg;
+      vcfg.position = kSite;
+      w.verifier =
+          std::make_unique<VerifierDevice>(vcfg, *w.channel, *w.timer);
+      w.scheme = std::make_unique<MacAuditScheme>(
+          base_config(*w.verifier, nonce_capacity), params);
+      w.tamper_all = [&w] {
+        for (std::uint64_t i = 0; i < w.record.n_segments; ++i) {
+          w.provider->tamper_segment(w.record.file_id, i, 0xff);
+        }
+      };
+      break;
+    }
+    case Flavour::kSentinel: {
+      const por::SentinelParams params{.block_size = 16, .n_sentinels = 300};
+      w.provider = std::make_unique<CloudProvider>(
+          CloudProvider::Config{.name = "dc", .location = kSite}, w.clock);
+      const por::SentinelPor por(params);
+      const por::SentinelEncoded encoded =
+          por.encode(rng.next_bytes(20000), 2, kMaster);
+      w.provider->store_blocks(2, encoded.blocks, params.block_size);
+      w.record = SentinelAuditScheme::file_record(encoded);
+      w.channel = lan(w.provider->handler());
+      VerifierDevice::Config vcfg;
+      vcfg.position = kSite;
+      w.verifier =
+          std::make_unique<VerifierDevice>(vcfg, *w.channel, *w.timer);
+      w.scheme = std::make_unique<SentinelAuditScheme>(
+          base_config(*w.verifier, nonce_capacity), params);
+      w.tamper_all = [&w] {
+        for (std::uint64_t i = 0; i < w.record.n_segments; ++i) {
+          w.provider->tamper_segment(w.record.file_id, i, 0xff);
+        }
+      };
+      break;
+    }
+    case Flavour::kDynamic: {
+      por::PorParams params;
+      params.ecc_data_blocks = 48;
+      params.ecc_parity_blocks = 16;
+      params.tag.tag_bits = 64;
+      const por::PorEncoder encoder(params);
+      por::EncodedFile encoded =
+          encoder.encode(rng.next_bytes(30000), 3, kMaster);
+      w.dyn_provider =
+          std::make_unique<por::DynamicPorProvider>(std::move(encoded));
+      w.dyn_service = std::make_unique<DynamicProviderService>(
+          *w.dyn_provider, w.clock,
+          storage::DiskModel(storage::wd2500jd()));
+      w.channel = lan(w.dyn_service->handler());
+      VerifierDevice::Config vcfg;
+      vcfg.position = kSite;
+      w.verifier =
+          std::make_unique<VerifierDevice>(vcfg, *w.channel, *w.timer);
+      auto scheme = std::make_unique<DynamicAuditScheme>(
+          base_config(*w.verifier, nonce_capacity), params);
+      w.record = scheme->register_file(3, w.dyn_provider->root(),
+                                       w.dyn_provider->n_segments());
+      w.scheme = std::move(scheme);
+      w.tamper_all = [&w] {
+        for (std::uint64_t i = 0; i < w.record.n_segments; ++i) {
+          w.dyn_provider->tamper(i, 0, 0xff);
+        }
+      };
+      break;
+    }
+  }
+  return world;
+}
+
+class SchemeConformance : public ::testing::TestWithParam<Flavour> {};
+
+TEST_P(SchemeConformance, HonestAuditAccepted) {
+  auto world = make_world(GetParam());
+  const AuditReport report = world->run(10);
+  EXPECT_TRUE(report.accepted) << report.summary();
+  EXPECT_EQ(report.bad_tags, 0u);
+  EXPECT_GT(report.bytes_exchanged, 0u);
+}
+
+TEST_P(SchemeConformance, ReplayRejected) {
+  auto world = make_world(GetParam());
+  const AuditRequest request = world->scheme->make_request(world->record, 5);
+  const SignedTranscript transcript = world->verifier->run_audit(request);
+  EXPECT_TRUE(world->scheme->verify(world->record, transcript).accepted);
+  const AuditReport replay = world->scheme->verify(world->record, transcript);
+  EXPECT_FALSE(replay.accepted);
+  EXPECT_TRUE(replay.failed(AuditFailure::kNonceMismatch));
+}
+
+TEST_P(SchemeConformance, TamperDetected) {
+  auto world = make_world(GetParam());
+  world->tamper_all();
+  const AuditReport report = world->run(10);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kTag)) << report.summary();
+  EXPECT_GT(report.bad_tags, 0u);
+}
+
+TEST_P(SchemeConformance, TimingEnforced) {
+  auto world = make_world(GetParam());
+  world->scheme->set_policy(LatencyPolicy{Millis{0.01}, Millis{0.01},
+                                          Millis{0}});
+  const AuditReport report = world->run(5);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kTiming)) << report.summary();
+}
+
+TEST_P(SchemeConformance, GpsSpoofDetected) {
+  auto world = make_world(GetParam());
+  world->verifier->gps().spoof({-33.87, 151.21});  // Sydney, ~730 km off
+  const AuditReport report = world->run(5);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kPosition)) << report.summary();
+}
+
+TEST_P(SchemeConformance, ForeignFileRejected) {
+  auto world = make_world(GetParam());
+  const AuditRequest request = world->scheme->make_request(world->record, 5);
+  const SignedTranscript transcript = world->verifier->run_audit(request);
+  FileRecord other = world->record;
+  other.file_id += 1000;
+  const AuditReport report = world->scheme->verify(other, transcript);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kNonceMismatch));
+  // The foreign verify must not have consumed the nonce: the genuine file
+  // still verifies.
+  EXPECT_TRUE(world->scheme->verify(world->record, transcript).accepted);
+}
+
+TEST_P(SchemeConformance, NonceLedgerBoundsOutstandingRequests) {
+  // Regression for the unbounded outstanding_* sets: issue far more
+  // requests than the cap, never verifying; the ledger stays bounded and
+  // the oldest transcript is no longer accepted while the newest still is.
+  auto world = make_world(GetParam(), /*nonce_capacity=*/4);
+  const AuditRequest oldest =
+      world->scheme->make_request(world->record, 3);
+  const SignedTranscript oldest_transcript =
+      world->verifier->run_audit(oldest);
+  AuditRequest newest = oldest;
+  for (int i = 0; i < 20; ++i) {
+    newest = world->scheme->make_request(world->record, 3);
+  }
+  EXPECT_LE(world->scheme->nonces().outstanding(), 4u);
+  EXPECT_GE(world->scheme->nonces().expired(), 17u);
+
+  const AuditReport stale =
+      world->scheme->verify(world->record, oldest_transcript);
+  EXPECT_FALSE(stale.accepted);
+  EXPECT_TRUE(stale.failed(AuditFailure::kNonceMismatch));
+
+  const SignedTranscript fresh_transcript = world->verifier->run_audit(newest);
+  EXPECT_TRUE(world->scheme->verify(world->record, fresh_transcript).accepted);
+}
+
+TEST_P(SchemeConformance, RequestValidation) {
+  auto world = make_world(GetParam());
+  EXPECT_THROW(world->scheme->make_request(world->record, 0),
+               InvalidArgument);
+  FileRecord empty = world->record;
+  empty.n_segments = 0;
+  EXPECT_THROW(world->scheme->make_request(empty, 5), InvalidArgument);
+}
+
+TEST_P(SchemeConformance, EmptyMasterKeyRejected) {
+  auto world = make_world(GetParam());
+  AuditorConfig cfg = world->scheme->config();
+  cfg.master_key = {};
+  switch (GetParam()) {
+    case Flavour::kMac:
+      EXPECT_THROW(MacAuditScheme(cfg, por::PorParams{}), InvalidArgument);
+      break;
+    case Flavour::kSentinel:
+      EXPECT_THROW(SentinelAuditScheme(cfg, por::SentinelParams{}),
+                   InvalidArgument);
+      break;
+    case Flavour::kDynamic:
+      EXPECT_THROW(DynamicAuditScheme(cfg, por::PorParams{}),
+                   InvalidArgument);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavours, SchemeConformance,
+                         ::testing::Values(Flavour::kMac, Flavour::kSentinel,
+                                           Flavour::kDynamic),
+                         [](const ::testing::TestParamInfo<Flavour>& info) {
+                           return flavour_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace geoproof::core

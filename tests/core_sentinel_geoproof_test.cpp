@@ -22,7 +22,7 @@ struct SentinelWorld {
   net::SimAuditTimer timer{clock};
   std::unique_ptr<VerifierDevice> verifier;
   std::unique_ptr<SentinelAuditor> auditor;
-  SentinelAuditor::FileRecord record;
+  FileRecord record;
   por::SentinelEncoded encoded;
 
   explicit SentinelWorld(net::GeoPoint site = {-27.47, 153.02})
@@ -33,7 +33,7 @@ struct SentinelWorld {
     const por::SentinelPor por(params);
     encoded = por.encode(rng.next_bytes(40000), 9, kMaster);
     provider.store_blocks(9, encoded.blocks, params.block_size);
-    record = {9, encoded.n_file_blocks, encoded.total_blocks};
+    record = SentinelAuditScheme::file_record(encoded);
 
     net::LanModelParams lan;
     channel = std::make_unique<net::SimRequestChannel>(
@@ -53,8 +53,8 @@ struct SentinelWorld {
   }
 
   AuditReport run(unsigned count) {
-    const auto request = auditor->make_request(record, count);
-    const SignedTranscript transcript = verifier->run_block_audit(request);
+    const AuditRequest request = auditor->make_request(record, count);
+    const SignedTranscript transcript = verifier->run_audit(request);
     return auditor->verify(record, transcript);
   }
 };
@@ -125,7 +125,7 @@ TEST(SentinelGeoProof, GpsSpoofDetected) {
 TEST(SentinelGeoProof, ReplayRejected) {
   SentinelWorld world;
   const auto request = world.auditor->make_request(world.record, 5);
-  const SignedTranscript transcript = world.verifier->run_block_audit(request);
+  const SignedTranscript transcript = world.verifier->run_audit(request);
   EXPECT_TRUE(world.auditor->verify(world.record, transcript).accepted);
   const AuditReport replay = world.auditor->verify(world.record, transcript);
   EXPECT_FALSE(replay.accepted);
@@ -144,7 +144,7 @@ TEST(SentinelGeoProof, TimingStillEnforced) {
   acfg.policy = LatencyPolicy{Millis{0.01}, Millis{0.01}, Millis{0}};
   SentinelAuditor strict(acfg);
   const auto request = strict.make_request(world.record, 5);
-  const SignedTranscript transcript = world.verifier->run_block_audit(request);
+  const SignedTranscript transcript = world.verifier->run_audit(request);
   const AuditReport report = strict.verify(world.record, transcript);
   EXPECT_FALSE(report.accepted);
   EXPECT_TRUE(report.failed(AuditFailure::kTiming));

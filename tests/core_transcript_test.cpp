@@ -46,6 +46,26 @@ TEST(AuditRequest, RejectsOversizeK) {
   EXPECT_THROW(AuditRequest::deserialize(req.serialize()), SerializeError);
 }
 
+TEST(AuditRequest, ExplicitPositionsRoundTrip) {
+  // The unified request carries TPA-chosen challenges (sentinel positions,
+  // Merkle indices) inline.
+  AuditRequest req;
+  req.file_id = 7;
+  req.k = 3;
+  req.nonce = bytes_of("fresh-nonce");
+  req.positions = {42, 7, 99};
+  const AuditRequest back = AuditRequest::deserialize(req.serialize());
+  EXPECT_EQ(back.positions, req.positions);
+  EXPECT_EQ(back.k, 3u);
+}
+
+TEST(AuditRequest, RejectsPositionCountDisagreeingWithK) {
+  AuditRequest req;
+  req.k = 2;
+  req.positions = {1, 2, 3};
+  EXPECT_THROW(AuditRequest::deserialize(req.serialize()), SerializeError);
+}
+
 TEST(SegmentRequest, SerializeRoundTrip) {
   const SegmentRequest req{42, 1234567};
   const SegmentRequest back = SegmentRequest::deserialize(req.serialize());

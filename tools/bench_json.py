@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Run GeoProof bench binaries with JSON output and aggregate the results.
+
+Each Google Benchmark binary is invoked with
+``--benchmark_out=<tmp>.json --benchmark_out_format=json`` (several suites
+print human-readable sweeps to stdout first, so stdout cannot be captured
+as JSON). The per-suite files are merged into one aggregate document:
+
+    {
+      "schema": 1,
+      "context": { ... first suite's benchmark context ... },
+      "suites": { "<binary>": [ {name, real_time, cpu_time, ...}, ... ] },
+      "benchmarks": { "<binary>/<name>": {real_time, cpu_time, time_unit,
+                                          iterations, items_per_second?} }
+    }
+
+``benchmarks`` is the flat map perf PRs diff against a stored baseline.
+
+Usage:
+    tools/bench_json.py --bin-dir build/bench --out build/BENCH_core.json
+    tools/bench_json.py --bin-dir build/bench --out build/BENCH_smoke.json \
+        --benchmarks bench_audit_service --filter BM_ServiceRunOnceMac
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import stat
+import subprocess
+import sys
+import tempfile
+
+
+def discover_benchmarks(bin_dir):
+    """All executable bench_* binaries in bin_dir, sorted."""
+    found = []
+    for name in sorted(os.listdir(bin_dir)):
+        path = os.path.join(bin_dir, name)
+        if not name.startswith("bench_"):
+            continue
+        if not os.path.isfile(path):
+            continue
+        mode = os.stat(path).st_mode
+        if mode & (stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH):
+            found.append(name)
+    return found
+
+
+def run_one(bin_dir, name, bench_filter, min_time, timeout_s):
+    """Run one bench binary; return its parsed benchmark JSON document."""
+    path = os.path.join(bin_dir, name)
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", prefix=name + ".", delete=False
+    ) as tmp:
+        out_path = tmp.name
+    cmd = [
+        path,
+        "--benchmark_out=" + out_path,
+        "--benchmark_out_format=json",
+    ]
+    if bench_filter:
+        cmd.append("--benchmark_filter=" + bench_filter)
+    if min_time:
+        cmd.append("--benchmark_min_time=" + min_time)
+    try:
+        proc = subprocess.run(
+            cmd,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            timeout=timeout_s,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                "%s exited with %d: %s"
+                % (name, proc.returncode, proc.stderr.decode(errors="replace"))
+            )
+        with open(out_path) as f:
+            return json.load(f)
+    finally:
+        try:
+            os.unlink(out_path)
+        except OSError:
+            pass
+
+
+def flatten(suites):
+    """suite -> flat '<binary>/<benchmark>' map of the diffable numbers."""
+    flat = {}
+    for suite_name, entries in suites.items():
+        for entry in entries:
+            key = "%s/%s" % (suite_name, entry.get("name", "?"))
+            flat[key] = {
+                k: entry[k]
+                for k in (
+                    "real_time",
+                    "cpu_time",
+                    "time_unit",
+                    "iterations",
+                    "items_per_second",
+                    "bytes_per_second",
+                )
+                if k in entry
+            }
+    return flat
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin-dir", required=True,
+                        help="directory holding the bench_* binaries")
+    parser.add_argument("--out", required=True,
+                        help="aggregate JSON output path")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated binary names (default: all)")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed to each binary")
+    parser.add_argument("--min-time", default="",
+                        help="--benchmark_min_time passed to each binary")
+    parser.add_argument("--timeout", type=int, default=1800,
+                        help="per-binary timeout in seconds")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.bin_dir):
+        sys.exit("bench_json: no such bin dir: %s (build the bench targets "
+                 "first)" % args.bin_dir)
+
+    names = (
+        [n for n in args.benchmarks.split(",") if n]
+        if args.benchmarks
+        else discover_benchmarks(args.bin_dir)
+    )
+    if not names:
+        sys.exit("bench_json: no bench binaries found in %s" % args.bin_dir)
+
+    suites = {}
+    context = None
+    for name in names:
+        print("bench_json: running %s ..." % name, flush=True)
+        doc = run_one(args.bin_dir, name, args.filter, args.min_time,
+                      args.timeout)
+        if context is None:
+            context = doc.get("context", {})
+        suites[name] = doc.get("benchmarks", [])
+
+    aggregate = {
+        "schema": 1,
+        "context": context or {},
+        "suites": suites,
+        "benchmarks": flatten(suites),
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(aggregate, f, indent=2, sort_keys=True)
+        f.write("\n")
+    total = sum(len(v) for v in suites.values())
+    print("bench_json: wrote %d benchmark entries from %d suites to %s"
+          % (total, len(suites), args.out))
+
+
+if __name__ == "__main__":
+    main()
