@@ -8,14 +8,14 @@ void SimClock::advance(Nanos d) {
   if (d < Nanos::zero()) {
     throw InvalidArgument("SimClock::advance: negative duration");
   }
-  now_ += d;
+  now_.fetch_add(d.count(), std::memory_order_acq_rel);
 }
 
 void SimClock::advance_to(Nanos t) {
-  if (t < now_) {
+  if (t < now()) {
     throw InvalidArgument("SimClock::advance_to: time in the past");
   }
-  now_ = t;
+  now_.store(t.count(), std::memory_order_release);
 }
 
 void EventQueue::schedule_at(Nanos at, std::function<void()> fn) {

@@ -6,6 +6,7 @@
 // std::chrono::steady_clock directly and never touches SimClock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -16,12 +17,17 @@
 namespace geoproof {
 
 /// Monotone virtual clock. Time only moves when a component charges latency.
+///
+/// Thread safety: now() may be read from any thread (the sharded audit
+/// engine's aggregate view timestamps results while other shards run), but
+/// advancing must stay confined to one thread at a time — a clock belongs
+/// to one simulated world, and a world belongs to one shard.
 class SimClock {
  public:
   SimClock() = default;
 
   /// Current virtual time since simulation start.
-  Nanos now() const { return now_; }
+  Nanos now() const { return Nanos{now_.load(std::memory_order_acquire)}; }
 
   /// Advance the clock by a non-negative amount.
   void advance(Nanos d);
@@ -31,7 +37,7 @@ class SimClock {
   void advance_to(Nanos t);
 
  private:
-  Nanos now_{0};
+  std::atomic<Nanos::rep> now_{0};
 };
 
 /// A stopwatch bound to a SimClock — models the verifier device's

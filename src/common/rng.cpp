@@ -98,4 +98,13 @@ Rng Rng::split() {
   return Rng(next_u64() ^ 0xa5a5a5a5deadbeefULL);
 }
 
+Rng Rng::stream(std::uint64_t root_seed, std::uint64_t stream_index) {
+  // Golden-ratio lattice over the stream index, then one SplitMix64 round
+  // to decorrelate neighbouring indices before the constructor's own state
+  // expansion. Streams for distinct indices start from unrelated xoshiro
+  // states, so their sequences do not overlap for practical lengths.
+  SplitMix64 sm(root_seed ^ (0x9e3779b97f4a7c15ULL * (stream_index + 1)));
+  return Rng(sm.next());
+}
+
 }  // namespace geoproof

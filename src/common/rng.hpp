@@ -35,11 +35,23 @@ class SplitMix64 {
 
 /// xoshiro256** deterministic generator. Satisfies the essential parts of
 /// UniformRandomBitGenerator so it can also be fed to <random> distributions.
+///
+/// Thread safety: an Rng instance is NOT thread-safe — confine each
+/// instance to one thread (one shard, one worker). Concurrent components
+/// take independent streams via Rng::stream(root_seed, index) instead of
+/// sharing one generator behind a lock.
 class Rng {
  public:
   using result_type = std::uint64_t;
 
   explicit Rng(std::uint64_t seed);
+
+  /// Deterministic independent stream `stream_index` derived from a root
+  /// seed. The sharded audit engine seeds one stream per shard worker so
+  /// no generator is ever shared across threads, and a run is reproducible
+  /// from (root_seed, shard) alone. Unlike split(), this does not consume
+  /// state from any existing generator.
+  static Rng stream(std::uint64_t root_seed, std::uint64_t stream_index);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {

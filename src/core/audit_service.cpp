@@ -83,15 +83,28 @@ const AuditService::Registration& AuditService::registration(
 
 const AuditReport& AuditService::run_once(const SimClock& clock,
                                           std::uint64_t file_id) {
+  return run_once(Now{[&clock] { return clock.now(); }}, file_id);
+}
+
+const AuditReport& AuditService::run_once(const Now& now,
+                                          std::uint64_t file_id) {
   Registration& reg = find(file_id);
   const AuditRequest request =
       reg.scheme->make_request(reg.file, reg.challenge_size);
   const SignedTranscript transcript = reg.verifier->run_audit(request);
   Entry entry;
   entry.report = reg.scheme->verify(reg.file, transcript);
-  entry.at = clock.now();
+  entry.at = now();
   reg.history.push_back(std::move(entry));
   return reg.history.back().report;
+}
+
+void AuditService::record(std::uint64_t file_id, Nanos at,
+                          AuditReport report) {
+  Entry entry;
+  entry.at = at;
+  entry.report = std::move(report);
+  find(file_id).history.push_back(std::move(entry));
 }
 
 const AuditReport& AuditService::run_once(const SimClock& clock) {
@@ -125,12 +138,10 @@ void AuditService::schedule(EventQueue& queue, const SimClock& clock,
                           // alone: record it as a failed audit and keep
                           // the queue — and the other registrations —
                           // running.
-                          Entry entry;
-                          entry.at = clock.now();
-                          entry.report.accepted = false;
-                          entry.report.failures.push_back(
-                              AuditFailure::kAborted);
-                          find(file_id).history.push_back(std::move(entry));
+                          AuditReport aborted;
+                          aborted.accepted = false;
+                          aborted.failures.push_back(AuditFailure::kAborted);
+                          record(file_id, clock.now(), std::move(aborted));
                         }
                       });
   }

@@ -10,8 +10,16 @@
 // keyed by file id with per-registration history and compliance. This is
 // the API surface the sharded audit engine and the multicloud sweep
 // workloads build on.
+//
+// Concurrency contract: the service itself holds no locks. run_once /
+// record may be called concurrently for *distinct* file ids provided (a)
+// the registry is not mutated (add/remove) while audits run, (b) schemes
+// follow the AuditScheme thread-safety contract (scheme.hpp), and (c) a
+// VerifierDevice shared by concurrently-audited registrations is
+// externally serialised. core::ShardedAuditEngine enforces all three.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -69,12 +77,24 @@ class AuditService {
   std::vector<std::uint64_t> file_ids() const;
   const Registration& registration(std::uint64_t file_id) const;
 
+  /// Timestamp source for history entries, sampled *after* an audit
+  /// completes (the audit itself advances a virtual clock). The SimClock
+  /// overloads wrap the clock in one of these; the sharded engine passes
+  /// its per-shard clocks (virtual or wall) through here.
+  using Now = std::function<Nanos()>;
+
   /// Run one audit of `file_id` immediately; records and returns the report.
   const AuditReport& run_once(const SimClock& clock, std::uint64_t file_id);
+  const AuditReport& run_once(const Now& now, std::uint64_t file_id);
   /// Single-registration convenience (throws unless exactly one target).
   const AuditReport& run_once(const SimClock& clock);
   /// Audit every registration once; returns how many passed.
   unsigned run_all(const SimClock& clock);
+
+  /// Append an externally-judged entry to `file_id`'s history — how the
+  /// sharded engine records kAborted results for audits whose scheme or
+  /// device threw, without losing the other shards' progress.
+  void record(std::uint64_t file_id, Nanos at, AuditReport report);
 
   /// Schedule `count` audits of `file_id` on `queue`, one every `interval`,
   /// starting at `start`. Results land in history() as the queue runs.

@@ -55,6 +55,7 @@ NonceLedger::NonceLedger(std::uint64_t seed, std::size_t capacity)
 }
 
 Bytes NonceLedger::issue(std::vector<std::uint64_t> payload) {
+  std::scoped_lock lock(mu_);
   Key key;
   do {
     const Bytes fresh = rng_.next_bytes(kNonceBytes);
@@ -91,6 +92,7 @@ Bytes NonceLedger::issue(std::vector<std::uint64_t> payload) {
 std::optional<std::vector<std::uint64_t>> NonceLedger::consume(
     const Bytes& nonce) {
   if (nonce.size() != kNonceBytes) return std::nullopt;
+  std::scoped_lock lock(mu_);
   Key key;
   std::copy(nonce.begin(), nonce.end(), key.begin());
   const auto it = entries_.find(key);
@@ -187,14 +189,10 @@ AuditReport AuditScheme::verify(const FileRecord& file,
 
   // Step 4: Δt' = max Δt_j <= Δt_max.
   const Millis dt_max = config_.policy.max_round_trip();
-  double sum = 0.0;
+  report.max_rtt = t.max_rtt();
+  report.mean_rtt = t.mean_rtt();
   for (const Millis& rtt : t.rtts) {
-    report.max_rtt = std::max(report.max_rtt, rtt);
-    sum += rtt.count();
     if (rtt > dt_max) ++report.timing_violations;
-  }
-  if (!t.rtts.empty()) {
-    report.mean_rtt = Millis{sum / static_cast<double>(t.rtts.size())};
   }
   if (report.max_rtt > dt_max) {
     report.failures.push_back(AuditFailure::kTiming);
@@ -245,16 +243,23 @@ FileRecord SentinelAuditScheme::file_record(
                     encoded.n_file_blocks};
 }
 
-unsigned SentinelAuditScheme::sentinels_remaining(
+unsigned SentinelAuditScheme::sentinels_remaining_locked(
     std::uint64_t file_id) const {
   const auto it = next_sentinel_.find(file_id);
   const unsigned used = it == next_sentinel_.end() ? 0 : it->second;
   return por_.params().n_sentinels - used;
 }
 
+unsigned SentinelAuditScheme::sentinels_remaining(
+    std::uint64_t file_id) const {
+  std::scoped_lock lock(mu_);
+  return sentinels_remaining_locked(file_id);
+}
+
 AuditScheme::ChallengePlan SentinelAuditScheme::plan_challenge(
     const FileRecord& file, std::uint32_t k) {
-  if (sentinels_remaining(file.file_id) < k) {
+  std::scoped_lock lock(mu_);
+  if (sentinels_remaining_locked(file.file_id) < k) {
     throw CryptoError("SentinelAuditScheme: sentinel supply exhausted");
   }
   unsigned& next = next_sentinel_[file.file_id];
@@ -353,6 +358,7 @@ AuditScheme::ChallengePlan DynamicAuditScheme::plan_challenge(
     const FileRecord& file, std::uint32_t k) {
   (void)client(file.file_id);  // fail fast on unregistered files
   ChallengePlan plan;
+  std::scoped_lock lock(rng_mu_);
   plan.positions = por::sample_challenge(file.n_segments, k, challenge_rng_);
   return plan;
 }

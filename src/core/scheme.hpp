@@ -19,6 +19,7 @@
 #include <array>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,6 +91,11 @@ struct AuditorConfig {
 /// Each nonce may carry a payload (the sentinel flavour stores the revealed
 /// sentinel indices); consuming a nonce returns the payload exactly once,
 /// which is what makes transcript replay detectable.
+///
+/// Thread safety: fully internally synchronised — issue/consume and the
+/// observability counters may be called from any thread. One scheme
+/// instance serves audits running concurrently on many shards, so its
+/// ledger is the one piece of TPA state every shard contends on.
 class NonceLedger {
  public:
   static constexpr std::size_t kDefaultCapacity = 1024;
@@ -106,15 +112,24 @@ class NonceLedger {
   /// nullopt if the nonce was never issued, already consumed, or expired.
   std::optional<std::vector<std::uint64_t>> consume(const Bytes& nonce);
 
-  std::size_t outstanding() const { return entries_.size(); }
+  std::size_t outstanding() const {
+    std::scoped_lock lock(mu_);
+    return entries_.size();
+  }
   std::size_t capacity() const { return capacity_; }
   /// Entries dropped because the ledger was full (observability: a rising
   /// count means audits are being issued and never verified).
-  std::uint64_t expired() const { return expired_; }
+  std::uint64_t expired() const {
+    std::scoped_lock lock(mu_);
+    return expired_;
+  }
   /// Internal issue-order queue depth, including lazily-pruned consumed
   /// entries. Bounded by a small multiple of capacity(); exposed so the
   /// bound is testable.
-  std::size_t queue_depth() const { return order_.size(); }
+  std::size_t queue_depth() const {
+    std::scoped_lock lock(mu_);
+    return order_.size();
+  }
 
  private:
   /// Nonces are fixed-width, so the ledger keys on a flat array (cheaper
@@ -122,6 +137,7 @@ class NonceLedger {
   /// simply never found.
   using Key = std::array<std::uint8_t, kNonceBytes>;
 
+  mutable std::mutex mu_;
   Rng rng_;
   std::size_t capacity_;
   std::uint64_t expired_ = 0;
@@ -132,6 +148,33 @@ class NonceLedger {
 /// The polymorphic TPA interface. `make_request` and `verify` are the whole
 /// public protocol surface; everything scheme-specific hangs off the three
 /// protected hooks.
+///
+/// ## Thread safety (the contract the sharded audit engine relies on)
+///
+/// make_request() and verify() are safe to call concurrently — including on
+/// one scheme instance shared by registrations on different shards —
+/// provided the audits target *distinct* FileRecords. Shared nonce
+/// bookkeeping is internally locked (NonceLedger), and each flavour locks
+/// its own mutable challenge state:
+///
+///  - MacAuditScheme: stateless planning, nothing further to lock;
+///  - SentinelAuditScheme: the per-file sentinel cursors are guarded, so
+///    concurrent audits of distinct files spend disjoint sentinels;
+///  - DynamicAuditScheme: the shared challenge Rng is guarded (sampling
+///    order, and therefore the exact challenges, may interleave across
+///    threads — reports stay valid, byte-exact reproducibility needs the
+///    scheme confined to one shard).
+///
+/// NOT thread-safe, by design (call while audits are quiescent):
+///  - set_policy() — reconfiguration, not steady-state auditing;
+///  - registration-time mutation (DynamicAuditScheme::register_file);
+///  - concurrent audits of the *same* FileRecord when the flavour keeps
+///    per-file state (sentinel cursors advance under the lock, but audit
+///    outcomes then depend on interleaving).
+///
+/// VerifierDevice is NOT part of this contract: its signer consumes
+/// one-time keys, so concurrent run_audit() calls on one device must be
+/// serialised externally (the sharded engine keeps a per-device mutex).
 class AuditScheme {
  public:
   explicit AuditScheme(AuditorConfig config);
@@ -268,7 +311,12 @@ class SentinelAuditScheme : public AuditScheme {
       const std::vector<std::uint64_t>& payload) const override;
 
  private:
+  unsigned sentinels_remaining_locked(std::uint64_t file_id) const;
+
   por::SentinelPor por_;
+  /// Guards next_sentinel_: concurrent audits of distinct files must spend
+  /// disjoint sentinels (see the AuditScheme thread-safety contract).
+  mutable std::mutex mu_;
   /// Next unspent sentinel index per file.
   std::map<std::uint64_t, unsigned> next_sentinel_;
 };
@@ -310,6 +358,10 @@ class DynamicAuditScheme : public AuditScheme {
 
  private:
   por::PorParams por_;
+  /// Guards challenge_rng_ (an Rng is not thread-safe; see rng.hpp).
+  /// clients_ needs no lock during audits — register_file must be quiescent
+  /// with respect to auditing, per the thread-safety contract above.
+  std::mutex rng_mu_;
   Rng challenge_rng_;
   std::map<std::uint64_t, por::DynamicPorClient> clients_;
 };

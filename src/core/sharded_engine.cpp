@@ -1,0 +1,261 @@
+#include "core/sharded_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace geoproof::core {
+
+/// One shard's run queue. The owning worker pops from the front; thieves
+/// pop from the back, so an owner and a thief contend only on the lock,
+/// never on the same end's ordering.
+struct ShardedAuditEngine::ShardQueue {
+  std::mutex mu;
+  std::deque<std::uint64_t> items;
+
+  std::optional<std::uint64_t> pop_front() {
+    std::scoped_lock lock(mu);
+    if (items.empty()) return std::nullopt;
+    const std::uint64_t id = items.front();
+    items.pop_front();
+    return id;
+  }
+
+  std::optional<std::uint64_t> pop_back() {
+    std::scoped_lock lock(mu);
+    if (items.empty()) return std::nullopt;
+    const std::uint64_t id = items.back();
+    items.pop_back();
+    return id;
+  }
+};
+
+ShardedAuditEngine::ShardedAuditEngine(AuditService& service)
+    : ShardedAuditEngine(service, Options{}) {}
+
+ShardedAuditEngine::ShardedAuditEngine(AuditService& service, Options options)
+    : service_(&service),
+      options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (options_.shards == 0) {
+    throw InvalidArgument("ShardedAuditEngine: shards must be >= 1");
+  }
+  if (!options_.partitioner) {
+    options_.partitioner = [](std::uint64_t file_id, std::size_t shards) {
+      return static_cast<std::size_t>(file_id % shards);
+    };
+  }
+  if (!options_.clock_source) {
+    // Wall-clock mode: every shard stamps entries with the time since
+    // engine construction.
+    options_.clock_source = [this](std::size_t /*shard*/) -> ShardClock {
+      return [this] {
+        return std::chrono::duration_cast<Nanos>(
+            std::chrono::steady_clock::now() - epoch_);
+      };
+    };
+  }
+  clocks_.reserve(options_.shards);
+  steal_order_.resize(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    clocks_.push_back(options_.clock_source(s));
+    if (!clocks_.back()) {
+      throw InvalidArgument("ShardedAuditEngine: clock_source returned an "
+                            "empty shard clock");
+    }
+    // Fixed per-shard victim order from an independent per-shard Rng
+    // stream: deterministic given (seed, shards), and no two workers share
+    // a generator.
+    std::vector<std::size_t>& victims = steal_order_[s];
+    for (std::size_t v = 0; v < options_.shards; ++v) {
+      if (v != s) victims.push_back(v);
+    }
+    Rng rng = Rng::stream(options_.seed, s);
+    shuffle(victims, rng);
+  }
+}
+
+std::size_t ShardedAuditEngine::shard_of(std::uint64_t file_id) const {
+  const std::size_t shard = options_.partitioner(file_id, options_.shards);
+  if (shard >= options_.shards) {
+    throw InvalidArgument("ShardedAuditEngine: partitioner returned shard "
+                          "out of range");
+  }
+  return shard;
+}
+
+std::vector<std::vector<std::uint64_t>> ShardedAuditEngine::shard_plan()
+    const {
+  std::vector<std::vector<std::uint64_t>> plan(options_.shards);
+  // file_ids() is ascending (map order), so each shard's queue is too.
+  for (const std::uint64_t id : service_->file_ids()) {
+    plan[shard_of(id)].push_back(id);
+  }
+  return plan;
+}
+
+void ShardedAuditEngine::refresh_verifier_mutexes() {
+  // Rebuild from the live registry so devices removed between sweeps do
+  // not accumulate as dangling keys; mutexes for devices still registered
+  // are carried over (they are never held between sweeps, but recreating
+  // them for free is pointless).
+  std::map<const VerifierDevice*, std::unique_ptr<std::mutex>> fresh;
+  for (const std::uint64_t id : service_->file_ids()) {
+    const VerifierDevice* verifier = service_->registration(id).verifier;
+    auto& slot = fresh[verifier];
+    if (!slot) {
+      const auto old = verifier_mu_.find(verifier);
+      slot = old != verifier_mu_.end() ? std::move(old->second)
+                                       : std::make_unique<std::mutex>();
+    }
+  }
+  verifier_mu_.swap(fresh);
+}
+
+void ShardedAuditEngine::audit_one(std::size_t shard, std::uint64_t file_id,
+                                   std::atomic<unsigned>& sweep_passed) {
+  const ShardClock& now = clocks_[shard];
+  std::mutex& device_mu =
+      *verifier_mu_.at(service_->registration(file_id).verifier);
+  try {
+    bool accepted = false;
+    {
+      // Serialise the whole audit per device: run_audit consumes one-time
+      // signing keys, and the device's channel/stopwatch advance the
+      // world's clock.
+      std::scoped_lock lock(device_mu);
+      accepted = service_->run_once(now, file_id).accepted;
+    }
+    audits_.fetch_add(1, std::memory_order_relaxed);
+    if (accepted) {
+      // Release: pairs with compliance_all()'s acquire load, so a reader
+      // that observes this pass also observes the audits_ increment above
+      // (passed <= total even mid-sweep).
+      passed_.fetch_add(1, std::memory_order_release);
+      sweep_passed.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const std::exception&) {
+    // Fault isolation: a scheme/device error (sentinel or signing-key
+    // exhaustion) is this registration's problem alone — record it and
+    // keep every other shard's work flowing. Mirrors the scheduled-audit
+    // path in AuditService::schedule.
+    AuditReport aborted;
+    aborted.accepted = false;
+    aborted.failures.push_back(AuditFailure::kAborted);
+    service_->record(file_id, now(), std::move(aborted));
+    audits_.fetch_add(1, std::memory_order_relaxed);
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedAuditEngine::worker(std::size_t shard,
+                                std::vector<ShardQueue>& queues,
+                                std::atomic<unsigned>& sweep_passed) {
+  // Drain the home queue first (front: preserves ascending-id order).
+  while (const auto id = queues[shard].pop_front()) {
+    audit_one(shard, *id, sweep_passed);
+  }
+  if (!options_.work_stealing) return;
+  // Then steal from the back of busy shards until every queue is empty.
+  // No work is enqueued mid-sweep, so one clean pass over all victims
+  // finding nothing means the sweep's queues are drained.
+  for (;;) {
+    bool stole = false;
+    for (const std::size_t victim : steal_order_[shard]) {
+      if (const auto id = queues[victim].pop_back()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        audit_one(shard, *id, sweep_passed);
+        stole = true;
+        break;
+      }
+    }
+    if (!stole) return;
+  }
+}
+
+unsigned ShardedAuditEngine::sweep_once() {
+  refresh_verifier_mutexes();
+  const std::vector<std::vector<std::uint64_t>> plan = shard_plan();
+  std::vector<ShardQueue> queues(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    queues[s].items.assign(plan[s].begin(), plan[s].end());
+  }
+
+  std::atomic<unsigned> sweep_passed{0};
+  {
+    // Shard 0 runs on the calling thread: with one shard no thread is
+    // spawned at all, which is what makes single-shard sweeps bit-identical
+    // (and directly comparable) to AuditService::run_all.
+    std::vector<std::jthread> workers;
+    workers.reserve(options_.shards - 1);
+    for (std::size_t s = 1; s < options_.shards; ++s) {
+      workers.emplace_back(
+          [this, s, &queues, &sweep_passed] { worker(s, queues, sweep_passed); });
+    }
+    worker(0, queues, sweep_passed);
+  }  // jthreads join here
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  return sweep_passed.load(std::memory_order_relaxed);
+}
+
+ShardedAuditEngine::RunReport ShardedAuditEngine::run_for(
+    std::chrono::nanoseconds budget) {
+  const auto start = std::chrono::steady_clock::now();
+  const Stats before = stats();
+  do {
+    sweep_once();
+  } while (std::chrono::steady_clock::now() - start < budget);
+  const Stats after = stats();
+
+  RunReport report;
+  report.delta.audits = after.audits - before.audits;
+  report.delta.passed = after.passed - before.passed;
+  report.delta.aborted = after.aborted - before.aborted;
+  report.delta.steals = after.steals - before.steals;
+  report.delta.sweeps = after.sweeps - before.sweeps;
+  report.elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  const double seconds =
+      std::chrono::duration<double>(report.elapsed).count();
+  report.audits_per_second =
+      seconds > 0.0 ? static_cast<double>(report.delta.audits) / seconds : 0.0;
+  return report;
+}
+
+AuditService::Compliance ShardedAuditEngine::compliance_all() const {
+  AuditService::Compliance c;
+  // Acquire-load passed before audits: every observed pass release-
+  // published its preceding audits_ increment, so a mid-sweep read may
+  // undercount passes but never reports passed > total.
+  c.passed = static_cast<unsigned>(passed_.load(std::memory_order_acquire));
+  c.total = static_cast<unsigned>(audits_.load(std::memory_order_relaxed));
+  return c;
+}
+
+ShardedAuditEngine::Stats ShardedAuditEngine::stats() const {
+  Stats s;
+  s.passed = passed_.load(std::memory_order_acquire);
+  s.audits = audits_.load(std::memory_order_relaxed);
+  s.aborted = aborted_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.sweeps = sweeps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string ShardedAuditEngine::summary() const {
+  const Stats s = stats();
+  const AuditService::Compliance c = compliance_all();
+  std::ostringstream os;
+  os << "shards=" << options_.shards << " audits=" << s.audits
+     << " passed=" << s.passed << " rate=" << c.rate()
+     << " aborted=" << s.aborted << " steals=" << s.steals
+     << " sweeps=" << s.sweeps;
+  return os.str();
+}
+
+}  // namespace geoproof::core

@@ -1,0 +1,164 @@
+// The sharded audit engine: N worker shards draining one AuditService
+// registry concurrently — the throughput layer the ROADMAP's "heavy
+// traffic from millions of users" north star asks for, and the concurrent
+// audit fan-out that GeoFINDR-style multicloud sweeps and BFT-PoLoc-style
+// many-challenger measurements presuppose.
+//
+// Registrations are partitioned across shards by file id (partitioner
+// injectable); each shard drains its run queue on a std::jthread worker,
+// and idle workers steal queued registrations from the back of busy
+// shards' queues. Results merge into a thread-safe aggregate view
+// (compliance_all) kept in atomic counters, plus the usual per-file
+// histories inside the AuditService.
+//
+// ## Determinism
+//
+// Per-shard clocks are injectable, so the engine runs both in wall-clock
+// mode (default: one steady clock since construction) and under the
+// deterministic virtual SimClock worlds tests use. With one shard the
+// engine runs on the calling thread, in ascending-file-id order — results
+// are bit-identical to AuditService::run_all. With many shards, per-file
+// outcomes are deterministic whenever each scheme's mutable challenge
+// state is confined to one shard (or stateless); shared schemes stay
+// *correct* across shards (see the AuditScheme thread-safety contract)
+// but may interleave nonce/challenge draws.
+//
+// ## What the caller must uphold
+//
+//  - no AuditService::add/remove while a sweep is running;
+//  - registrations whose timed paths share mutable simulation state (one
+//    SimClock, one SimRequestChannel) must be co-located on one shard by
+//    the injected partitioner AND run with work_stealing off — otherwise
+//    concurrent audits (a foreign shard's, or a thief's) would charge
+//    latency to each other's stopwatches;
+//  - sharing a VerifierDevice across shards is fine: the engine serialises
+//    run_audit per device (one-time signing keys must not race).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/audit_service.hpp"
+
+namespace geoproof::core {
+
+class ShardedAuditEngine {
+ public:
+  /// file id -> shard index in [0, shards).
+  using Partitioner =
+      std::function<std::size_t(std::uint64_t file_id, std::size_t shards)>;
+  /// Per-shard timestamp source for history entries (virtual in tests,
+  /// wall-clock in production).
+  using ShardClock = std::function<Nanos()>;
+
+  struct Options {
+    /// Worker shard count (>= 1).
+    std::size_t shards = 1;
+    /// Defaults to file_id % shards. Must co-locate registrations that
+    /// share a simulated world — see the class comment.
+    Partitioner partitioner;
+    /// shard index -> that shard's clock. Defaults to one wall clock
+    /// (nanoseconds since engine construction) for every shard.
+    std::function<ShardClock(std::size_t shard)> clock_source;
+    /// Root seed of the per-shard Rng streams (work-stealing victim
+    /// order); the whole schedule is reproducible from (seed, shards).
+    std::uint64_t seed = 0x5a4d;
+    /// Idle workers steal queued work from the back of busy shards. A
+    /// stolen registration runs on the thief's thread, so disable this
+    /// whenever the partitioner co-locates registrations that share a
+    /// simulated world — stealing would undo that co-location.
+    bool work_stealing = true;
+  };
+
+  /// Monotone engine counters (atomically maintained; safe to read while
+  /// workers are mid-sweep).
+  struct Stats {
+    std::uint64_t audits = 0;   // completed audits, incl. aborted
+    std::uint64_t passed = 0;
+    std::uint64_t aborted = 0;  // recorded as AuditFailure::kAborted
+    std::uint64_t steals = 0;   // work items run on a foreign shard
+    std::uint64_t sweeps = 0;
+  };
+
+  /// What one run_for() call achieved.
+  struct RunReport {
+    Stats delta;  // counters attributable to this run alone
+    std::chrono::nanoseconds elapsed{0};
+    double audits_per_second = 0.0;
+  };
+
+  /// The engine schedules over, but does not own, `service`.
+  ShardedAuditEngine(AuditService& service, Options options);
+  /// Default options: one shard, modulo partitioning, wall clock.
+  explicit ShardedAuditEngine(AuditService& service);
+
+  std::size_t shards() const { return options_.shards; }
+  /// Shard the partitioner assigns `file_id` to (throws InvalidArgument if
+  /// the partitioner returns an out-of-range shard).
+  std::size_t shard_of(std::uint64_t file_id) const;
+  /// Deterministic partition of the current registry: ascending file ids
+  /// per shard. This is each sweep's initial run-queue content.
+  std::vector<std::vector<std::uint64_t>> shard_plan() const;
+
+  /// Audit every registration exactly once, fanned across the shards;
+  /// blocks until the sweep completes. A scheme/device error aborts only
+  /// that registration (recorded as kAborted) — other shards keep running.
+  /// Returns the number of audits that passed.
+  ///
+  /// Each sweep spawns its shards-1 worker jthreads afresh (shard 0 runs
+  /// on the caller). That cost is deliberate — it keeps sweeps
+  /// self-contained and the 1-shard path thread-free — and is amortised
+  /// over a whole registry sweep; a persistent parked worker pool is the
+  /// obvious upgrade if per-sweep spawn ever shows up in
+  /// bench_sharded_engine with large shard counts and tiny registries.
+  unsigned sweep_once();
+
+  /// Sweep repeatedly until `budget` wall time has elapsed (at least one
+  /// sweep always completes).
+  RunReport run_for(std::chrono::nanoseconds budget);
+
+  /// Aggregate compliance across every shard, merged from the engine's
+  /// atomic counters — safe to read concurrently with a running sweep.
+  /// Quiescent, it equals AuditService::compliance() restricted to
+  /// engine-driven audits.
+  AuditService::Compliance compliance_all() const;
+  Stats stats() const;
+
+  /// One line: shards, audits, pass rate, aborts, steals, sweeps.
+  std::string summary() const;
+
+ private:
+  struct ShardQueue;
+
+  void refresh_verifier_mutexes();
+  void worker(std::size_t shard, std::vector<ShardQueue>& queues,
+              std::atomic<unsigned>& sweep_passed);
+  void audit_one(std::size_t shard, std::uint64_t file_id,
+                 std::atomic<unsigned>& sweep_passed);
+
+  AuditService* service_;
+  Options options_;
+  std::vector<ShardClock> clocks_;
+  /// Per shard: the other shards in this worker's steal order (seeded
+  /// shuffle, fixed for the engine's lifetime).
+  std::vector<std::vector<std::size_t>> steal_order_;
+  /// One mutex per distinct VerifierDevice (its Merkle signer consumes
+  /// one-time keys). Refreshed between sweeps, never during one.
+  std::map<const VerifierDevice*, std::unique_ptr<std::mutex>> verifier_mu_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::atomic<std::uint64_t> audits_{0};
+  std::atomic<std::uint64_t> passed_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+};
+
+}  // namespace geoproof::core

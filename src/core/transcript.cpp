@@ -110,6 +110,13 @@ Millis AuditTranscript::max_rtt() const {
   return best;
 }
 
+Millis AuditTranscript::mean_rtt() const {
+  if (rtts.empty()) return Millis{0};
+  double sum = 0.0;
+  for (const Millis& m : rtts) sum += m.count();
+  return Millis{sum / static_cast<double>(rtts.size())};
+}
+
 std::uint64_t AuditTranscript::exchanged_bytes() const {
   // Each round: one SegmentRequest (two u64s = 16 bytes) out, one segment
   // back.

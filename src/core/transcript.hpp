@@ -59,6 +59,8 @@ struct AuditTranscript {
   static AuditTranscript deserialize(BytesView data);
 
   Millis max_rtt() const;
+  /// Arithmetic mean of Δt_1..Δt_k (0 when there are no rounds).
+  Millis mean_rtt() const;
 
   /// Bytes that crossed the verifier-provider link during the timed phase
   /// (k requests + k segments) — the paper's §IV point that audit traffic

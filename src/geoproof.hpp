@@ -72,5 +72,6 @@
 #include "core/replication.hpp"
 #include "core/scheme.hpp"
 #include "core/sentinel_geoproof.hpp"
+#include "core/sharded_engine.hpp"
 #include "core/transcript.hpp"
 #include "core/verifier.hpp"

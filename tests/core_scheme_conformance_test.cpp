@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/errors.hpp"
 #include "common/rng.hpp"
 #include "core/dynamic_geoproof.hpp"
@@ -353,6 +356,159 @@ TEST_P(SchemeConformance, EmptyMasterKeyRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFlavours, SchemeConformance,
+                         ::testing::Values(Flavour::kMac, Flavour::kSentinel,
+                                           Flavour::kDynamic),
+                         [](const ::testing::TestParamInfo<Flavour>& info) {
+                           return flavour_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Concurrent audits on distinct FileRecords are independent — the
+// thread-safety contract documented in scheme.hpp, which the sharded audit
+// engine relies on when one scheme instance serves registrations on
+// different shards. One scheme, several files, one thread per file
+// hammering make_request -> run_audit -> verify. (TSan runs this suite.)
+// ---------------------------------------------------------------------------
+
+/// One file's private timed path: its own clock, provider, channel and
+/// verifier device. All devices share the default burned-in signer seed,
+/// so the single scheme's configured public key matches every device.
+struct FileWorld {
+  SimClock clock;
+  std::unique_ptr<net::SimAuditTimer> timer;
+  std::unique_ptr<CloudProvider> provider;
+  std::unique_ptr<por::DynamicPorProvider> dyn_provider;
+  std::unique_ptr<DynamicProviderService> dyn_service;
+  std::unique_ptr<net::SimRequestChannel> channel;
+  std::unique_ptr<VerifierDevice> verifier;
+  FileRecord record;
+};
+
+struct SharedSchemeWorlds {
+  std::unique_ptr<AuditScheme> scheme;
+  std::vector<std::unique_ptr<FileWorld>> worlds;
+};
+
+SharedSchemeWorlds make_shared_scheme_worlds(Flavour flavour,
+                                             unsigned n_files,
+                                             unsigned sentinels_per_file) {
+  SharedSchemeWorlds out;
+  Rng rng(41);
+  por::PorParams params;
+  params.ecc_data_blocks = 16;
+  params.ecc_parity_blocks = 4;
+  const por::SentinelParams sentinel_params{.block_size = 16,
+                                            .n_sentinels = sentinels_per_file};
+
+  for (unsigned i = 0; i < n_files; ++i) {
+    const std::uint64_t file_id = 101 + i;
+    auto world = std::make_unique<FileWorld>();
+    FileWorld& w = *world;
+    w.timer = std::make_unique<net::SimAuditTimer>(w.clock);
+    const Bytes content = rng.next_bytes(1500);
+    const auto lan = [&w, file_id](net::RequestHandler handler) {
+      return std::make_unique<net::SimRequestChannel>(
+          w.clock,
+          net::lan_latency(net::LanModel{}, Kilometers{0.1}, file_id),
+          std::move(handler));
+    };
+    switch (flavour) {
+      case Flavour::kMac: {
+        w.provider = std::make_unique<CloudProvider>(
+            CloudProvider::Config{.name = "dc", .location = kSite}, w.clock);
+        const por::EncodedFile encoded =
+            por::PorEncoder(params).encode(content, file_id, kMaster);
+        w.provider->store(encoded);
+        w.record = FileRecord{file_id, encoded.n_segments, 0};
+        w.channel = lan(w.provider->handler());
+        break;
+      }
+      case Flavour::kSentinel: {
+        w.provider = std::make_unique<CloudProvider>(
+            CloudProvider::Config{.name = "dc", .location = kSite}, w.clock);
+        const por::SentinelEncoded encoded =
+            por::SentinelPor(sentinel_params).encode(content, file_id,
+                                                     kMaster);
+        w.provider->store_blocks(file_id, encoded.blocks,
+                                 sentinel_params.block_size);
+        w.record = SentinelAuditScheme::file_record(encoded);
+        w.channel = lan(w.provider->handler());
+        break;
+      }
+      case Flavour::kDynamic: {
+        w.dyn_provider = std::make_unique<por::DynamicPorProvider>(
+            por::PorEncoder(params).encode(content, file_id, kMaster));
+        w.dyn_service = std::make_unique<DynamicProviderService>(
+            *w.dyn_provider, w.clock,
+            storage::DiskModel(storage::wd2500jd()));
+        w.channel = lan(w.dyn_service->handler());
+        break;
+      }
+    }
+    VerifierDevice::Config vcfg;  // default signer seed => shared pk
+    vcfg.position = kSite;
+    vcfg.signer_height = 6;  // 64 audits per device; cheap keygen
+    w.verifier = std::make_unique<VerifierDevice>(vcfg, *w.channel, *w.timer);
+    out.worlds.push_back(std::move(world));
+  }
+
+  const AuditorConfig cfg =
+      base_config(*out.worlds.front()->verifier, NonceLedger::kDefaultCapacity);
+  switch (flavour) {
+    case Flavour::kMac:
+      out.scheme = std::make_unique<MacAuditScheme>(cfg, params);
+      break;
+    case Flavour::kSentinel:
+      out.scheme =
+          std::make_unique<SentinelAuditScheme>(cfg, sentinel_params);
+      break;
+    case Flavour::kDynamic: {
+      auto scheme = std::make_unique<DynamicAuditScheme>(cfg, params);
+      for (unsigned i = 0; i < n_files; ++i) {
+        FileWorld& w = *out.worlds[i];
+        w.record = scheme->register_file(101 + i, w.dyn_provider->root(),
+                                         w.dyn_provider->n_segments());
+      }
+      out.scheme = std::move(scheme);
+      break;
+    }
+  }
+  return out;
+}
+
+class SchemeConcurrency : public ::testing::TestWithParam<Flavour> {};
+
+TEST_P(SchemeConcurrency, DistinctFileAuditsAreIndependent) {
+  constexpr unsigned kFiles = 4;
+  constexpr unsigned kAuditsPerFile = 6;
+  constexpr std::uint32_t kRounds = 4;
+  SharedSchemeWorlds fx = make_shared_scheme_worlds(
+      GetParam(), kFiles, /*sentinels_per_file=*/kAuditsPerFile * kRounds);
+
+  std::atomic<unsigned> accepted{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(fx.worlds.size());
+    for (auto& world : fx.worlds) {
+      threads.emplace_back([&accepted, &fx, w = world.get()] {
+        for (unsigned i = 0; i < kAuditsPerFile; ++i) {
+          const AuditRequest request =
+              fx.scheme->make_request(w->record, kRounds);
+          const SignedTranscript transcript = w->verifier->run_audit(request);
+          if (fx.scheme->verify(w->record, transcript).accepted) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }  // join
+  EXPECT_EQ(accepted.load(), kFiles * kAuditsPerFile);
+  // Every issued nonce was consumed exactly once across all threads.
+  EXPECT_EQ(fx.scheme->nonces().outstanding(), 0u);
+  EXPECT_EQ(fx.scheme->nonces().expired(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavours, SchemeConcurrency,
                          ::testing::Values(Flavour::kMac, Flavour::kSentinel,
                                            Flavour::kDynamic),
                          [](const ::testing::TestParamInfo<Flavour>& info) {
