@@ -89,14 +89,28 @@ const AuditReport& AuditService::run_once(const SimClock& clock,
 const AuditReport& AuditService::run_once(const Now& now,
                                           std::uint64_t file_id) {
   Registration& reg = find(file_id);
-  const AuditRequest request =
-      reg.scheme->make_request(reg.file, reg.challenge_size);
-  const SignedTranscript transcript = reg.verifier->run_audit(request);
   Entry entry;
-  entry.report = reg.scheme->verify(reg.file, transcript);
+  entry.report = reg.scheme->audit_once(reg.file, reg.challenge_size,
+                                        *reg.verifier);
   entry.at = now();
   reg.history.push_back(std::move(entry));
   return reg.history.back().report;
+}
+
+void AuditService::begin_once(const Now& now, std::uint64_t file_id,
+                              Completion done) {
+  Registration& reg = find(file_id);
+  // `reg` is a map node: stable for the session's lifetime under the
+  // no-add/remove-while-auditing contract.
+  reg.scheme->begin_audit(
+      reg.file, reg.challenge_size, *reg.verifier,
+      [&reg, now, done = std::move(done)](AuditReport&& report) {
+        Entry entry;
+        entry.report = std::move(report);
+        entry.at = now();
+        reg.history.push_back(std::move(entry));
+        if (done) done(reg.history.back().report);
+      });
 }
 
 void AuditService::record(std::uint64_t file_id, Nanos at,

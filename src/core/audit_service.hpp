@@ -84,8 +84,20 @@ class AuditService {
   using Now = std::function<Nanos()>;
 
   /// Run one audit of `file_id` immediately; records and returns the report.
+  /// A thin adapter over the async session path (AuditScheme::audit_once).
   const AuditReport& run_once(const SimClock& clock, std::uint64_t file_id);
   const AuditReport& run_once(const Now& now, std::uint64_t file_id);
+
+  /// Start one audit of `file_id` as an asynchronous session on the
+  /// registration's device channel: returns once the session is in flight;
+  /// the report is recorded into history and handed to `done` (optional)
+  /// when the session completes on the pumping thread. Challenge-planning
+  /// errors throw synchronously, exactly like run_once; a mid-session
+  /// transport failure records kAborted. The no-mutation-during-audits
+  /// contract above extends until every in-flight session has completed.
+  using Completion = std::function<void(const AuditReport&)>;
+  void begin_once(const Now& now, std::uint64_t file_id,
+                  Completion done = {});
   /// Single-registration convenience (throws unless exactly one target).
   const AuditReport& run_once(const SimClock& clock);
   /// Audit every registration once; returns how many passed.

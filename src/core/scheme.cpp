@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/errors.hpp"
+#include "core/verifier.hpp"
 #include "net/geo.hpp"
 #include "por/params.hpp"
 
@@ -131,6 +132,42 @@ AuditRequest AuditScheme::make_request(const FileRecord& file,
   req.positions = std::move(plan.positions);
   req.nonce = nonces_.issue(std::move(plan.payload));
   return req;
+}
+
+void AuditScheme::begin_audit(const FileRecord& file, std::uint32_t k,
+                              VerifierDevice& device, AuditCompletion done) {
+  if (!done) throw InvalidArgument("begin_audit: null completion");
+  const AuditRequest request = make_request(file, k);
+  device.begin_audit(
+      request, [this, file, done = std::move(done)](
+                   VerifierDevice::AuditOutcome&& outcome) {
+        if (!outcome.ok()) {
+          // The session died on the wire: no transcript to judge. Mirror
+          // the service/engine convention for audits that could not run.
+          AuditReport report;
+          report.accepted = false;
+          report.failures.push_back(AuditFailure::kAborted);
+          done(std::move(report));
+          return;
+        }
+        AuditReport report;
+        try {
+          report = verify(file, outcome.transcript);
+        } catch (const std::exception&) {
+          // A scheme fault inside a channel completion must surface as a
+          // report, not as an exception unwinding through the driver pump.
+          report = AuditReport{};
+          report.accepted = false;
+          report.failures.push_back(AuditFailure::kAborted);
+        }
+        done(std::move(report));
+      });
+}
+
+AuditReport AuditScheme::audit_once(const FileRecord& file, std::uint32_t k,
+                                    VerifierDevice& device) {
+  const AuditRequest request = make_request(file, k);
+  return verify(file, device.run_audit(request));
 }
 
 bool AuditScheme::validate_challenge(

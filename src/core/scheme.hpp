@@ -18,6 +18,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -32,6 +33,8 @@
 #include "por/sentinel.hpp"
 
 namespace geoproof::core {
+
+class VerifierDevice;
 
 enum class AuditFailure {
   kSignature,        // step 1: device signature over the transcript
@@ -205,6 +208,24 @@ class AuditScheme {
   /// transcript's nonce: verifying a second transcript for the same nonce
   /// reports kNonceMismatch.
   AuditReport verify(const FileRecord& file, const SignedTranscript& st);
+
+  /// The async entry point: plan a k-round challenge, run the device's
+  /// timed session on its channel, verify the signed transcript, deliver
+  /// the report — all without blocking the pumping thread between rounds,
+  /// so one thread overlaps many audits. Challenge-planning errors
+  /// (sentinel exhaustion, unregistered files) throw synchronously, like
+  /// make_request; a transport failure mid-session is delivered as a
+  /// kAborted report. `done` runs on the thread pumping the device's
+  /// channel.
+  using AuditCompletion = std::function<void(AuditReport&&)>;
+  void begin_audit(const FileRecord& file, std::uint32_t k,
+                   VerifierDevice& device, AuditCompletion done);
+
+  /// Blocking adapter over begin_audit via the device's blocking
+  /// run_audit adapter: plan, run, verify, return. Equivalent to the
+  /// historical make_request + run_audit + verify wiring.
+  AuditReport audit_once(const FileRecord& file, std::uint32_t k,
+                         VerifierDevice& device);
 
  protected:
   struct ChallengePlan {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -44,6 +45,20 @@ ShardedAuditEngine::ShardedAuditEngine(AuditService& service, Options options)
       epoch_(std::chrono::steady_clock::now()) {
   if (options_.shards == 0) {
     throw InvalidArgument("ShardedAuditEngine: shards must be >= 1");
+  }
+  if (options_.driver_source) {
+    if (options_.max_in_flight == 0) {
+      throw InvalidArgument("ShardedAuditEngine: max_in_flight must be >= 1");
+    }
+    drivers_.reserve(options_.shards);
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+      net::AsyncDriver* driver = options_.driver_source(s);
+      if (driver == nullptr) {
+        throw InvalidArgument("ShardedAuditEngine: driver_source returned "
+                              "a null driver");
+      }
+      drivers_.push_back(driver);
+    }
   }
   if (!options_.partitioner) {
     options_.partitioner = [](std::uint64_t file_id, std::size_t shards) {
@@ -117,39 +132,69 @@ void ShardedAuditEngine::refresh_verifier_mutexes() {
   verifier_mu_.swap(fresh);
 }
 
+void ShardedAuditEngine::validate_async_colocation() const {
+  // A device's sessions all run as callbacks on the shard pumping its
+  // channel; a device reachable from two shards would have its one-time
+  // signer driven from two threads with no lock to save it. Fail fast.
+  std::map<const VerifierDevice*, std::size_t> home;
+  for (const std::uint64_t id : service_->file_ids()) {
+    const VerifierDevice* device = service_->registration(id).verifier;
+    const std::size_t shard = shard_of(id);
+    const auto [it, inserted] = home.emplace(device, shard);
+    if (!inserted && it->second != shard) {
+      throw InvalidArgument(
+          "ShardedAuditEngine: async mode requires each VerifierDevice's "
+          "registrations to be partitioned onto one shard");
+    }
+  }
+}
+
+void ShardedAuditEngine::count_result(const AuditReport& report,
+                                      std::atomic<unsigned>& sweep_passed) {
+  audits_.fetch_add(1, std::memory_order_relaxed);
+  if (report.failed(AuditFailure::kAborted)) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (report.accepted) {
+    // Release: pairs with compliance_all()'s acquire load, so a reader
+    // that observes this pass also observes the audits_ increment above
+    // (passed <= total even mid-sweep).
+    passed_.fetch_add(1, std::memory_order_release);
+    sweep_passed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedAuditEngine::record_aborted(std::uint64_t file_id,
+                                        std::size_t shard,
+                                        std::atomic<unsigned>& sweep_passed) {
+  AuditReport aborted;
+  aborted.accepted = false;
+  aborted.failures.push_back(AuditFailure::kAborted);
+  count_result(aborted, sweep_passed);
+  service_->record(file_id, clocks_[shard](), std::move(aborted));
+}
+
 void ShardedAuditEngine::audit_one(std::size_t shard, std::uint64_t file_id,
                                    std::atomic<unsigned>& sweep_passed) {
   const ShardClock& now = clocks_[shard];
   std::mutex& device_mu =
       *verifier_mu_.at(service_->registration(file_id).verifier);
   try {
-    bool accepted = false;
+    const AuditReport* report = nullptr;
     {
       // Serialise the whole audit per device: run_audit consumes one-time
       // signing keys, and the device's channel/stopwatch advance the
       // world's clock.
       std::scoped_lock lock(device_mu);
-      accepted = service_->run_once(now, file_id).accepted;
+      report = &service_->run_once(now, file_id);
     }
-    audits_.fetch_add(1, std::memory_order_relaxed);
-    if (accepted) {
-      // Release: pairs with compliance_all()'s acquire load, so a reader
-      // that observes this pass also observes the audits_ increment above
-      // (passed <= total even mid-sweep).
-      passed_.fetch_add(1, std::memory_order_release);
-      sweep_passed.fetch_add(1, std::memory_order_relaxed);
-    }
+    count_result(*report, sweep_passed);
   } catch (const std::exception&) {
     // Fault isolation: a scheme/device error (sentinel or signing-key
     // exhaustion) is this registration's problem alone — record it and
     // keep every other shard's work flowing. Mirrors the scheduled-audit
     // path in AuditService::schedule.
-    AuditReport aborted;
-    aborted.accepted = false;
-    aborted.failures.push_back(AuditFailure::kAborted);
-    service_->record(file_id, now(), std::move(aborted));
-    audits_.fetch_add(1, std::memory_order_relaxed);
-    aborted_.fetch_add(1, std::memory_order_relaxed);
+    record_aborted(file_id, shard, sweep_passed);
   }
 }
 
@@ -178,8 +223,83 @@ void ShardedAuditEngine::worker(std::size_t shard,
   }
 }
 
+void ShardedAuditEngine::worker_async(std::size_t shard,
+                                      std::vector<ShardQueue>& queues,
+                                      std::atomic<unsigned>& sweep_passed) {
+  // The shard holds up to max_in_flight audit sessions open at once and
+  // pumps its driver between starts; sessions advance one challenge round
+  // per completion, all on this thread. No stealing: this shard's
+  // channels belong to this shard's driver.
+  net::AsyncDriver& driver = *drivers_[shard];
+  const ShardClock& now = clocks_[shard];
+
+  std::deque<std::uint64_t> waiting;  // device busy; retried each cycle
+  std::set<const VerifierDevice*> busy;
+  std::size_t in_flight = 0;
+  bool home_empty = false;
+
+  const auto try_begin = [&](std::uint64_t file_id) {
+    const VerifierDevice* device =
+        service_->registration(file_id).verifier;
+    if (busy.count(device) != 0) {
+      // One session per device at a time: its signer consumes one-time
+      // keys and its stopwatch must time one exchange, not two.
+      waiting.push_back(file_id);
+      return;
+    }
+    busy.insert(device);
+    ++in_flight;
+    try {
+      service_->begin_once(
+          now, file_id,
+          [&, device](const AuditReport& report) {
+            busy.erase(device);
+            --in_flight;
+            count_result(report, sweep_passed);
+          });
+    } catch (const std::exception&) {
+      // Challenge planning failed (sentinel/signing-key exhaustion):
+      // same fault isolation as the blocking path.
+      busy.erase(device);
+      --in_flight;
+      record_aborted(file_id, shard, sweep_passed);
+    }
+  };
+
+  for (;;) {
+    // Retry deferred registrations whose device may have freed up, then
+    // top up from the home queue.
+    std::size_t retries = waiting.size();
+    while (retries-- > 0 && in_flight < options_.max_in_flight) {
+      const std::uint64_t id = waiting.front();
+      waiting.pop_front();
+      try_begin(id);  // may re-defer
+    }
+    while (!home_empty && in_flight < options_.max_in_flight) {
+      if (const auto id = queues[shard].pop_front()) {
+        try_begin(*id);
+      } else {
+        home_empty = true;
+      }
+    }
+    if (in_flight == 0 && waiting.empty() && home_empty) return;
+    if (in_flight > 0 && driver.pump() == 0 && driver.idle()) {
+      // The driver has nothing scheduled yet sessions are incomplete:
+      // the shard's channels are not pumped by this driver (mis-wired
+      // driver_source/partitioner). Fail loudly instead of spinning.
+      throw InvalidArgument(
+          "ShardedAuditEngine: shard driver went idle with sessions in "
+          "flight (are the shard's channels pumped by this driver?)");
+    }
+  }
+}
+
 unsigned ShardedAuditEngine::sweep_once() {
-  refresh_verifier_mutexes();
+  if (async_mode()) {
+    validate_async_colocation();
+  } else {
+    refresh_verifier_mutexes();
+  }
   const std::vector<std::vector<std::uint64_t>> plan = shard_plan();
   std::vector<ShardQueue> queues(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
@@ -187,6 +307,22 @@ unsigned ShardedAuditEngine::sweep_once() {
   }
 
   std::atomic<unsigned> sweep_passed{0};
+  // A worker exception (engine mis-wiring; individual audit faults are
+  // already isolated as kAborted records) must reach the caller, not
+  // std::terminate a jthread — stash per-shard and rethrow after the join.
+  std::vector<std::exception_ptr> worker_errors(options_.shards);
+  const auto run_worker = [this, &queues, &sweep_passed,
+                           &worker_errors](std::size_t s) {
+    try {
+      if (async_mode()) {
+        worker_async(s, queues, sweep_passed);
+      } else {
+        worker(s, queues, sweep_passed);
+      }
+    } catch (...) {
+      worker_errors[s] = std::current_exception();
+    }
+  };
   {
     // Shard 0 runs on the calling thread: with one shard no thread is
     // spawned at all, which is what makes single-shard sweeps bit-identical
@@ -194,11 +330,13 @@ unsigned ShardedAuditEngine::sweep_once() {
     std::vector<std::jthread> workers;
     workers.reserve(options_.shards - 1);
     for (std::size_t s = 1; s < options_.shards; ++s) {
-      workers.emplace_back(
-          [this, s, &queues, &sweep_passed] { worker(s, queues, sweep_passed); });
+      workers.emplace_back([&run_worker, s] { run_worker(s); });
     }
-    worker(0, queues, sweep_passed);
+    run_worker(0);
   }  // jthreads join here
+  for (const std::exception_ptr& error : worker_errors) {
+    if (error) std::rethrow_exception(error);
+  }
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   return sweep_passed.load(std::memory_order_relaxed);
 }

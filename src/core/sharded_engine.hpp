@@ -23,6 +23,17 @@
 // *correct* across shards (see the AuditScheme thread-safety contract)
 // but may interleave nonce/challenge draws.
 //
+// ## Async transport mode
+//
+// With Options::driver_source set, each shard pumps its own
+// net::AsyncDriver (an EventLoop over sockets, a SimAsyncDriver over a
+// virtual world) and holds up to max_in_flight audit sessions open at
+// once, interleaved on the shard thread via AuditService::begin_once —
+// one shard drives dozens of distance-bounding sessions instead of
+// parking on one round trip. Work stealing is disabled in this mode: a
+// registration's channel belongs to its home shard's driver, and running
+// it from a thief's thread would pump one world from two threads.
+//
 // ## What the caller must uphold
 //
 //  - no AuditService::add/remove while a sweep is running;
@@ -30,9 +41,14 @@
 //    SimClock, one SimRequestChannel) must be co-located on one shard by
 //    the injected partitioner AND run with work_stealing off — otherwise
 //    concurrent audits (a foreign shard's, or a thief's) would charge
-//    latency to each other's stopwatches;
-//  - sharing a VerifierDevice across shards is fine: the engine serialises
-//    run_audit per device (one-time signing keys must not race).
+//    latency to each other's stopwatches. In async mode the same applies
+//    to the driver: every registration the partitioner maps to shard s
+//    must have its channel pumped by driver_source(s)'s driver;
+//  - sharing a VerifierDevice across shards is fine in blocking mode: the
+//    engine serialises run_audit per device (one-time signing keys must
+//    not race). In async mode a device's sessions must all live on one
+//    shard (the engine checks and throws otherwise); within a shard the
+//    engine keeps at most one session per device in flight.
 #pragma once
 
 #include <atomic>
@@ -46,6 +62,7 @@
 #include <vector>
 
 #include "core/audit_service.hpp"
+#include "net/async.hpp"
 
 namespace geoproof::core {
 
@@ -73,8 +90,15 @@ class ShardedAuditEngine {
     /// Idle workers steal queued work from the back of busy shards. A
     /// stolen registration runs on the thief's thread, so disable this
     /// whenever the partitioner co-locates registrations that share a
-    /// simulated world — stealing would undo that co-location.
+    /// simulated world — stealing would undo that co-location. Ignored
+    /// (always off) in async mode.
     bool work_stealing = true;
+    /// Async transport mode: shard index -> the driver pumping that
+    /// shard's channels. Null (default) = blocking mode. The driver must
+    /// outlive the engine's sweeps; one driver serves one shard.
+    std::function<net::AsyncDriver*(std::size_t shard)> driver_source;
+    /// Per-shard cap on concurrently open audit sessions (async mode).
+    std::size_t max_in_flight = 16;
   };
 
   /// Monotone engine counters (atomically maintained; safe to read while
@@ -134,17 +158,29 @@ class ShardedAuditEngine {
   /// One line: shards, audits, pass rate, aborts, steals, sweeps.
   std::string summary() const;
 
+  bool async_mode() const { return !drivers_.empty(); }
+
  private:
   struct ShardQueue;
 
   void refresh_verifier_mutexes();
+  void validate_async_colocation() const;
   void worker(std::size_t shard, std::vector<ShardQueue>& queues,
               std::atomic<unsigned>& sweep_passed);
+  void worker_async(std::size_t shard, std::vector<ShardQueue>& queues,
+                    std::atomic<unsigned>& sweep_passed);
   void audit_one(std::size_t shard, std::uint64_t file_id,
                  std::atomic<unsigned>& sweep_passed);
+  void count_result(const AuditReport& report,
+                    std::atomic<unsigned>& sweep_passed);
+  /// Record and count a kAborted entry for `file_id` (fault isolation:
+  /// the one place the aborted-report shape is built).
+  void record_aborted(std::uint64_t file_id, std::size_t shard,
+                      std::atomic<unsigned>& sweep_passed);
 
   AuditService* service_;
   Options options_;
+  std::vector<net::AsyncDriver*> drivers_;  // async mode: one per shard
   std::vector<ShardClock> clocks_;
   /// Per shard: the other shards in this worker's steal order (seeded
   /// shuffle, fixed for the engine's lifetime).

@@ -1,5 +1,7 @@
 #include "core/verifier.hpp"
 
+#include <optional>
+
 #include "common/errors.hpp"
 #include "por/params.hpp"
 
@@ -8,13 +10,36 @@ namespace geoproof::core {
 VerifierDevice::VerifierDevice(Config config, net::RequestChannel& channel,
                                const net::AuditTimer& timer)
     : config_(std::move(config)),
-      channel_(&channel),
+      adapter_(std::make_unique<net::BlockingChannelAdapter>(channel)),
+      channel_(adapter_.get()),
       timer_(&timer),
       gps_(config_.position),
       signer_(config_.signer_seed, config_.signer_height),
       rng_(config_.challenge_seed) {}
 
-SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
+VerifierDevice::VerifierDevice(Config config, net::AsyncChannel& channel,
+                               const net::AuditTimer& timer,
+                               net::AsyncDriver* driver)
+    : config_(std::move(config)),
+      channel_(&channel),
+      driver_(driver),
+      timer_(&timer),
+      gps_(config_.position),
+      signer_(config_.signer_seed, config_.signer_height),
+      rng_(config_.challenge_seed) {}
+
+/// One in-flight audit: the transcript under construction plus the round
+/// cursor. Kept alive by the completion lambdas until the session settles.
+struct VerifierDevice::Session {
+  AuditTranscript t;
+  std::size_t next_round = 0;
+  Millis round_start{0};
+  AuditCallback done;
+};
+
+void VerifierDevice::begin_audit(const AuditRequest& request,
+                                 AuditCallback done) {
+  if (!done) throw InvalidArgument("begin_audit: null callback");
   if (request.k == 0) {
     throw ProtocolError("run_audit: request with zero rounds");
   }
@@ -22,7 +47,9 @@ SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
     throw ProtocolError("run_audit: request with zero segments");
   }
 
-  AuditTranscript t;
+  auto session = std::make_shared<Session>();
+  session->done = std::move(done);
+  AuditTranscript& t = session->t;
   t.file_id = request.file_id;
   t.nonce = request.nonce;
   t.position = gps_.report();
@@ -34,22 +61,79 @@ SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
                     : request.positions;
   t.rtts.reserve(t.challenge.size());
   t.segments.reserve(t.challenge.size());
+  step(session);
+}
 
-  // The distance-bounding phase: k timed request/response rounds (Fig. 5).
-  for (const std::uint64_t index : t.challenge) {
-    const SegmentRequest req{request.file_id, index};
-    const Bytes wire = req.serialize();
-    const Millis start = timer_->now();
-    Bytes segment = channel_->request(wire);
-    const Millis stop = timer_->now();
-    t.rtts.push_back(stop - start);
-    t.segments.push_back(std::move(segment));
+void VerifierDevice::step(const std::shared_ptr<Session>& session) {
+  // One timed round of the distance-bounding phase (Fig. 5). The
+  // completion continues the session: with an inline-completing adapter
+  // this recurses k rounds deep (k is small); on a real event loop each
+  // round is a separate reactor turn.
+  AuditTranscript& t = session->t;
+  const SegmentRequest req{t.file_id, t.challenge[session->next_round]};
+  const Bytes wire = req.serialize();
+  session->round_start = timer_->now();
+  channel_->begin_request(wire, [this, session](net::AsyncResult&& result) {
+    if (!result.ok()) {
+      AuditOutcome outcome;
+      outcome.error = result.error.empty() ? "transport failure"
+                                           : result.error;
+      session->done(std::move(outcome));
+      return;
+    }
+    AuditTranscript& t = session->t;
+    t.rtts.push_back(timer_->now() - session->round_start);
+    t.segments.push_back(std::move(result.payload));
+    if (++session->next_round < t.challenge.size()) {
+      step(session);
+      return;
+    }
+    AuditOutcome outcome;
+    try {
+      // Signing can fail (one-time key exhaustion, CryptoError); inside a
+      // channel completion that must become a session error, not an
+      // exception unwinding through whatever pumps the driver.
+      outcome.transcript.signature = signer_.sign(t.serialize());
+      outcome.transcript.transcript = std::move(t);
+    } catch (const std::exception& e) {
+      outcome = AuditOutcome{};
+      outcome.error = e.what();
+      outcome.fault = std::current_exception();
+    }
+    session->done(std::move(outcome));
+  });
+}
+
+SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
+  if (adapter_ == nullptr && driver_ == nullptr) {
+    // Refuse before issuing any request: starting the session and then
+    // throwing would leave an in-flight completion holding a pointer to
+    // this frame's locals.
+    throw ProtocolError(
+        "run_audit: device wired to an async channel without a driver to "
+        "pump; use begin_audit (or pass a driver at construction)");
   }
-
-  SignedTranscript st;
-  st.signature = signer_.sign(t.serialize());
-  st.transcript = std::move(t);
-  return st;
+  std::optional<AuditOutcome> outcome;
+  begin_audit(request,
+              [&outcome](AuditOutcome&& out) { outcome = std::move(out); });
+  while (!outcome && driver_ != nullptr) {
+    if (driver_->pump() == 0 && driver_->idle()) {
+      throw ProtocolError(
+          "run_audit: driver went idle with the session incomplete (is the "
+          "channel pumped by this driver?)");
+    }
+  }
+  if (!outcome) {
+    throw ProtocolError(
+        "run_audit: blocking channel did not complete inline");
+  }
+  if (!outcome->ok()) {
+    // Rethrow the original fault (CryptoError, StorageError, ...) when
+    // there is one; only anonymous transport failures become NetError.
+    if (outcome->fault) std::rethrow_exception(outcome->fault);
+    throw NetError("run_audit: " + outcome->error);
+  }
+  return std::move(outcome->transcript);
 }
 
 SignedTranscript VerifierDevice::run_block_audit(

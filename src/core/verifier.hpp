@@ -6,14 +6,23 @@
 // transcript R = (Δt_1..Δt_k, c, {S_cj||τ_cj}, N, Pos_v). It does not judge
 // anything — all verification is the TPA's job — which keeps the trusted
 // device minimal, exactly as the paper argues.
+//
+// The protocol core is the asynchronous session form begin_audit(): an
+// AuditSession advances one challenge round per channel completion, so one
+// event-loop thread can hold many devices' distance-bounding sessions in
+// flight at once. The blocking run_audit() remains as a thin adapter —
+// begin_audit over a channel whose completions fire inline (or, for a
+// device wired to a real async channel, over a pumped driver).
 #pragma once
 
+#include <exception>
 #include <memory>
 
 #include "common/rng.hpp"
 #include "core/gps.hpp"
 #include "core/transcript.hpp"
 #include "crypto/signature.hpp"
+#include "net/async.hpp"
 #include "net/channel.hpp"
 
 namespace geoproof::core {
@@ -33,10 +42,21 @@ class VerifierDevice {
     std::uint64_t challenge_seed = 0xc4a11e;
   };
 
-  /// `channel`: the LAN link to the provider; `timer`: the device's clock
-  /// (virtual in simulation, steady_clock over TCP).
+  /// Blocking wiring: `channel` is the LAN link to the provider; `timer`
+  /// the device's clock (virtual in simulation, steady_clock over TCP).
+  /// Internally the channel is lifted into an AsyncChannel adapter, so
+  /// run_audit() and begin_audit() share one protocol implementation.
   VerifierDevice(Config config, net::RequestChannel& channel,
                  const net::AuditTimer& timer);
+
+  /// Async wiring: the device issues its timed rounds on `channel` and its
+  /// sessions complete as the channel's driver is pumped. `driver`, when
+  /// given, lets the blocking run_audit() adapter pump completions itself;
+  /// without one, run_audit() on this device throws unless completions
+  /// fire inline.
+  VerifierDevice(Config config, net::AsyncChannel& channel,
+                 const net::AuditTimer& timer,
+                 net::AsyncDriver* driver = nullptr);
 
   /// The device's public key, provisioned to the TPA out of band.
   const crypto::Digest& public_key() const { return signer_.public_key(); }
@@ -48,12 +68,39 @@ class VerifierDevice {
     return signer_.signatures_remaining();
   }
 
-  /// Run the GeoProof protocol for one audit request (Fig. 5). Handles
-  /// both challenge styles through the unified AuditRequest: when the
-  /// request carries explicit positions (sentinel positions are secret,
-  /// Merkle challenges are index-driven) the device fetches exactly those;
-  /// otherwise it samples k positions itself. Either way the device's job
-  /// is unchanged: time each fetch, sign what happened.
+  /// How one audit session concluded: the signed transcript on success, a
+  /// diagnostic when the transport or device failed mid-session. `fault`
+  /// carries the original exception (when the failure was one) so the
+  /// blocking run_audit adapter can rethrow the exact type — a CryptoError
+  /// from key exhaustion must not come back out as a NetError.
+  struct AuditOutcome {
+    SignedTranscript transcript;
+    std::string error;
+    std::exception_ptr fault;
+    bool ok() const { return error.empty(); }
+  };
+  using AuditCallback = std::function<void(AuditOutcome&&)>;
+
+  /// Run the GeoProof protocol for one audit request (Fig. 5) as an
+  /// asynchronous session: each timed round issues one begin_request and
+  /// the next round starts from its completion, so many sessions (across
+  /// devices) interleave on one pumping thread. Handles both challenge
+  /// styles through the unified AuditRequest: when the request carries
+  /// explicit positions (sentinel positions are secret, Merkle challenges
+  /// are index-driven) the device fetches exactly those; otherwise it
+  /// samples k positions itself. Either way the device's job is
+  /// unchanged: time each fetch, sign what happened.
+  ///
+  /// Malformed requests throw synchronously; transport failures are
+  /// delivered through `done`. Concurrent sessions on one device must
+  /// share a pumping thread (the signer consumes one-time keys; its use
+  /// is serialised by the single-threaded completion contract).
+  void begin_audit(const AuditRequest& request, AuditCallback done);
+
+  /// Blocking adapter over begin_audit: completes inline on an adapted
+  /// blocking channel, pumps the device's driver otherwise. Transport
+  /// errors surface as exceptions (NetError et al.), exactly the
+  /// pre-async behaviour.
   SignedTranscript run_audit(const AuditRequest& request);
 
   /// Deprecated pre-unification shape; forwards to run_audit.
@@ -65,8 +112,14 @@ class VerifierDevice {
   SignedTranscript run_block_audit(const BlockAuditRequest& request);
 
  private:
+  struct Session;
+  void step(const std::shared_ptr<Session>& session);
+
   Config config_;
-  net::RequestChannel* channel_;
+  /// Owned adapter when constructed over a blocking RequestChannel.
+  std::unique_ptr<net::BlockingChannelAdapter> adapter_;
+  net::AsyncChannel* channel_;
+  net::AsyncDriver* driver_ = nullptr;
   const net::AuditTimer* timer_;
   GpsDevice gps_;
   crypto::MerkleSigner signer_;

@@ -33,6 +33,7 @@
 #include "ecc/reed_solomon.hpp"
 
 // Storage and network substrates
+#include "net/async.hpp"
 #include "net/channel.hpp"
 #include "net/geo.hpp"
 #include "net/latency.hpp"

@@ -1,0 +1,381 @@
+#include "net/async.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/errors.hpp"
+
+namespace geoproof::net {
+
+// --------------------------------------------------------------------------
+// Socket
+// --------------------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  // Clear the slot before the syscall so no path — destructor, a repeated
+  // close(), move-assign over a half-dead socket — can ever issue a second
+  // ::close on the same value. EINTR is deliberately not retried: on Linux
+  // the descriptor is released regardless, and retrying races an fd the
+  // kernel may already have handed to another thread.
+  const int fd = std::exchange(fd_, -1);
+  if (fd >= 0) ::close(fd);
+}
+
+// --------------------------------------------------------------------------
+// BlockingChannelAdapter
+// --------------------------------------------------------------------------
+
+AsyncChannel::RequestId BlockingChannelAdapter::begin_request(
+    BytesView message, CompletionFn done, Millis /*deadline*/) {
+  const RequestId id = next_id_++;
+  Bytes response = inner_->request(message);
+  done(AsyncResult{AsyncStatus::kOk, std::move(response), {}});
+  return id;
+}
+
+// --------------------------------------------------------------------------
+// SimAsyncChannel
+// --------------------------------------------------------------------------
+
+SimAsyncChannel::SimAsyncChannel(SimClock& clock, EventQueue& queue,
+                                 LatencyFn one_way, RequestHandler handler,
+                                 SimClock* service_clock)
+    : clock_(&clock),
+      queue_(&queue),
+      one_way_(std::move(one_way)),
+      handler_(std::move(handler)),
+      service_clock_(service_clock) {
+  if (!one_way_) throw InvalidArgument("SimAsyncChannel: null latency fn");
+  if (!handler_) throw InvalidArgument("SimAsyncChannel: null handler");
+}
+
+void SimAsyncChannel::settle(RequestId id, const std::shared_ptr<Pending>& p,
+                             AsyncResult&& result) {
+  if (p->settled) return;
+  p->settled = true;
+  live_.erase(id);
+  if (result.ok()) ++exchanges_;
+  // Last: the completion may re-enter begin_request (session state
+  // machines issue the next round from here).
+  p->done(std::move(result));
+}
+
+AsyncChannel::RequestId SimAsyncChannel::begin_request(BytesView message,
+                                                       CompletionFn done,
+                                                       Millis deadline) {
+  if (!done) throw InvalidArgument("SimAsyncChannel: null completion");
+  const RequestId id = next_id_++;
+  auto p = std::make_shared<Pending>();
+  p->done = std::move(done);
+  live_.emplace(id, p);
+
+  if (deadline > Millis{0}) {
+    // Scheduled before the response chain, so on a virtual-time tie the
+    // deadline wins: a response landing exactly at the deadline is late.
+    queue_->schedule_after(to_nanos(deadline), [this, id, p] {
+      settle(id, p, AsyncResult{AsyncStatus::kTimeout, {},
+                                "request deadline expired"});
+    });
+  }
+
+  Bytes msg(message.begin(), message.end());
+  const Nanos uplink = to_nanos(one_way_(msg.size()));
+  queue_->schedule_after(uplink, [this, id, p, msg = std::move(msg)] {
+    if (p->settled) return;  // timed out / cancelled before arrival
+    Bytes response;
+    Nanos service{0};
+    try {
+      if (service_clock_ != nullptr) {
+        const Nanos before = service_clock_->now();
+        response = handler_(msg);
+        service = service_clock_->now() - before;
+      } else {
+        response = handler_(msg);
+      }
+    } catch (const std::exception& e) {
+      settle(id, p, AsyncResult{AsyncStatus::kError, {}, e.what()});
+      return;
+    }
+    const Nanos downlink = to_nanos(one_way_(response.size()));
+    queue_->schedule_at(
+        clock_->now() + service + downlink,
+        [this, id, p, response = std::move(response)]() mutable {
+          settle(id, p, AsyncResult{AsyncStatus::kOk, std::move(response), {}});
+        });
+  });
+  return id;
+}
+
+bool SimAsyncChannel::cancel(RequestId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  // Copy out: settle() erases the map entry, which would otherwise destroy
+  // the very shared_ptr reference passed in.
+  const std::shared_ptr<Pending> p = it->second;
+  settle(id, p, AsyncResult{AsyncStatus::kCancelled, {}, "request cancelled"});
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// TimerWheel
+// --------------------------------------------------------------------------
+
+TimerWheel::TimerWheel(Clock::time_point epoch, Millis granularity,
+                       std::size_t slots)
+    : epoch_(epoch), granularity_(to_nanos(granularity)), slots_(slots) {
+  if (slots == 0 || granularity_ <= Nanos::zero()) {
+    throw InvalidArgument("TimerWheel: need >= 1 slot and positive tick");
+  }
+}
+
+std::uint64_t TimerWheel::tick_of(Clock::time_point t) const {
+  const auto since = std::chrono::duration_cast<Nanos>(t - epoch_);
+  if (since <= Nanos::zero()) return 0;
+  return static_cast<std::uint64_t>(since.count() / granularity_.count());
+}
+
+TimerWheel::TimerId TimerWheel::schedule(Clock::time_point now, Millis delay,
+                                         std::function<void()> fn) {
+  if (!fn) throw InvalidArgument("TimerWheel: null timer fn");
+  if (delay < Millis{0}) delay = Millis{0};
+  // Round the expiry up so a timer never fires early, and always at least
+  // one tick out so it cannot land in the already-processed current tick.
+  const Nanos delay_ns = to_nanos(delay);
+  const std::uint64_t delta = static_cast<std::uint64_t>(
+      (delay_ns.count() + granularity_.count() - 1) / granularity_.count());
+  const std::uint64_t expiry =
+      std::max(tick_of(now) + std::max<std::uint64_t>(delta, 1),
+               current_tick_ + 1);
+  const TimerId id = next_id_++;
+  slots_[expiry % slots_.size()].push_back(Entry{id, expiry, std::move(fn)});
+  live_.emplace(id, expiry);
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  // The slot entry stays behind as a tombstone (its fn is dropped when the
+  // wheel sweeps past); live_ is the source of truth.
+  return live_.erase(id) != 0;
+}
+
+std::size_t TimerWheel::fire_due(Clock::time_point now) {
+  const std::uint64_t now_tick = tick_of(now);
+  if (now_tick <= current_tick_ && current_tick_ != 0) return 0;
+
+  std::vector<Entry> due;
+  // Walk each elapsed tick's slot once; if a whole revolution (or more)
+  // elapsed, every slot is visited exactly once.
+  const std::uint64_t first = current_tick_ + 1;
+  const std::uint64_t span =
+      std::min<std::uint64_t>(now_tick - current_tick_, slots_.size());
+  for (std::uint64_t t = first; t < first + span; ++t) {
+    std::vector<Entry>& slot = slots_[t % slots_.size()];
+    auto keep = slot.begin();
+    for (auto& entry : slot) {
+      if (entry.expiry_tick <= now_tick) {
+        if (live_.count(entry.id) != 0) due.push_back(std::move(entry));
+        // cancelled tombstones are dropped either way
+      } else {
+        *keep++ = std::move(entry);  // future revolution: stays
+      }
+    }
+    slot.erase(keep, slot.end());
+  }
+  current_tick_ = now_tick;
+
+  // Deterministic firing order under coincident expiries.
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    if (a.expiry_tick != b.expiry_tick) return a.expiry_tick < b.expiry_tick;
+    return a.id < b.id;
+  });
+  std::size_t fired = 0;
+  for (Entry& entry : due) {
+    // A timer fired earlier in this batch may have cancelled this one.
+    if (live_.erase(entry.id) == 0) continue;
+    entry.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::optional<Millis> TimerWheel::until_next(Clock::time_point now) const {
+  if (live_.empty()) return std::nullopt;
+  std::uint64_t min_tick = 0;
+  bool first = true;
+  for (const auto& [id, tick] : live_) {
+    if (first || tick < min_tick) {
+      min_tick = tick;
+      first = false;
+    }
+  }
+  const std::uint64_t now_tick = tick_of(now);
+  if (min_tick <= now_tick) return Millis{0};
+  return to_millis(granularity_ * static_cast<std::int64_t>(min_tick - now_tick));
+}
+
+// --------------------------------------------------------------------------
+// EventLoop
+// --------------------------------------------------------------------------
+
+EventLoop::EventLoop() : wheel_(TimerWheel::Clock::now()) {
+  const int efd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (efd < 0) throw NetError("EventLoop: epoll_create1 failed");
+  epoll_ = Socket(efd);
+  const int wfd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wfd < 0) throw NetError("EventLoop: eventfd failed");
+  wake_ = Socket(wfd);
+  add_fd(wfd, /*want_read=*/true, /*want_write=*/false,
+         [wfd](bool readable, bool, bool) {
+           if (!readable) return;
+           std::uint64_t drain = 0;
+           while (::read(wfd, &drain, sizeof drain) > 0) {
+           }
+         });
+}
+
+EventLoop::~EventLoop() = default;
+
+namespace {
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t events = 0;
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;
+}
+}  // namespace
+
+void EventLoop::add_fd(int fd, bool want_read, bool want_write,
+                       FdHandler handler) {
+  if (!handler) throw InvalidArgument("EventLoop::add_fd: null handler");
+  epoll_event ev{};
+  ev.events = epoll_mask(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw NetError(std::string("EventLoop: epoll_ctl(ADD) failed: ") +
+                   std::strerror(errno));
+  }
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::set_interest(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = epoll_mask(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw NetError(std::string("EventLoop: epoll_ctl(MOD) failed: ") +
+                   std::strerror(errno));
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+EventLoop::TimerId EventLoop::schedule_after(Millis delay,
+                                             std::function<void()> fn) {
+  return wheel_.schedule(TimerWheel::Clock::now(), delay, std::move(fn));
+}
+
+bool EventLoop::cancel_timer(TimerId id) { return wheel_.cancel(id); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::scoped_lock lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_.fd(), &one, sizeof one);
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_.fd(), &one, sizeof one);
+}
+
+std::size_t EventLoop::pump(Millis max_wait) {
+  Millis wait = max_wait < Millis{0} ? Millis{0} : max_wait;
+  if (const auto next = wheel_.until_next(TimerWheel::Clock::now())) {
+    wait = std::min(wait, *next);
+  }
+  {
+    std::scoped_lock lock(post_mu_);
+    if (!posted_.empty()) wait = Millis{0};
+  }
+
+  epoll_event events[64];
+  const int timeout_ms =
+      static_cast<int>(std::ceil(std::max(0.0, wait.count())));
+  int n = ::epoll_wait(epoll_.fd(), events, 64, timeout_ms);
+  if (n < 0) {
+    if (errno != EINTR) {
+      throw NetError(std::string("EventLoop: epoll_wait failed: ") +
+                     std::strerror(errno));
+    }
+    n = 0;
+  }
+
+  std::size_t handled = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;  // removed by an earlier handler
+    // Copy: the handler may remove itself (destroying the stored fn).
+    const FdHandler handler = it->second;
+    const std::uint32_t mask = events[i].events;
+    handler((mask & EPOLLIN) != 0, (mask & EPOLLOUT) != 0,
+            (mask & (EPOLLERR | EPOLLHUP)) != 0);
+    ++handled;
+  }
+
+  handled += wheel_.fire_due(TimerWheel::Clock::now());
+
+  std::vector<std::function<void()>> tasks;
+  {
+    std::scoped_lock lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) {
+    task();
+    ++handled;
+  }
+  return handled;
+}
+
+void EventLoop::run() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pump(Millis{100.0});
+  }
+  stopping_.store(false, std::memory_order_release);  // allow a later run()
+}
+
+bool EventLoop::idle() const {
+  if (wheel_.pending() > 0) return false;
+  {
+    std::scoped_lock lock(post_mu_);
+    if (!posted_.empty()) return false;
+  }
+  return handlers_.size() <= 1;  // only the wakeup fd
+}
+
+}  // namespace geoproof::net

@@ -1,11 +1,31 @@
 // Request/response channel abstraction used by every protocol engine in the
 // library, plus simulated implementations and the audit timer.
 //
-// GeoProof's timed phase is strictly sequential (send index, await segment),
-// so a blocking request() is the honest model of the wire interaction. The
-// same protocol code runs over a virtual-time channel (deterministic
-// benches) or a real TCP connection (integration tests) by swapping the
-// channel and the timer.
+// GeoProof's timed phase is strictly sequential per session (send index,
+// await segment), but nothing requires the *auditor* to serve sessions one
+// at a time. The same protocol code runs over a virtual-time channel
+// (deterministic benches) or a real TCP connection (integration tests) by
+// swapping the channel and the timer.
+//
+// ## Migration note: RequestChannel is now an adapter surface
+//
+// The primary transport abstraction is net::AsyncChannel (net/async.hpp):
+// begin_request() with a completion callback, a per-request deadline and
+// cancellation, pumped by an EventLoop (real sockets) or an EventQueue
+// (virtual time). The blocking RequestChannel below remains fully
+// supported, but the protocol engines no longer loop over request()
+// directly — VerifierDevice, AuditScheme and AuditService implement the
+// async session form and re-derive their blocking entry points through
+// net::BlockingChannelAdapter, which lifts any RequestChannel into an
+// AsyncChannel whose completions fire inline (and whose exceptions still
+// propagate to the caller, preserving the legacy contract).
+//
+// Thread-safety contract: a RequestChannel is confined to one thread at a
+// time, exactly like the AsyncChannel it adapts into — channels, their
+// completions and the EventLoop/EventQueue pumping them are loop-thread-
+// only (see net/async.hpp); only EventLoop::post()/stop() may be called
+// cross-thread. New code should program against AsyncChannel and keep
+// RequestChannel for strictly sequential, single-session wiring.
 #pragma once
 
 #include <functional>

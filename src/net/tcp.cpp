@@ -1,6 +1,7 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -14,7 +15,6 @@
 namespace geoproof::net {
 
 namespace {
-constexpr std::size_t kMaxFrame = 64u * 1024 * 1024;
 
 void send_all(int fd, const std::uint8_t* data, std::size_t len) {
   std::size_t sent = 0;
@@ -45,31 +45,106 @@ void set_nodelay(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw NetError("fcntl(O_NONBLOCK) failed");
+  }
+}
+
+void append_frame(Bytes& out, BytesView payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw NetError("send_frame: frame too large");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  append(out, payload);
+}
+
+/// Why a non-blocking drain/flush stopped. The server and the async
+/// client share these loops and differ only in how they fail.
+enum class IoStatus {
+  kOk,       // made progress; nothing more ready right now
+  kBlocked,  // partial write: wait for EPOLLOUT
+  kClosed,   // orderly peer close
+  kError,    // transport failure or oversized frame (see `error`)
+};
+
+/// Drain everything a non-blocking socket has ready into `frames`.
+IoStatus drain_into(int fd, FrameAssembler& frames, std::string& error) {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return IoStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+      error = std::string("recv failed: ") + std::strerror(errno);
+      return IoStatus::kError;
+    }
+    try {
+      frames.feed(BytesView(chunk, static_cast<std::size_t>(n)));
+    } catch (const NetError& e) {
+      error = e.what();  // oversized frame announced
+      return IoStatus::kError;
+    }
+  }
+}
+
+/// Flush out[out_off..] to a non-blocking socket; compacts when drained.
+IoStatus flush_buffer(int fd, Bytes& out, std::size_t& out_off,
+                      std::string& error) {
+  while (out_off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + out_off, out.size() - out_off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kBlocked;
+      error = std::string("send failed: ") + std::strerror(errno);
+      return IoStatus::kError;
+    }
+    out_off += static_cast<std::size_t>(n);
+  }
+  out.clear();
+  out_off = 0;
+  return IoStatus::kOk;
+}
+
+Socket connect_loopback(const std::string& host, std::uint16_t port,
+                        const char* who) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError(std::string(who) + ": socket() failed");
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError(std::string(who) + ": bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw NetError(std::string(who) + ": connect failed: " +
+                   std::strerror(errno));
+  }
+  set_nodelay(fd);
+  return sock;
+}
+
 }  // namespace
 
-Socket::~Socket() { close(); }
-
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-
-Socket& Socket::operator=(Socket&& other) noexcept {
-  if (this != &other) {
-    close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-void Socket::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
+// --------------------------------------------------------------------------
+// Blocking frame helpers
+// --------------------------------------------------------------------------
 
 void send_frame(const Socket& sock, BytesView payload) {
   if (!sock.valid()) throw NetError("send_frame: invalid socket");
-  if (payload.size() > kMaxFrame) throw NetError("send_frame: frame too large");
+  if (payload.size() > kMaxFrameBytes) {
+    throw NetError("send_frame: frame too large");
+  }
   std::uint8_t header[4];
   const auto len = static_cast<std::uint32_t>(payload.size());
   header[0] = static_cast<std::uint8_t>(len >> 24);
@@ -88,11 +163,47 @@ Bytes recv_frame(const Socket& sock) {
                             (static_cast<std::uint32_t>(header[1]) << 16) |
                             (static_cast<std::uint32_t>(header[2]) << 8) |
                             static_cast<std::uint32_t>(header[3]);
-  if (len > kMaxFrame) throw NetError("recv_frame: frame too large");
+  if (len > kMaxFrameBytes) throw NetError("recv_frame: frame too large");
   Bytes payload(len);
   if (len > 0) recv_exact(sock.fd(), payload.data(), len);
   return payload;
 }
+
+// --------------------------------------------------------------------------
+// FrameAssembler
+// --------------------------------------------------------------------------
+
+void FrameAssembler::feed(BytesView data) {
+  append(buf_, data);
+  std::size_t off = 0;
+  while (buf_.size() - off >= 4) {
+    const std::uint32_t len = (static_cast<std::uint32_t>(buf_[off]) << 24) |
+                              (static_cast<std::uint32_t>(buf_[off + 1]) << 16) |
+                              (static_cast<std::uint32_t>(buf_[off + 2]) << 8) |
+                              static_cast<std::uint32_t>(buf_[off + 3]);
+    if (len > kMaxFrameBytes) {
+      buf_.clear();
+      throw NetError("FrameAssembler: frame too large");
+    }
+    if (buf_.size() - off - 4 < len) break;  // payload still arriving
+    frames_.emplace_back(buf_.begin() + static_cast<std::ptrdiff_t>(off + 4),
+                         buf_.begin() +
+                             static_cast<std::ptrdiff_t>(off + 4 + len));
+    off += 4 + len;
+  }
+  if (off > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+std::optional<Bytes> FrameAssembler::next() {
+  if (frames_.empty()) return std::nullopt;
+  Bytes frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+// --------------------------------------------------------------------------
+// TcpServer (non-blocking, multiplexing)
+// --------------------------------------------------------------------------
 
 TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {
   if (!handler_) throw InvalidArgument("TcpServer: null handler");
@@ -118,74 +229,315 @@ TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {
   }
   port_ = ntohs(addr.sin_port);
 
-  if (::listen(fd, 8) != 0) {
+  if (::listen(fd, 64) != 0) {
     throw NetError(std::string("TcpServer: listen failed: ") +
                    std::strerror(errno));
   }
-  thread_ = std::thread([this] { serve_loop(); });
+  set_nonblocking(fd);
+  loop_.add_fd(fd, /*want_read=*/true, /*want_write=*/false,
+               [this](bool readable, bool, bool) {
+                 if (readable) on_listener_ready();
+               });
+  thread_ = std::thread([this] { loop_.run(); });
 }
 
 TcpServer::~TcpServer() { stop(); }
 
 void TcpServer::stop() {
-  if (!running_.exchange(false)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
-  // Unblock accept() by shutting the listener down.
-  ::shutdown(listener_.fd(), SHUT_RDWR);
-  listener_.close();
+  if (stopped_.exchange(true)) return;
+  loop_.stop();
   if (thread_.joinable()) thread_.join();
+  // Loop thread is gone; tear connections down on this thread.
+  conns_.clear();
+  listener_.close();
 }
 
-void TcpServer::serve_loop() {
-  while (running_.load()) {
+void TcpServer::on_listener_ready() {
+  for (;;) {
     const int cfd = ::accept(listener_.fd(), nullptr, nullptr);
     if (cfd < 0) {
-      if (!running_.load()) return;
       if (errno == EINTR) continue;
-      return;  // listener gone
+      return;  // EAGAIN: drained; anything else: try again on next event
     }
-    Socket client(cfd);
     set_nodelay(cfd);
-    try {
-      for (;;) {
-        const Bytes req = recv_frame(client);
-        const Bytes resp = handler_(req);
-        send_frame(client, resp);
-      }
-    } catch (const NetError&) {
-      // Peer closed or I/O error: drop the connection, keep serving.
-    } catch (const Error&) {
-      // Handler rejected the request: drop the connection. A production
-      // server would answer with an error frame; for the reproduction the
-      // auditors treat a dropped connection as a failed audit.
-    }
+    set_nonblocking(cfd);
+    auto conn = std::make_unique<Conn>();
+    conn->sock = Socket(cfd);
+    conns_.emplace(cfd, std::move(conn));
+    loop_.add_fd(cfd, /*want_read=*/true, /*want_write=*/false,
+                 [this, cfd](bool r, bool w, bool e) {
+                   on_conn_ready(cfd, r, w, e);
+                 });
   }
 }
+
+void TcpServer::close_conn(int fd) {
+  loop_.remove_fd(fd);
+  conns_.erase(fd);  // Socket destructor closes
+}
+
+bool TcpServer::flush_writes(int fd, Conn& conn) {
+  std::string error;
+  switch (flush_buffer(fd, conn.out, conn.out_off, error)) {
+    case IoStatus::kOk:
+      if (conn.closing) {
+        // Half-closed peer: its last responses are flushed, we are done.
+        close_conn(fd);
+        return false;
+      }
+      if (conn.want_write) {
+        conn.want_write = false;
+        loop_.set_interest(fd, true, false);
+      }
+      return true;
+    case IoStatus::kBlocked:
+      if (!conn.want_write) {
+        conn.want_write = true;
+        loop_.set_interest(fd, true, true);
+      }
+      return true;
+    default:
+      close_conn(fd);
+      return false;
+  }
+}
+
+void TcpServer::on_conn_ready(int fd, bool readable, bool writable,
+                              bool error) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+
+  if (error) {
+    close_conn(fd);
+    return;
+  }
+  if (writable && !flush_writes(fd, conn)) return;
+  if (!readable) return;
+
+  std::string drain_error;
+  const IoStatus status = drain_into(fd, conn.frames, drain_error);
+  if (status == IoStatus::kError) {
+    // Transport failure or oversized frame announcement: drop the peer.
+    close_conn(fd);
+    return;
+  }
+  if (status == IoStatus::kClosed) conn.closing = true;
+
+  // Answer every fully-received request — including ones that arrived in
+  // the same drain as an orderly EOF (a half-closing client still reads
+  // its responses). Only a partial trailing frame dies with the close.
+  while (const auto frame = conn.frames.next()) {
+    try {
+      append_frame(conn.out, handler_(*frame));
+    } catch (const Error&) {
+      // Handler rejected the request (or produced an over-cap response):
+      // drop the connection. A production server would answer with an
+      // error frame; for the reproduction the auditors treat a dropped
+      // connection as a failed audit.
+      close_conn(fd);
+      return;
+    }
+  }
+  if (!conn.out.empty()) {
+    // flush_writes closes for us once a closing peer's buffer drains.
+    flush_writes(fd, conn);
+  } else if (conn.closing) {
+    close_conn(fd);
+  }
+}
+
+// --------------------------------------------------------------------------
+// TcpRequestChannel (blocking)
+// --------------------------------------------------------------------------
 
 TcpRequestChannel::TcpRequestChannel(const std::string& host,
-                                     std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw NetError("TcpRequestChannel: socket() failed");
-  sock_ = Socket(fd);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw NetError("TcpRequestChannel: bad address " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    throw NetError(std::string("TcpRequestChannel: connect failed: ") +
-                   std::strerror(errno));
-  }
-  set_nodelay(fd);
-}
+                                     std::uint16_t port)
+    : sock_(connect_loopback(host, port, "TcpRequestChannel")) {}
 
 Bytes TcpRequestChannel::request(BytesView message) {
   send_frame(sock_, message);
   return recv_frame(sock_);
+}
+
+// --------------------------------------------------------------------------
+// AsyncTcpChannel
+// --------------------------------------------------------------------------
+
+AsyncTcpChannel::AsyncTcpChannel(EventLoop& loop, const std::string& host,
+                                 std::uint16_t port)
+    : loop_(&loop), sock_(connect_loopback(host, port, "AsyncTcpChannel")) {
+  set_nonblocking(sock_.fd());
+  loop_->add_fd(sock_.fd(), /*want_read=*/true, /*want_write=*/false,
+                [this](bool r, bool w, bool e) { on_ready(r, w, e); });
+}
+
+AsyncTcpChannel::~AsyncTcpChannel() { teardown("channel destroyed"); }
+
+void AsyncTcpChannel::teardown(const std::string& reason) {
+  // Mark broken before failing the pending queue: a completion that
+  // re-enters begin_request during teardown must take the broken-channel
+  // path (settle inline), not try to write to the half-dead socket.
+  break_reason_ = reason;
+  broken_ = true;
+  if (sock_.valid()) {
+    loop_->remove_fd(sock_.fd());
+    sock_.close();
+  }
+  fail_all(reason);
+}
+
+void AsyncTcpChannel::settle(Pending& p, AsyncResult&& result) {
+  if (p.settled) return;
+  p.settled = true;
+  --live_;
+  if (p.deadline_timer != 0) {
+    loop_->cancel_timer(p.deadline_timer);
+    p.deadline_timer = 0;
+  }
+  CompletionFn done = std::move(p.done);
+  p.done = nullptr;
+  done(std::move(result));  // may re-enter begin_request
+}
+
+void AsyncTcpChannel::fail_all(const std::string& reason) {
+  // Settle in wire order. Completions may call begin_request, which on a
+  // broken channel settles inline without touching pending_, so iterating
+  // by index over a deque we only pop from the front of is safe.
+  while (!pending_.empty()) {
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    if (!p.settled) {
+      settle(p, AsyncResult{AsyncStatus::kError, {}, reason});
+    }
+  }
+}
+
+void AsyncTcpChannel::update_interest() {
+  if (!sock_.valid()) return;
+  const bool want = out_off_ < out_.size();
+  if (want == want_write_) return;  // skip no-op epoll_ctl(MOD)
+  loop_->set_interest(sock_.fd(), true, want);
+  want_write_ = want;
+}
+
+bool AsyncTcpChannel::flush_writes() {
+  std::string error;
+  switch (flush_buffer(sock_.fd(), out_, out_off_, error)) {
+    case IoStatus::kOk:
+    case IoStatus::kBlocked:
+      update_interest();
+      return true;
+    default:
+      teardown(error);
+      return false;
+  }
+}
+
+void AsyncTcpChannel::deliver_frames() {
+  while (const auto frame = frames_.next()) {
+    // Responses correlate positionally: the front pending entry owns this
+    // frame. Entries already settled (timeout/cancel) still occupy their
+    // wire slot — they consume their frame and discard it so the stream
+    // stays in sync.
+    if (pending_.empty()) {
+      // A response nobody asked for: protocol violation by the peer.
+      teardown("unsolicited response frame");
+      return;
+    }
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    if (!p.settled) {
+      settle(p, AsyncResult{AsyncStatus::kOk, std::move(*frame), {}});
+    }
+  }
+}
+
+void AsyncTcpChannel::on_ready(bool readable, bool writable, bool error) {
+  if (broken_) return;
+  if (error) {
+    teardown("connection error");
+    return;
+  }
+  if (writable && !flush_writes()) return;
+  if (!readable) return;
+
+  std::string drain_error;
+  switch (drain_into(sock_.fd(), frames_, drain_error)) {
+    case IoStatus::kOk:
+      deliver_frames();
+      return;
+    case IoStatus::kClosed:
+      // Hand over every response that fully arrived before the EOF —
+      // pipelined requests the server answered before closing must not
+      // be failed retroactively. deliver_frames may itself tear the
+      // channel down (unsolicited frame); only fail the remainder here.
+      deliver_frames();
+      if (!broken_) {
+        teardown(frames_.mid_frame() ? "peer closed mid-frame"
+                                     : "peer closed connection");
+      }
+      return;
+    default:
+      teardown(drain_error);
+      return;
+  }
+}
+
+AsyncChannel::RequestId AsyncTcpChannel::begin_request(BytesView message,
+                                                       CompletionFn done,
+                                                       Millis deadline) {
+  if (!done) throw InvalidArgument("AsyncTcpChannel: null completion");
+  const RequestId id = next_id_++;
+  if (broken_) {
+    done(AsyncResult{AsyncStatus::kError, {},
+                     "channel broken: " + break_reason_});
+    return id;
+  }
+  if (message.size() > kMaxFrameBytes) {
+    // Nothing reaches the wire, so the request owns no response slot —
+    // fail it inline and leave the connection healthy.
+    done(AsyncResult{AsyncStatus::kError, {}, "request frame too large"});
+    return id;
+  }
+
+  Pending p;
+  p.id = id;
+  p.done = std::move(done);
+  pending_.push_back(std::move(p));
+  ++live_;
+  if (deadline > Millis{0}) {
+    pending_.back().deadline_timer = loop_->schedule_after(deadline, [this, id] {
+      for (Pending& entry : pending_) {
+        if (entry.id == id) {
+          if (!entry.settled) {
+            entry.deadline_timer = 0;  // firing now; nothing to cancel
+            settle(entry, AsyncResult{AsyncStatus::kTimeout, {},
+                                      "request deadline expired"});
+          }
+          return;
+        }
+      }
+    });
+  }
+
+  append_frame(out_, message);
+  flush_writes();
+  return id;
+}
+
+bool AsyncTcpChannel::cancel(RequestId id) {
+  for (Pending& entry : pending_) {
+    if (entry.id == id) {
+      if (entry.settled) return false;
+      // The request may already be on the wire; its response slot stays in
+      // pending_ and the late response is discarded on arrival.
+      settle(entry, AsyncResult{AsyncStatus::kCancelled, {},
+                                "request cancelled"});
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace geoproof::net

@@ -1,40 +1,36 @@
-// Minimal real-TCP transport: length-prefixed frames over loopback.
+// Real-TCP transport over loopback: length-prefixed frames, a non-blocking
+// multiplexing server, and both channel flavours (async event-loop client,
+// blocking legacy client).
 //
 // The "manual networking" path of the reproduction: the same protocol
 // engines that run on the simulator also run over genuine sockets, so the
 // timing code path is exercised against a real kernel network stack.
-// Framing: 4-byte big-endian length + payload (64 MiB cap).
+//
+// Framing: 4-byte big-endian length + payload (64 MiB cap). Responses on a
+// connection are returned in request order, so pipelined requests correlate
+// positionally on the wire; AsyncChannel::RequestId is the client-side
+// correlation id used for deadlines and cancellation.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "net/async.hpp"
 #include "net/channel.hpp"
 
 namespace geoproof::net {
 
-/// RAII file-descriptor wrapper (move-only).
-class Socket {
- public:
-  Socket() = default;
-  explicit Socket(int fd) : fd_(fd) {}
-  ~Socket();
-
-  Socket(Socket&& other) noexcept;
-  Socket& operator=(Socket&& other) noexcept;
-  Socket(const Socket&) = delete;
-  Socket& operator=(const Socket&) = delete;
-
-  int fd() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
-  void close();
-
- private:
-  int fd_ = -1;
-};
+/// Frame payload size cap shared by every frame codepath (blocking helpers,
+/// FrameAssembler, server and clients).
+inline constexpr std::size_t kMaxFrameBytes = 64u * 1024 * 1024;
 
 /// Write a length-prefixed frame; throws NetError on failure.
 void send_frame(const Socket& sock, BytesView payload);
@@ -42,9 +38,33 @@ void send_frame(const Socket& sock, BytesView payload);
 /// Read one frame; throws NetError on failure or orderly peer close.
 Bytes recv_frame(const Socket& sock);
 
-/// Single-threaded request/response server on 127.0.0.1 with an ephemeral
-/// port. Connections are served sequentially; each connection is a stream of
-/// frames answered by `handler`. Destruction stops the accept loop.
+/// Incremental frame parser for the non-blocking paths: feed whatever bytes
+/// the socket produced, pop complete frames as they assemble. Handles
+/// payloads split across arbitrarily many reads, including mid-header
+/// splits. Throws NetError from feed() as soon as a header announces a
+/// frame beyond kMaxFrameBytes — before buffering any of its payload.
+class FrameAssembler {
+ public:
+  void feed(BytesView data);
+  /// Pop the next complete frame, or nullopt when more bytes are needed.
+  std::optional<Bytes> next();
+  /// A frame is partially assembled — an orderly peer close now would be
+  /// mid-frame (the caller decides whether that is an error).
+  bool mid_frame() const { return !buf_.empty(); }
+
+ private:
+  Bytes buf_;                  // unparsed bytes (header-first)
+  std::deque<Bytes> frames_;   // completed payloads
+};
+
+/// Multiplexing request/response server on 127.0.0.1 with an ephemeral
+/// port. A dedicated thread pumps an EventLoop: accepts are non-blocking
+/// and every connection progresses independently, so concurrent clients
+/// are served interleaved (the historical sequential-accept server made a
+/// second client wait for the first to disconnect). Each connection is a
+/// stream of frames answered in order by `handler`; a handler exception or
+/// malformed/oversized frame drops that connection only. Destruction stops
+/// the loop.
 class TcpServer {
  public:
   explicit TcpServer(RequestHandler handler);
@@ -57,16 +77,32 @@ class TcpServer {
   void stop();
 
  private:
-  void serve_loop();
+  struct Conn {
+    Socket sock;
+    FrameAssembler frames;
+    Bytes out;              // queued response bytes
+    std::size_t out_off = 0;
+    bool want_write = false;  // current epoll write interest (skip no-op MODs)
+    bool closing = false;     // peer sent EOF; close once `out` drains
+  };
+
+  void on_listener_ready();
+  void on_conn_ready(int fd, bool readable, bool writable, bool error);
+  void close_conn(int fd);
+  bool flush_writes(int fd, Conn& conn);
 
   RequestHandler handler_;
   Socket listener_;
   std::uint16_t port_ = 0;
-  std::atomic<bool> running_{true};
+  EventLoop loop_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;  // loop thread only
   std::thread thread_;
+  std::atomic<bool> stopped_{false};
 };
 
-/// Client-side RequestChannel over a persistent TCP connection.
+/// Client-side blocking RequestChannel over a persistent TCP connection.
+/// Kept as the simple synchronous client (and the adapter substrate for
+/// legacy blocking audits); new concurrent code uses AsyncTcpChannel.
 class TcpRequestChannel final : public RequestChannel {
  public:
   TcpRequestChannel(const std::string& host, std::uint16_t port);
@@ -75,6 +111,61 @@ class TcpRequestChannel final : public RequestChannel {
 
  private:
   Socket sock_;
+};
+
+/// Non-blocking client channel multiplexing many in-flight requests over
+/// one persistent connection, driven by an EventLoop. Requests pipeline on
+/// the wire and correlate positionally (the server answers in order);
+/// deadlines run on the loop's timer wheel; a timed-out or cancelled
+/// request's late response is consumed and discarded so the stream stays
+/// in sync. All methods are loop-thread-only.
+class AsyncTcpChannel final : public AsyncChannel {
+ public:
+  AsyncTcpChannel(EventLoop& loop, const std::string& host,
+                  std::uint16_t port);
+  ~AsyncTcpChannel() override;
+
+  AsyncTcpChannel(const AsyncTcpChannel&) = delete;
+  AsyncTcpChannel& operator=(const AsyncTcpChannel&) = delete;
+
+  RequestId begin_request(BytesView message, CompletionFn done,
+                          Millis deadline) override;
+  using AsyncChannel::begin_request;
+  bool cancel(RequestId id) override;
+
+  std::size_t in_flight() const { return live_; }
+  /// The connection has failed; every further request completes kError.
+  bool broken() const { return broken_; }
+
+ private:
+  struct Pending {
+    RequestId id = 0;
+    CompletionFn done;
+    EventLoop::TimerId deadline_timer = 0;  // 0 = none
+    bool settled = false;  // completed (timeout/cancel); response pending
+  };
+
+  void on_ready(bool readable, bool writable, bool error);
+  bool flush_writes();
+  void deliver_frames();
+  void settle(Pending& p, AsyncResult&& result);
+  void fail_all(const std::string& reason);
+  void update_interest();
+  /// Break the connection: mark broken, deregister + close the socket,
+  /// fail every pending request with `reason`.
+  void teardown(const std::string& reason);
+
+  EventLoop* loop_;
+  Socket sock_;
+  FrameAssembler frames_;
+  Bytes out_;
+  std::size_t out_off_ = 0;
+  bool want_write_ = false;  // current epoll write interest
+  std::deque<Pending> pending_;  // wire order; front = next response
+  std::size_t live_ = 0;         // pending entries not yet settled
+  RequestId next_id_ = 1;
+  bool broken_ = false;
+  std::string break_reason_;
 };
 
 }  // namespace geoproof::net

@@ -1,0 +1,519 @@
+// The async audit path end to end: VerifierDevice session state machine,
+// AuditScheme::begin_audit, AuditService::begin_once and the sharded
+// engine's async-transport mode — all on the deterministic virtual-time
+// world, including the session-overlap acceptance property (K concurrent
+// sessions cost ~one session of virtual time, not K of them).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "core/scheme.hpp"
+#include "core/sharded_engine.hpp"
+#include "core/transcript.hpp"
+#include "core/verifier.hpp"
+#include "net/async.hpp"
+#include "net/channel.hpp"
+#include "por/encoder.hpp"
+
+namespace geoproof::core {
+namespace {
+
+const Bytes kMaster = bytes_of("async-audit-master");
+constexpr net::GeoPoint kSite{-27.47, 153.02};
+constexpr double kOneWayMs = 2.0;  // per-leg latency => 4 ms RTT
+constexpr std::uint32_t kChallenge = 5;
+
+por::PorParams small_params() {
+  por::PorParams p;
+  p.ecc_data_blocks = 48;
+  p.ecc_parity_blocks = 16;
+  return p;
+}
+
+AuditorConfig base_config(const crypto::Digest& verifier_pk) {
+  AuditorConfig cfg;
+  cfg.master_key = kMaster;
+  cfg.verifier_pk = verifier_pk;
+  cfg.expected_position = kSite;
+  cfg.policy = LatencyPolicy{Millis{20.0}, Millis{50.0}, Millis{5.0}};
+  return cfg;
+}
+
+/// One provider site on a shared async world: an encoded file served by a
+/// pure-latency handler (no service time), an async channel, an async
+/// verifier device.
+struct AsyncSite {
+  por::EncodedFile file;
+  std::unique_ptr<net::SimAsyncChannel> channel;
+  std::unique_ptr<net::SimAuditTimer> timer;
+  std::unique_ptr<VerifierDevice> verifier;
+  FileRecord record;
+};
+
+std::unique_ptr<AsyncSite> make_async_site(SimClock& clock, EventQueue& queue,
+                                           net::AsyncDriver* driver,
+                                           std::uint64_t file_id,
+                                           double one_way_ms = kOneWayMs) {
+  auto site = std::make_unique<AsyncSite>();
+  Rng rng(100 + file_id);
+  site->file = por::PorEncoder(small_params())
+                   .encode(rng.next_bytes(20000), file_id, kMaster);
+  const por::EncodedFile* file = &site->file;
+  site->channel = std::make_unique<net::SimAsyncChannel>(
+      clock, queue, [one_way_ms](std::size_t) { return Millis{one_way_ms}; },
+      [file](BytesView request) {
+        const SegmentRequest req = SegmentRequest::deserialize(request);
+        if (req.file_id != file->file_id || req.index >= file->n_segments) {
+          throw StorageError("unknown segment");
+        }
+        return file->segments[static_cast<std::size_t>(req.index)];
+      });
+  site->timer = std::make_unique<net::SimAuditTimer>(clock);
+  VerifierDevice::Config vcfg;
+  vcfg.position = kSite;
+  vcfg.challenge_seed = 0xc4a11e + file_id;
+  site->verifier = std::make_unique<VerifierDevice>(vcfg, *site->channel,
+                                                    *site->timer, driver);
+  site->record = FileRecord{file_id, site->file.n_segments, 0};
+  return site;
+}
+
+// --------------------------------------------------------------------------
+// VerifierDevice sessions
+// --------------------------------------------------------------------------
+
+TEST(AsyncVerifier, SessionMatchesBlockingTranscriptExactly) {
+  // Same seeds, same file, same latency model: the async session must
+  // produce a byte-identical signed transcript to the blocking device —
+  // the adapter claim ("no duplicate protocol logic") made checkable.
+  Rng rng(7);
+  const por::EncodedFile file =
+      por::PorEncoder(small_params()).encode(rng.next_bytes(20000), 1,
+                                             kMaster);
+  const auto handler = [&file](BytesView request) {
+    const SegmentRequest req = SegmentRequest::deserialize(request);
+    return file.segments[static_cast<std::size_t>(req.index)];
+  };
+  const auto latency = [](std::size_t) { return Millis{kOneWayMs}; };
+
+  // Blocking world.
+  SimClock clock_b;
+  net::SimRequestChannel ch_b(clock_b, latency, handler);
+  net::SimAuditTimer timer_b(clock_b);
+  VerifierDevice dev_b(VerifierDevice::Config{.position = kSite}, ch_b,
+                       timer_b);
+
+  // Async world (separate clock, same parameters).
+  SimClock clock_a;
+  EventQueue queue_a(clock_a);
+  net::SimAsyncChannel ch_a(clock_a, queue_a, latency, handler);
+  net::SimAuditTimer timer_a(clock_a);
+  VerifierDevice dev_a(VerifierDevice::Config{.position = kSite}, ch_a,
+                       timer_a);
+
+  MacAuditScheme scheme_b(base_config(dev_b.public_key()), small_params());
+  MacAuditScheme scheme_a(base_config(dev_a.public_key()), small_params());
+  const FileRecord record{1, file.n_segments, 0};
+
+  const SignedTranscript blocking =
+      dev_b.run_audit(scheme_b.make_request(record, kChallenge));
+
+  std::optional<SignedTranscript> async_result;
+  dev_a.begin_audit(scheme_a.make_request(record, kChallenge),
+                    [&](VerifierDevice::AuditOutcome&& out) {
+                      ASSERT_TRUE(out.ok()) << out.error;
+                      async_result = std::move(out.transcript);
+                    });
+  EXPECT_FALSE(async_result.has_value());  // in flight until pumped
+  queue_a.run_all();
+  ASSERT_TRUE(async_result.has_value());
+
+  EXPECT_EQ(blocking.serialize(), async_result->serialize());
+  EXPECT_TRUE(scheme_b.verify(record, blocking).accepted);
+  EXPECT_TRUE(scheme_a.verify(record, *async_result).accepted);
+}
+
+TEST(AsyncVerifier, ConcurrentSessionsOverlapInVirtualTime) {
+  // The acceptance property: K = 6 full audit sessions of kChallenge
+  // rounds, round trip 2*kOneWayMs each, all in flight on one world —
+  // total virtual time equals ONE session's time, while the blocking
+  // transport pays K times that.
+  constexpr std::uint64_t kSessions = 6;
+  SimClock clock;
+  EventQueue queue(clock);
+  net::SimAsyncDriver driver(queue);
+
+  std::vector<std::unique_ptr<AsyncSite>> sites;
+  for (std::uint64_t id = 1; id <= kSessions; ++id) {
+    sites.push_back(make_async_site(clock, queue, &driver, id));
+  }
+  MacAuditScheme scheme(base_config(sites[0]->verifier->public_key()),
+                        small_params());
+
+  unsigned accepted = 0;
+  for (auto& site : sites) {
+    scheme.begin_audit(site->record, kChallenge, *site->verifier,
+                       [&](AuditReport&& report) {
+                         EXPECT_TRUE(report.accepted) << report.summary();
+                         ++accepted;
+                       });
+  }
+  EXPECT_EQ(accepted, 0u);
+  driver.pump();
+  EXPECT_EQ(accepted, kSessions);
+
+  const double elapsed_ms = to_millis(clock.now()).count();
+  const double one_session_ms = kChallenge * 2 * kOneWayMs;
+  EXPECT_NEAR(elapsed_ms, one_session_ms, 1e-9)
+      << "sessions serialised instead of overlapping";
+
+  // The blocking baseline really would cost K sessions end to end.
+  SimClock blocking_clock;
+  double blocking_total = 0;
+  {
+    net::SimAuditTimer timer(blocking_clock);
+    for (std::uint64_t id = 1; id <= kSessions; ++id) {
+      Rng rng(100 + id);
+      const por::EncodedFile file = por::PorEncoder(small_params())
+                                        .encode(rng.next_bytes(20000), id,
+                                                kMaster);
+      net::SimRequestChannel ch(
+          blocking_clock, [](std::size_t) { return Millis{kOneWayMs}; },
+          [&file](BytesView request) {
+            const SegmentRequest req = SegmentRequest::deserialize(request);
+            return file.segments[static_cast<std::size_t>(req.index)];
+          });
+      VerifierDevice::Config vcfg;
+      vcfg.position = kSite;
+      vcfg.challenge_seed = 0xc4a11e + id;
+      VerifierDevice dev(vcfg, ch, timer);
+      (void)dev.run_audit(scheme.make_request(
+          FileRecord{id, file.n_segments, 0}, kChallenge));
+    }
+    blocking_total = to_millis(blocking_clock.now()).count();
+  }
+  EXPECT_NEAR(blocking_total, kSessions * one_session_ms, 1e-9);
+}
+
+TEST(AsyncVerifier, TransportErrorDeliversOutcomeNotThrow) {
+  SimClock clock;
+  EventQueue queue(clock);
+  net::SimAsyncChannel channel(
+      clock, queue, [](std::size_t) { return Millis{1.0}; },
+      [](BytesView) -> Bytes { throw StorageError("segment store down"); });
+  net::SimAuditTimer timer(clock);
+  VerifierDevice device(VerifierDevice::Config{.position = kSite}, channel,
+                        timer);
+
+  AuditRequest request;
+  request.file_id = 1;
+  request.n_segments = 64;
+  request.k = 3;
+  request.nonce = Bytes(16, 0xaa);
+
+  std::optional<VerifierDevice::AuditOutcome> outcome;
+  device.begin_audit(request, [&](VerifierDevice::AuditOutcome&& out) {
+    outcome = std::move(out);
+  });
+  queue.run_all();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok());
+  EXPECT_NE(outcome->error.find("segment store down"), std::string::npos);
+}
+
+TEST(AsyncVerifier, RunAuditPumpsOwnDriverWhenGiven) {
+  SimClock clock;
+  EventQueue queue(clock);
+  net::SimAsyncDriver driver(queue);
+  auto site = make_async_site(clock, queue, &driver, 1);
+  MacAuditScheme scheme(base_config(site->verifier->public_key()),
+                        small_params());
+
+  // Blocking call on an async-native device: run_audit pumps the driver.
+  const AuditReport report =
+      scheme.audit_once(site->record, kChallenge, *site->verifier);
+  EXPECT_TRUE(report.accepted) << report.summary();
+}
+
+TEST(AsyncVerifier, SignerExhaustionBecomesAbortedReportNotThrow) {
+  // The device's one-time signing keys run out mid-sweep: inside a channel
+  // completion that must surface as a kAborted report, not an exception
+  // unwinding through whoever pumps the driver (which would kill a whole
+  // engine shard).
+  SimClock clock;
+  EventQueue queue(clock);
+  net::SimAsyncDriver driver(queue);
+  Rng rng(5);
+  const por::EncodedFile file =
+      por::PorEncoder(small_params()).encode(rng.next_bytes(20000), 1,
+                                             kMaster);
+  net::SimAsyncChannel channel(
+      clock, queue, [](std::size_t) { return Millis{1.0}; },
+      [&file](BytesView request) {
+        const SegmentRequest req = SegmentRequest::deserialize(request);
+        return file.segments[static_cast<std::size_t>(req.index)];
+      });
+  net::SimAuditTimer timer(clock);
+  VerifierDevice::Config vcfg;
+  vcfg.position = kSite;
+  vcfg.signer_height = 2;  // only 4 audits possible
+  VerifierDevice device(vcfg, channel, timer, &driver);
+  MacAuditScheme scheme(base_config(device.public_key()), small_params());
+  const FileRecord record{1, file.n_segments, 0};
+
+  std::vector<AuditReport> reports;
+  for (int i = 0; i < 5; ++i) {
+    scheme.begin_audit(record, 3, device,
+                       [&](AuditReport&& r) { reports.push_back(std::move(r)); });
+    driver.pump();
+  }
+  ASSERT_EQ(reports.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(reports[static_cast<std::size_t>(i)].accepted)
+        << reports[static_cast<std::size_t>(i)].summary();
+  }
+  EXPECT_FALSE(reports[4].accepted);
+  EXPECT_TRUE(reports[4].failed(AuditFailure::kAborted));
+  EXPECT_EQ(device.audits_remaining(), 0u);
+}
+
+TEST(AsyncVerifier, RunAuditWithoutDriverThrows) {
+  SimClock clock;
+  EventQueue queue(clock);
+  auto site = make_async_site(clock, queue, /*driver=*/nullptr, 1);
+  MacAuditScheme scheme(base_config(site->verifier->public_key()),
+                        small_params());
+  EXPECT_THROW(
+      (void)site->verifier->run_audit(scheme.make_request(site->record, 3)),
+      ProtocolError);
+}
+
+// --------------------------------------------------------------------------
+// AuditService::begin_once
+// --------------------------------------------------------------------------
+
+TEST(AsyncAuditService, BeginOnceRecordsHistoryOnCompletion) {
+  SimClock clock;
+  EventQueue queue(clock);
+  net::SimAsyncDriver driver(queue);
+  auto site = make_async_site(clock, queue, &driver, 9);
+  MacAuditScheme scheme(base_config(site->verifier->public_key()),
+                        small_params());
+  AuditService service;
+  service.add(scheme, *site->verifier, site->record, kChallenge);
+
+  const AuditService::Now now = [&clock] { return clock.now(); };
+  bool completed = false;
+  service.begin_once(now, 9, [&](const AuditReport& report) {
+    completed = true;
+    EXPECT_TRUE(report.accepted) << report.summary();
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_TRUE(service.history(9).empty());
+  driver.pump();
+  EXPECT_TRUE(completed);
+  ASSERT_EQ(service.history(9).size(), 1u);
+  EXPECT_EQ(service.history(9)[0].at, clock.now());
+}
+
+TEST(AsyncAuditService, MidSessionFailureRecordsAborted) {
+  SimClock clock;
+  EventQueue queue(clock);
+  net::SimAsyncDriver driver(queue);
+  net::SimAsyncChannel channel(
+      clock, queue, [](std::size_t) { return Millis{1.0}; },
+      [](BytesView) -> Bytes { throw StorageError("gone"); });
+  net::SimAuditTimer timer(clock);
+  VerifierDevice device(VerifierDevice::Config{.position = kSite}, channel,
+                        timer, &driver);
+  MacAuditScheme scheme(base_config(device.public_key()), small_params());
+  AuditService service;
+  const FileRecord record{3, 64, 0};
+  service.add(scheme, device, record, kChallenge);
+
+  service.begin_once([&clock] { return clock.now(); }, 3);
+  driver.pump();
+  ASSERT_EQ(service.history(3).size(), 1u);
+  const AuditReport& report = service.history(3)[0].report;
+  EXPECT_FALSE(report.accepted);
+  EXPECT_TRUE(report.failed(AuditFailure::kAborted));
+}
+
+// --------------------------------------------------------------------------
+// ShardedAuditEngine async-transport mode
+// --------------------------------------------------------------------------
+
+/// One shard's virtual world: clock, event queue, driver.
+struct Region {
+  SimClock clock;
+  EventQueue queue{clock};
+  net::SimAsyncDriver driver{queue};
+};
+
+struct AsyncFleet {
+  static constexpr std::uint64_t kSites = 8;
+  std::vector<std::unique_ptr<Region>> regions;
+  std::vector<std::unique_ptr<AsyncSite>> sites;
+  std::unique_ptr<MacAuditScheme> scheme;
+  AuditService service;
+
+  explicit AsyncFleet(std::size_t n_regions) {
+    for (std::size_t r = 0; r < n_regions; ++r) {
+      regions.push_back(std::make_unique<Region>());
+    }
+    for (std::uint64_t id = 1; id <= kSites; ++id) {
+      Region& region = *regions[region_of(id, n_regions)];
+      sites.push_back(make_async_site(region.clock, region.queue,
+                                      &region.driver, id));
+    }
+    scheme = std::make_unique<MacAuditScheme>(
+        base_config(sites[0]->verifier->public_key()), small_params());
+    for (auto& site : sites) {
+      service.add(*scheme, *site->verifier, site->record, kChallenge);
+    }
+  }
+
+  static std::size_t region_of(std::uint64_t id, std::size_t n_regions) {
+    return static_cast<std::size_t>((id - 1) % n_regions);
+  }
+
+  ShardedAuditEngine::Options options(std::size_t shards) {
+    ShardedAuditEngine::Options opts;
+    opts.shards = shards;
+    opts.partitioner = [shards](std::uint64_t id, std::size_t) {
+      return region_of(id, shards);
+    };
+    opts.clock_source = [this](std::size_t shard) {
+      SimClock* clock = &regions[shard]->clock;
+      return [clock] { return clock->now(); };
+    };
+    opts.driver_source = [this](std::size_t shard) {
+      return &regions[shard]->driver;
+    };
+    return opts;
+  }
+};
+
+TEST(AsyncShardedEngine, SweepOverlapsSessionsWithinEachShard) {
+  // 8 sites, 2 shards, 4 in-flight sessions per shard: each shard's
+  // virtual world elapses ONE session of time per sweep, not four — the
+  // deterministic statement of "one shard drives many in-flight
+  // distance-bounding sessions".
+  AsyncFleet fleet(2);
+  ShardedAuditEngine engine(fleet.service, fleet.options(2));
+  EXPECT_TRUE(engine.async_mode());
+
+  EXPECT_EQ(engine.sweep_once(), AsyncFleet::kSites);
+  const double one_session_ms = kChallenge * 2 * kOneWayMs;
+  for (const auto& region : fleet.regions) {
+    EXPECT_NEAR(to_millis(region->clock.now()).count(), one_session_ms, 1e-9)
+        << "shard serialised its sessions";
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.audits, AsyncFleet::kSites);
+  EXPECT_EQ(stats.passed, AsyncFleet::kSites);
+  EXPECT_EQ(stats.aborted, 0u);
+  EXPECT_EQ(stats.steals, 0u);  // stealing is off in async mode
+
+  // Sweeps accumulate history exactly like the blocking engine.
+  EXPECT_EQ(engine.sweep_once(), AsyncFleet::kSites);
+  for (std::uint64_t id = 1; id <= AsyncFleet::kSites; ++id) {
+    EXPECT_EQ(fleet.service.history(id).size(), 2u);
+    EXPECT_EQ(fleet.service.compliance(id).passed, 2u);
+  }
+}
+
+TEST(AsyncShardedEngine, MaxInFlightBoundsConcurrency) {
+  // With max_in_flight = 1 the same fleet serialises: each shard's world
+  // now pays all four sessions end to end.
+  AsyncFleet fleet(2);
+  auto opts = fleet.options(2);
+  opts.max_in_flight = 1;
+  ShardedAuditEngine engine(fleet.service, opts);
+  EXPECT_EQ(engine.sweep_once(), AsyncFleet::kSites);
+  const double serial_ms =
+      (AsyncFleet::kSites / 2) * kChallenge * 2 * kOneWayMs;
+  for (const auto& region : fleet.regions) {
+    EXPECT_NEAR(to_millis(region->clock.now()).count(), serial_ms, 1e-9);
+  }
+}
+
+TEST(AsyncShardedEngine, SingleShardMatchesBlockingPassCounts) {
+  AsyncFleet fleet(1);
+  ShardedAuditEngine engine(fleet.service, fleet.options(1));
+  EXPECT_EQ(engine.sweep_once(), AsyncFleet::kSites);
+  EXPECT_EQ(engine.compliance_all().total, AsyncFleet::kSites);
+  EXPECT_EQ(engine.compliance_all().passed, AsyncFleet::kSites);
+}
+
+TEST(AsyncShardedEngine, FaultIsolationRecordsAbortedAndContinues) {
+  AsyncFleet fleet(2);
+  // Break site 3's channel: its handler starts throwing.
+  Region& region = *fleet.regions[AsyncFleet::region_of(3, 2)];
+  net::SimAsyncChannel broken(
+      region.clock, region.queue, [](std::size_t) { return Millis{1.0}; },
+      [](BytesView) -> Bytes { throw StorageError("dead site"); });
+  net::SimAuditTimer timer(region.clock);
+  VerifierDevice dead_device(VerifierDevice::Config{.position = kSite},
+                             broken, timer, &region.driver);
+  fleet.service.remove(3);
+  fleet.service.add(*fleet.scheme, dead_device, fleet.sites[2]->record,
+                    kChallenge);
+
+  ShardedAuditEngine engine(fleet.service, fleet.options(2));
+  EXPECT_EQ(engine.sweep_once(), AsyncFleet::kSites - 1);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.audits, AsyncFleet::kSites);
+  EXPECT_EQ(stats.aborted, 1u);
+  EXPECT_TRUE(
+      fleet.service.history(3).back().report.failed(AuditFailure::kAborted));
+}
+
+TEST(AsyncShardedEngine, DeviceSpanningShardsRejected) {
+  // Two registrations sharing one device but partitioned onto different
+  // shards: async mode must refuse (the device's sessions would be pumped
+  // from two threads).
+  AsyncFleet fleet(2);
+  Region& region = *fleet.regions[0];
+  auto extra = make_async_site(region.clock, region.queue, &region.driver,
+                               100);
+  // Register the same device under two ids the partitioner splits.
+  fleet.service.add(*fleet.scheme, *extra->verifier,
+                    FileRecord{101, extra->record.n_segments, 0}, kChallenge);
+  fleet.service.add(*fleet.scheme, *extra->verifier,
+                    FileRecord{102, extra->record.n_segments, 0}, kChallenge);
+
+  ShardedAuditEngine engine(fleet.service, fleet.options(2));
+  EXPECT_THROW(engine.sweep_once(), InvalidArgument);
+}
+
+TEST(AsyncShardedEngine, MiswiredDriverFailsLoudlyInsteadOfSpinning) {
+  // driver_source hands the shard a driver over a queue its channels do
+  // not schedule on: the sweep must throw, not busy-spin forever with
+  // sessions that can never complete.
+  AsyncFleet fleet(1);
+  SimClock foreign_clock;
+  EventQueue foreign_queue(foreign_clock);
+  net::SimAsyncDriver foreign_driver(foreign_queue);
+  auto opts = fleet.options(1);
+  opts.driver_source = [&foreign_driver](std::size_t) {
+    return &foreign_driver;
+  };
+  ShardedAuditEngine engine(fleet.service, opts);
+  EXPECT_THROW(engine.sweep_once(), InvalidArgument);
+}
+
+TEST(AsyncShardedEngine, NullDriverRejectedAtConstruction) {
+  AsyncFleet fleet(1);
+  auto opts = fleet.options(1);
+  opts.driver_source = [](std::size_t) -> net::AsyncDriver* {
+    return nullptr;
+  };
+  EXPECT_THROW(ShardedAuditEngine(fleet.service, opts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geoproof::core

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "common/errors.hpp"
 #include "distbound/brands_chaum.hpp"
 #include "distbound/hancke_kuhn.hpp"
@@ -201,6 +203,64 @@ TEST(BrandsChaum, CommitmentBindsBits) {
   auto tampered = opening.m;
   tampered[0] = !tampered[0];
   EXPECT_NE(commit_bits(tampered, opening.opening_nonce), prover.commitment());
+}
+
+TEST(AsyncBitExchange, MatchesBlockingResultsExactly) {
+  // The blocking run_bit_exchange is now an adapter over the async
+  // session; an explicit session on a shared queue must reproduce it
+  // bit for bit (same rng draw order, same latency arithmetic).
+  const BitResponder echo = [](unsigned, bool c) { return c; };
+  SimClock clock_a;
+  Rng rng_a(7);
+  const ExchangeResult blocking = run_bit_exchange(
+      clock_a, Millis{0.5}, fast_params(16), echo, echo, rng_a);
+
+  SimClock clock_b;
+  EventQueue queue(clock_b);
+  Rng rng_b(7);
+  std::optional<ExchangeResult> async_result;
+  begin_bit_exchange(clock_b, queue, Millis{0.5}, fast_params(16), echo,
+                     echo, rng_b,
+                     [&](ExchangeResult&& r) { async_result = std::move(r); });
+  queue.run_all();
+  ASSERT_TRUE(async_result.has_value());
+  EXPECT_EQ(async_result->accepted, blocking.accepted);
+  EXPECT_EQ(async_result->bit_errors, blocking.bit_errors);
+  EXPECT_EQ(async_result->max_rtt.count(), blocking.max_rtt.count());
+  ASSERT_EQ(async_result->rounds.size(), blocking.rounds.size());
+  for (std::size_t i = 0; i < blocking.rounds.size(); ++i) {
+    EXPECT_EQ(async_result->rounds[i].challenge, blocking.rounds[i].challenge);
+    EXPECT_EQ(async_result->rounds[i].response, blocking.rounds[i].response);
+    EXPECT_EQ(async_result->rounds[i].rtt.count(),
+              blocking.rounds[i].rtt.count());
+  }
+}
+
+TEST(AsyncBitExchange, ManyExchangesOverlapOnOneQueue) {
+  // BFT-PoLoc-style mass delay measurement: 5 provers measured at once on
+  // one world. Overlapped, the whole batch costs one exchange of virtual
+  // time — and every round still times 2 x one_way exactly.
+  constexpr unsigned kProvers = 5;
+  constexpr unsigned kRounds = 12;
+  SimClock clock;
+  EventQueue queue(clock);
+  const BitResponder echo = [](unsigned, bool c) { return c; };
+
+  std::vector<Rng> rngs;
+  for (unsigned p = 0; p < kProvers; ++p) rngs.emplace_back(100 + p);
+  unsigned completed = 0;
+  for (unsigned p = 0; p < kProvers; ++p) {
+    begin_bit_exchange(clock, queue, Millis{0.5}, fast_params(kRounds), echo,
+                       echo, rngs[p], [&](ExchangeResult&& r) {
+                         EXPECT_TRUE(r.accepted);
+                         EXPECT_NEAR(r.max_rtt.count(), 1.0, 1e-9);
+                         ++completed;
+                       });
+  }
+  queue.run_all();
+  EXPECT_EQ(completed, kProvers);
+  // One exchange's virtual time, not kProvers of them.
+  EXPECT_NEAR(to_millis(clock.now()).count(), kRounds * 1.0, 1e-9);
 }
 
 TEST(BrandsChaum, TranscriptBytesEncodeBothBits) {

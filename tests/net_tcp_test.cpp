@@ -1,13 +1,41 @@
 #include "net/tcp.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "common/errors.hpp"
 
 namespace geoproof::net {
 namespace {
+
+/// Raw loopback connection for wire-level edge cases the channel classes
+/// refuse to produce (oversized headers, partial frames).
+Socket raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return Socket(fd);
+}
+
+void raw_send(const Socket& sock, BytesView data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(sock.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
 
 TEST(TcpServer, EchoRoundTrip) {
   TcpServer server([](BytesView req) { return Bytes(req.begin(), req.end()); });
@@ -79,6 +107,104 @@ TEST(TcpRequestChannel, ConnectToClosedPortFails) {
 
 TEST(TcpRequestChannel, BadAddressThrows) {
   EXPECT_THROW(TcpRequestChannel("not-an-ip", 1234), NetError);
+}
+
+TEST(TcpServer, ConcurrentClientsServedInterleaved) {
+  // Regression for the historical sequential accept loop: a second client
+  // used to block forever while the first held its connection. The
+  // multiplexing server must serve both, interleaved, on open
+  // connections.
+  TcpServer server([](BytesView req) { return Bytes(req.begin(), req.end()); });
+  TcpRequestChannel c1("127.0.0.1", server.port());
+  EXPECT_EQ(c1.request(bytes_of("a1")), bytes_of("a1"));
+
+  TcpRequestChannel c2("127.0.0.1", server.port());  // c1 still connected
+  EXPECT_EQ(c2.request(bytes_of("b1")), bytes_of("b1"));
+  EXPECT_EQ(c1.request(bytes_of("a2")), bytes_of("a2"));
+  EXPECT_EQ(c2.request(bytes_of("b2")), bytes_of("b2"));
+}
+
+TEST(TcpServer, ManyConcurrentClients) {
+  TcpServer server([](BytesView req) {
+    Bytes out(req.begin(), req.end());
+    out.push_back(0x01);
+    return out;
+  });
+  std::vector<std::unique_ptr<TcpRequestChannel>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(
+        std::make_unique<TcpRequestChannel>("127.0.0.1", server.port()));
+  }
+  // Round-robin over all held-open connections, twice.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const Bytes req = {static_cast<std::uint8_t>(i)};
+      const Bytes resp = clients[static_cast<std::size_t>(i)]->request(req);
+      ASSERT_EQ(resp.size(), 2u);
+      EXPECT_EQ(resp[0], static_cast<std::uint8_t>(i));
+    }
+  }
+}
+
+TEST(TcpServer, OversizedFrameHeaderDropsOnlyThatConnection) {
+  TcpServer server([](BytesView req) { return Bytes(req.begin(), req.end()); });
+  {
+    Socket rogue = raw_connect(server.port());
+    // Header claiming kMaxFrameBytes + 1: the server must hang up before
+    // buffering any payload.
+    const auto claim = static_cast<std::uint32_t>(kMaxFrameBytes + 1);
+    const Bytes header = {static_cast<std::uint8_t>(claim >> 24),
+                          static_cast<std::uint8_t>(claim >> 16),
+                          static_cast<std::uint8_t>(claim >> 8),
+                          static_cast<std::uint8_t>(claim)};
+    raw_send(rogue, header);
+    EXPECT_THROW((void)recv_frame(rogue), NetError);  // EOF from the server
+  }
+  // The server survives and keeps serving well-behaved clients.
+  TcpRequestChannel good("127.0.0.1", server.port());
+  EXPECT_EQ(good.request(bytes_of("fine")), bytes_of("fine"));
+}
+
+TEST(TcpServer, FrameSplitAcrossManyWritesReassembled) {
+  TcpServer server([](BytesView req) { return Bytes(req.begin(), req.end()); });
+  Socket client = raw_connect(server.port());
+
+  const Bytes payload = bytes_of("split across events");
+  Bytes wire;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  wire.push_back(static_cast<std::uint8_t>(len >> 24));
+  wire.push_back(static_cast<std::uint8_t>(len >> 16));
+  wire.push_back(static_cast<std::uint8_t>(len >> 8));
+  wire.push_back(static_cast<std::uint8_t>(len));
+  append(wire, payload);
+
+  // Drip the frame one byte at a time with pauses: each byte is its own
+  // readiness event at the server.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    raw_send(client, BytesView(&wire[i], 1));
+    if (i % 5 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(recv_frame(client), payload);
+}
+
+TEST(TcpServer, PeerCloseMidFrameKeepsServing) {
+  TcpServer server([](BytesView req) { return Bytes(req.begin(), req.end()); });
+  {
+    Socket quitter = raw_connect(server.port());
+    const Bytes partial_header = {0x00, 0x00};
+    raw_send(quitter, partial_header);
+  }  // orderly close mid-header
+  {
+    Socket quitter = raw_connect(server.port());
+    const Bytes partial_payload = {0x00, 0x00, 0x00, 0x08, 0xab};
+    raw_send(quitter, partial_payload);
+  }  // orderly close mid-payload
+  // Give the loop a beat to process the closes, then prove it still works.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  TcpRequestChannel good("127.0.0.1", server.port());
+  EXPECT_EQ(good.request(bytes_of("ok")), bytes_of("ok"));
 }
 
 TEST(TcpServer, HandlerDelayVisibleInWallClock) {
