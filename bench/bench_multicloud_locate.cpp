@@ -1,0 +1,93 @@
+// Multicloud location-estimation throughput: a vantage fleet of 50-200
+// simulated auditors sweeps three provers (honest, delayed, relayed)
+// through the 4-shard parked engine per iteration, with an eighth of the
+// fleet lying. Reported per row:
+//   items_per_second    - position estimates per second (3 per iteration)
+//   honest_err_km       - median localisation error of the honest prover
+//   relay_radius_km     - median confidence radius the relay attack earns
+//   byz_reject_accuracy - fraction of lying vantages ejected (median)
+//   byz_false_reject    - honest vantages wrongly ejected (median count)
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/sharded_engine.hpp"
+#include "locate/fleet.hpp"
+#include "net/geo.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::locate;
+
+void BM_MulticloudLocate(benchmark::State& state) {
+  const unsigned vantages = static_cast<unsigned>(state.range(0));
+  const net::GeoPoint contracted = net::places::brisbane();
+
+  FleetOptions opts;
+  opts.vantages = vantages;
+  opts.center = contracted;
+  opts.spread = Kilometers{1800.0};
+  opts.rounds = 12;
+  opts.seed = 0xbe6c;
+  // An eighth of the fleet is Byzantine, lying from the outer rings where
+  // the lie is material.
+  const std::size_t liars = vantages / 8;
+  for (std::size_t k = 0; k < liars; ++k) {
+    opts.lies.push_back(VantageLie{vantages - 1 - 2 * k, Millis{18.0}});
+  }
+  const VantageFleet fleet(opts);
+
+  core::AuditService service;
+  core::ShardedAuditEngine::Options eopts;
+  eopts.shards = 4;
+  core::ShardedAuditEngine engine(service, eopts);
+
+  ProverConfig honest;
+  honest.name = "honest";
+  honest.claimed = honest.actual = contracted;
+  ProverConfig delayed = honest;
+  delayed.name = "delayed";
+  delayed.behaviour = ProverBehaviour::kDelayed;
+  delayed.processing = Millis{6.0};
+  ProverConfig relayed = honest;
+  relayed.name = "relayed";
+  relayed.behaviour = ProverBehaviour::kRelayed;
+  relayed.actual = net::destination(contracted, 300.0, Kilometers{1400.0});
+  const std::vector<ProverConfig> provers = {honest, delayed, relayed};
+
+  std::vector<double> honest_err, relay_radius, accuracy, false_rejects;
+  for (auto _ : state) {
+    const std::vector<FleetSweep> sweeps = fleet.sweep_all(provers, engine);
+    benchmark::DoNotOptimize(sweeps.data());
+    state.PauseTiming();
+    honest_err.push_back(sweeps[0].error_vs_actual.value);
+    relay_radius.push_back(sweeps[2].estimate.radius_km.value);
+    if (liars > 0) {
+      accuracy.push_back(static_cast<double>(sweeps[0].rejected_liars()) /
+                         static_cast<double>(liars));
+    }
+    false_rejects.push_back(
+        static_cast<double>(sweeps[0].rejected_honest()));
+    state.ResumeTiming();
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(provers.size()));
+  state.counters["vantages"] =
+      benchmark::Counter(static_cast<double>(vantages));
+  state.counters["honest_err_km"] =
+      benchmark::Counter(median(std::move(honest_err)));
+  state.counters["relay_radius_km"] =
+      benchmark::Counter(median(std::move(relay_radius)));
+  state.counters["byz_reject_accuracy"] =
+      benchmark::Counter(median(std::move(accuracy)));
+  state.counters["byz_false_reject"] =
+      benchmark::Counter(median(std::move(false_rejects)));
+}
+BENCHMARK(BM_MulticloudLocate)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -39,6 +39,19 @@ struct ShardedAuditEngine::ShardQueue {
 ShardedAuditEngine::ShardedAuditEngine(AuditService& service)
     : ShardedAuditEngine(service, Options{}) {}
 
+ShardedAuditEngine::~ShardedAuditEngine() {
+  {
+    std::scoped_lock lock(pool_mu_);
+    pool_shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  // Join the workers *here*, while pool_mu_/pool_cv_ are still alive —
+  // implicit member destruction would tear the condition variable down
+  // before the jthreads (declared earlier, destroyed later) finish
+  // waking out of it.
+  pool_.clear();
+}
+
 ShardedAuditEngine::ShardedAuditEngine(AuditService& service, Options options)
     : service_(&service),
       options_(std::move(options)),
@@ -294,6 +307,84 @@ void ShardedAuditEngine::worker_async(std::size_t shard,
   }
 }
 
+void ShardedAuditEngine::ensure_pool() {
+  if (!pool_.empty()) return;
+  pool_.reserve(options_.shards - 1);
+  for (std::size_t s = 1; s < options_.shards; ++s) {
+    pool_.emplace_back([this, s] { pool_worker(s); });
+  }
+}
+
+void ShardedAuditEngine::pool_worker(std::size_t shard) {
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock lock(pool_mu_);
+  for (;;) {
+    pool_cv_.wait(lock, [this, seen_epoch] {
+      return pool_shutdown_ || pool_epoch_ != seen_epoch;
+    });
+    if (pool_shutdown_) return;
+    seen_epoch = pool_epoch_;
+    const std::function<void(std::size_t)>* job = pool_job_;
+    lock.unlock();
+    (*job)(shard);  // exceptions already stashed by dispatch's wrapper
+    lock.lock();
+    if (--pool_remaining_ == 0) pool_done_cv_.notify_one();
+  }
+}
+
+void ShardedAuditEngine::dispatch_to_shards(
+    const std::function<void(std::size_t)>& job) {
+  // A worker exception (engine mis-wiring; individual audit faults are
+  // already isolated as kAborted records) must reach the caller, not
+  // std::terminate a worker thread — stash per-shard and rethrow after
+  // every shard has finished.
+  std::vector<std::exception_ptr> worker_errors(options_.shards);
+  const std::function<void(std::size_t)> guarded =
+      [&job, &worker_errors](std::size_t s) {
+        try {
+          job(s);
+        } catch (...) {
+          worker_errors[s] = std::current_exception();
+        }
+      };
+  // Shard 0 runs on the calling thread: with one shard no other thread is
+  // involved at all, which is what makes single-shard sweeps bit-identical
+  // (and directly comparable) to AuditService::run_all.
+  if (options_.shards == 1) {
+    guarded(0);
+  } else if (options_.parked_workers) {
+    ensure_pool();
+    {
+      std::scoped_lock lock(pool_mu_);
+      pool_job_ = &guarded;
+      pool_remaining_ = options_.shards - 1;
+      ++pool_epoch_;
+    }
+    pool_cv_.notify_all();
+    guarded(0);
+    std::unique_lock lock(pool_mu_);
+    pool_done_cv_.wait(lock, [this] { return pool_remaining_ == 0; });
+    pool_job_ = nullptr;
+  } else {
+    // Historical respawn-per-dispatch mode, kept for the bench comparison.
+    std::vector<std::jthread> workers;
+    workers.reserve(options_.shards - 1);
+    for (std::size_t s = 1; s < options_.shards; ++s) {
+      workers.emplace_back([&guarded, s] { guarded(s); });
+    }
+    guarded(0);
+  }  // jthreads join here
+  for (const std::exception_ptr& error : worker_errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ShardedAuditEngine::run_on_shards(
+    const std::function<void(std::size_t shard)>& job) {
+  if (!job) throw InvalidArgument("ShardedAuditEngine: null shard job");
+  dispatch_to_shards(job);
+}
+
 unsigned ShardedAuditEngine::sweep_once() {
   if (async_mode()) {
     validate_async_colocation();
@@ -307,36 +398,13 @@ unsigned ShardedAuditEngine::sweep_once() {
   }
 
   std::atomic<unsigned> sweep_passed{0};
-  // A worker exception (engine mis-wiring; individual audit faults are
-  // already isolated as kAborted records) must reach the caller, not
-  // std::terminate a jthread — stash per-shard and rethrow after the join.
-  std::vector<std::exception_ptr> worker_errors(options_.shards);
-  const auto run_worker = [this, &queues, &sweep_passed,
-                           &worker_errors](std::size_t s) {
-    try {
-      if (async_mode()) {
-        worker_async(s, queues, sweep_passed);
-      } else {
-        worker(s, queues, sweep_passed);
-      }
-    } catch (...) {
-      worker_errors[s] = std::current_exception();
+  dispatch_to_shards([this, &queues, &sweep_passed](std::size_t s) {
+    if (async_mode()) {
+      worker_async(s, queues, sweep_passed);
+    } else {
+      worker(s, queues, sweep_passed);
     }
-  };
-  {
-    // Shard 0 runs on the calling thread: with one shard no thread is
-    // spawned at all, which is what makes single-shard sweeps bit-identical
-    // (and directly comparable) to AuditService::run_all.
-    std::vector<std::jthread> workers;
-    workers.reserve(options_.shards - 1);
-    for (std::size_t s = 1; s < options_.shards; ++s) {
-      workers.emplace_back([&run_worker, s] { run_worker(s); });
-    }
-    run_worker(0);
-  }  // jthreads join here
-  for (const std::exception_ptr& error : worker_errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  });
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   return sweep_passed.load(std::memory_order_relaxed);
 }

@@ -53,12 +53,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/audit_service.hpp"
@@ -99,6 +101,13 @@ class ShardedAuditEngine {
     std::function<net::AsyncDriver*(std::size_t shard)> driver_source;
     /// Per-shard cap on concurrently open audit sessions (async mode).
     std::size_t max_in_flight = 16;
+    /// Reuse one set of parked worker jthreads across sweeps (spawned
+    /// lazily on the first multi-shard dispatch, parked on a condition
+    /// variable between dispatches). Off = the historical behaviour of
+    /// spawning shards-1 fresh jthreads per sweep, kept selectable so
+    /// bench_sharded_engine can measure the respawn-vs-parked delta.
+    /// Irrelevant at 1 shard: everything runs on the caller.
+    bool parked_workers = true;
   };
 
   /// Monotone engine counters (atomically maintained; safe to read while
@@ -122,6 +131,11 @@ class ShardedAuditEngine {
   ShardedAuditEngine(AuditService& service, Options options);
   /// Default options: one shard, modulo partitioning, wall clock.
   explicit ShardedAuditEngine(AuditService& service);
+  /// Unparks and joins any pooled workers.
+  ~ShardedAuditEngine();
+
+  ShardedAuditEngine(const ShardedAuditEngine&) = delete;
+  ShardedAuditEngine& operator=(const ShardedAuditEngine&) = delete;
 
   std::size_t shards() const { return options_.shards; }
   /// Shard the partitioner assigns `file_id` to (throws InvalidArgument if
@@ -136,13 +150,23 @@ class ShardedAuditEngine {
   /// that registration (recorded as kAborted) — other shards keep running.
   /// Returns the number of audits that passed.
   ///
-  /// Each sweep spawns its shards-1 worker jthreads afresh (shard 0 runs
-  /// on the caller). That cost is deliberate — it keeps sweeps
-  /// self-contained and the 1-shard path thread-free — and is amortised
-  /// over a whole registry sweep; a persistent parked worker pool is the
-  /// obvious upgrade if per-sweep spawn ever shows up in
-  /// bench_sharded_engine with large shard counts and tiny registries.
+  /// Shard 0 always runs on the caller, so 1-shard sweeps are thread-free
+  /// and bit-identical to AuditService::run_all. With parked_workers
+  /// (default) the shards-1 worker jthreads are spawned once and reused
+  /// across sweeps; with it off, each sweep respawns them (the historical
+  /// behaviour, measurable in bench_sharded_engine's respawn rows).
   unsigned sweep_once();
+
+  /// Run `job(shard)` exactly once per shard, fanned across the engine's
+  /// workers (shard 0 on the calling thread), and block until every shard
+  /// returns. This is the generic measurement-round hook: work that is
+  /// not an AuditService registration — locate::VantageFleet's per-shard
+  /// delay-measurement pumps — reuses the engine's parked pool and shard
+  /// layout instead of spawning its own threads. The job must confine
+  /// itself to shard-local state exactly as audit workers do; a thrown
+  /// exception in any shard propagates to the caller after all shards
+  /// finish.
+  void run_on_shards(const std::function<void(std::size_t shard)>& job);
 
   /// Sweep repeatedly until `budget` wall time has elapsed (at least one
   /// sweep always completes).
@@ -163,6 +187,12 @@ class ShardedAuditEngine {
  private:
   struct ShardQueue;
 
+  /// Fan `job` across all shards (shard 0 on the caller), collecting one
+  /// exception_ptr per shard and rethrowing the first after everyone has
+  /// returned. Chooses parked pool vs per-dispatch jthreads per options.
+  void dispatch_to_shards(const std::function<void(std::size_t)>& job);
+  void ensure_pool();
+  void pool_worker(std::size_t shard);
   void refresh_verifier_mutexes();
   void validate_async_colocation() const;
   void worker(std::size_t shard, std::vector<ShardQueue>& queues,
@@ -189,6 +219,19 @@ class ShardedAuditEngine {
   /// one-time keys). Refreshed between sweeps, never during one.
   std::map<const VerifierDevice*, std::unique_ptr<std::mutex>> verifier_mu_;
   std::chrono::steady_clock::time_point epoch_;
+
+  /// Parked worker pool (parked_workers mode, shards > 1): one jthread per
+  /// non-zero shard, spawned on first dispatch, parked on pool_cv_ between
+  /// dispatches. pool_job_ points at the current dispatch's job for the
+  /// duration of one epoch; pool_remaining_ counts workers still in it.
+  std::vector<std::jthread> pool_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable pool_done_cv_;
+  const std::function<void(std::size_t)>* pool_job_ = nullptr;
+  std::uint64_t pool_epoch_ = 0;
+  std::size_t pool_remaining_ = 0;
+  bool pool_shutdown_ = false;
 
   std::atomic<std::uint64_t> audits_{0};
   std::atomic<std::uint64_t> passed_{0};

@@ -117,6 +117,13 @@ Millis AuditTranscript::mean_rtt() const {
   return Millis{sum / static_cast<double>(rtts.size())};
 }
 
+Millis AuditTranscript::min_rtt() const {
+  if (rtts.empty()) return Millis{0};
+  Millis best = rtts.front();
+  for (const Millis& m : rtts) best = std::min(best, m);
+  return best;
+}
+
 std::uint64_t AuditTranscript::exchanged_bytes() const {
   // Each round: one SegmentRequest (two u64s = 16 bytes) out, one segment
   // back.

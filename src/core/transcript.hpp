@@ -61,6 +61,9 @@ struct AuditTranscript {
   Millis max_rtt() const;
   /// Arithmetic mean of Δt_1..Δt_k (0 when there are no rounds).
   Millis mean_rtt() const;
+  /// Smallest Δt_j (0 when there are no rounds) — the min-filtered delay
+  /// sample the locate measurement plane feeds to distance estimation.
+  Millis min_rtt() const;
 
   /// Bytes that crossed the verifier-provider link during the timed phase
   /// (k requests + k segments) — the paper's §IV point that audit traffic

@@ -125,6 +125,15 @@ ExchangeResult run_bit_exchange(SimClock& clock, Millis one_way,
   return std::move(*out);
 }
 
+std::vector<Millis> rtt_samples(const ExchangeResult& result) {
+  std::vector<Millis> samples;
+  samples.reserve(result.rounds.size());
+  for (const RoundRecord& round : result.rounds) {
+    samples.push_back(round.rtt);
+  }
+  return samples;
+}
+
 std::vector<bool> unpack_bits(BytesView bytes, unsigned n) {
   if (bytes.size() * 8 < n) {
     throw InvalidArgument("unpack_bits: not enough key material");

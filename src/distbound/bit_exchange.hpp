@@ -70,6 +70,11 @@ ExchangeResult run_bit_exchange(SimClock& clock, Millis one_way,
                                 const BitResponder& responder,
                                 const BitResponder& expected, Rng& rng);
 
+/// The per-round RTT sample set a finished exchange measured, in round
+/// order — the raw delay measurements the locate subsystem multilaterates
+/// on (each round's 4t_j is one independent RTT sample of the same path).
+std::vector<Millis> rtt_samples(const ExchangeResult& result);
+
 /// Unpack `n` bits (LSB-first within each byte) from key material.
 std::vector<bool> unpack_bits(BytesView bytes, unsigned n);
 

@@ -25,6 +25,27 @@ std::vector<Landmark> australian_landmarks() {
   };
 }
 
+std::vector<Landmark> spiral_landmarks(net::GeoPoint center, Kilometers spread,
+                                       unsigned count,
+                                       const std::string& prefix) {
+  if (count == 0) throw InvalidArgument("spiral_landmarks: count must be > 0");
+  if (spread.value <= 0.0) {
+    throw InvalidArgument("spiral_landmarks: spread must be positive");
+  }
+  constexpr double kGoldenAngleDeg = 137.50776405;
+  std::vector<Landmark> out;
+  out.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    const double frac =
+        count == 1 ? 1.0 : static_cast<double>(i) / (count - 1);
+    const Kilometers radius{spread.value * (0.15 + 0.85 * frac)};
+    const double bearing = std::fmod(i * kGoldenAngleDeg, 360.0);
+    out.push_back(Landmark{prefix + "-" + std::to_string(i),
+                           net::destination(center, bearing, radius)});
+  }
+  return out;
+}
+
 RttProbe honest_probe(const net::InternetModel& model, GeoPoint true_pos,
                       std::uint64_t jitter_seed) {
   if (jitter_seed == 0) {

@@ -39,6 +39,15 @@ using RttProbe = std::function<Millis(const Landmark&)>;
 /// the paper's Table III survey.
 std::vector<Landmark> australian_landmarks();
 
+/// Deterministic synthetic landmark fleet: `count` landmarks placed on a
+/// golden-angle spiral around `center`, from ~0.15 * spread out to `spread`.
+/// The spiral gives well-spread bearings and radii at any count, which is
+/// what multilateration geometry wants; used for the locate vantage fleets
+/// and scalable survey benches where eight capitals are not enough.
+std::vector<Landmark> spiral_landmarks(net::GeoPoint center, Kilometers spread,
+                                       unsigned count,
+                                       const std::string& prefix = "v");
+
 /// Honest target: RTT follows the Internet model for the true distance,
 /// with jitter when `jitter_seed != 0`.
 RttProbe honest_probe(const net::InternetModel& model, net::GeoPoint true_pos,

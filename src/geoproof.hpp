@@ -76,3 +76,11 @@
 #include "core/sharded_engine.hpp"
 #include "core/transcript.hpp"
 #include "core/verifier.hpp"
+
+// Location estimation: vantage-fleet delay measurement + Byzantine-robust
+// multilateration (locate::VantageFleet, locate::Multilaterator) — the
+// GeoFINDR/BFT-PoLoc workload class layered on the sharded engine.
+#include "locate/delay_model.hpp"
+#include "locate/fleet.hpp"
+#include "locate/measurement.hpp"
+#include "locate/multilaterate.hpp"

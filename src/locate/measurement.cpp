@@ -1,0 +1,145 @@
+#include "locate/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace geoproof::locate {
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 0) {
+    upper = (*std::max_element(values.begin(),
+                               values.begin() +
+                                   static_cast<std::ptrdiff_t>(mid)) +
+             upper) /
+            2.0;
+  }
+  return upper;
+}
+
+SampleStats SampleStats::of(std::span<const Millis> samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted;
+  sorted.reserve(samples.size());
+  double sum = 0.0;
+  for (const Millis& m : samples) {
+    sorted.push_back(m.count());
+    sum += m.count();
+  }
+  std::sort(sorted.begin(), sorted.end());
+  s.min = Millis{sorted.front()};
+  s.max = Millis{sorted.back()};
+  s.mean = Millis{sum / static_cast<double>(s.count)};
+  s.median = Millis{geoproof::locate::median(sorted)};
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (const double v : sorted) {
+      const double d = v - s.mean.count();
+      ss += d * d;
+    }
+    s.stddev_ms = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+Millis min_filtered(std::span<const Millis> samples) {
+  Millis best{0};
+  bool first = true;
+  for (const Millis& m : samples) {
+    if (first || m < best) {
+      best = m;
+      first = false;
+    }
+  }
+  return best;
+}
+
+VantageObservation observe_exchange(const geoloc::Landmark& vantage,
+                                    const distbound::ExchangeResult& result) {
+  VantageObservation obs;
+  obs.vantage = vantage;
+  const std::vector<Millis> samples = distbound::rtt_samples(result);
+  obs.stats = SampleStats::of(samples);
+  obs.reported_rtt = obs.stats.min;
+  obs.timing_violations = result.timing_violations;
+  obs.completed = !samples.empty();
+  return obs;
+}
+
+VantageObservation observe_transcript(
+    const geoloc::Landmark& vantage, const core::AuditTranscript& transcript) {
+  VantageObservation obs;
+  obs.vantage = vantage;
+  obs.stats = SampleStats::of(transcript.rtts);
+  obs.reported_rtt = obs.stats.min;
+  obs.completed = !transcript.rtts.empty();
+  return obs;
+}
+
+MeasurementPlane::MeasurementPlane(SimClock& clock, EventQueue& queue)
+    : clock_(&clock), queue_(&queue) {}
+
+void MeasurementPlane::begin_probe(
+    const geoloc::Landmark& vantage, Millis one_way,
+    std::function<Millis(unsigned round)> responder_delay,
+    const ProbeParams& params, Rng& rng,
+    std::function<void(VantageObservation&&)> done) {
+  if (!done) throw InvalidArgument("MeasurementPlane: null callback");
+  if (one_way.count() < 0.0) {
+    throw InvalidArgument("MeasurementPlane: negative one-way latency");
+  }
+  distbound::ExchangeParams xparams;
+  xparams.rounds = params.rounds;
+  xparams.max_rtt = params.max_rtt;
+  // The probe carries no secret bits — the vantage only wants the timing —
+  // so the prover just echoes the challenge and every answer verifies.
+  const distbound::BitResponder responder =
+      [clock = clock_, delay = std::move(responder_delay)](unsigned round,
+                                                           bool challenge) {
+        if (delay) {
+          const Millis d = delay(round);
+          if (d.count() > 0.0) clock->advance(d);
+        }
+        return challenge;
+      };
+  const distbound::BitResponder expected = [](unsigned, bool challenge) {
+    return challenge;
+  };
+  distbound::begin_bit_exchange(
+      *clock_, *queue_, one_way, xparams, responder, expected, rng,
+      [vantage, done = std::move(done)](distbound::ExchangeResult&& result) {
+        done(observe_exchange(vantage, result));
+      });
+}
+
+VantageObservation MeasurementPlane::probe(
+    const geoloc::Landmark& vantage, Millis one_way,
+    std::function<Millis(unsigned round)> responder_delay,
+    const ProbeParams& params, Rng& rng) {
+  VantageObservation out;
+  bool settled = false;
+  const Nanos start = clock_->now();
+  begin_probe(vantage, one_way, std::move(responder_delay), params, rng,
+              [&out, &settled](VantageObservation&& obs) {
+                out = std::move(obs);
+                settled = true;
+              });
+  queue_->run_all();
+  if (!settled) {
+    throw ProtocolError("MeasurementPlane: probe did not complete");
+  }
+  out.probe_elapsed = to_millis(clock_->now() - start);
+  return out;
+}
+
+}  // namespace geoproof::locate

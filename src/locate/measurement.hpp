@@ -1,0 +1,114 @@
+// Per-vantage delay measurement: raw RTT sample sets and their quality
+// statistics.
+//
+// A vantage measures its delay to the prover by running the same rapid
+// bit-exchange phase GeoProof's distance bounding uses
+// (distbound::begin_bit_exchange): every round is one independent RTT
+// sample of the same path, charged to the vantage's virtual world. The
+// plane also ingests full GeoProof audit transcripts (the rtts the
+// verifier signed), so scheme audits double as delay measurements.
+//
+// Sample filtering: `min_filtered` is the classic best-of-k estimator for
+// queueing-dominated jitter — load can only *add* delay, so the minimum of
+// k rounds converges on the propagation floor. Observations default their
+// reported delay to it; the full order statistics stay available for
+// quality gating and uncertainty estimates.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/transcript.hpp"
+#include "distbound/bit_exchange.hpp"
+#include "geoloc/schemes.hpp"
+
+namespace geoproof::locate {
+
+/// Median of a sample set: average of the middle pair for even sizes,
+/// 0 on empty. The one median used by SampleStats, the multilaterator's
+/// robust scale and the locate benches — keep the even-size semantics in
+/// one place.
+double median(std::vector<double> values);
+
+/// Order statistics of one vantage's RTT sample set.
+struct SampleStats {
+  std::size_t count = 0;
+  Millis min{0};
+  Millis max{0};
+  Millis mean{0};
+  Millis median{0};
+  double stddev_ms = 0.0;
+
+  static SampleStats of(std::span<const Millis> samples);
+};
+
+/// Best-of-k min filter (0 on an empty set).
+Millis min_filtered(std::span<const Millis> samples);
+
+/// What one vantage observed about one prover in one measurement round.
+struct VantageObservation {
+  geoloc::Landmark vantage;
+  SampleStats stats;
+  /// The delay estimate the vantage *reports* (min-filtered by default; a
+  /// lying vantage fabricates this — the rest of the pipeline must not
+  /// trust it more than 2f+1-of-3f+1 consistency allows).
+  Millis reported_rtt{0};
+  unsigned timing_violations = 0;
+  bool completed = false;
+  /// Virtual time the whole probe consumed on the vantage's clock.
+  Millis probe_elapsed{0};
+};
+
+/// Measurement parameters for one vantage-prover probe.
+struct ProbeParams {
+  /// RTT samples per probe (bit-exchange rounds).
+  unsigned rounds = 16;
+  /// Per-round acceptance threshold fed to the exchange; rounds above it
+  /// count as timing violations but still yield samples.
+  Millis max_rtt{1.0e6};
+};
+
+/// Drives delay probes on one vantage's virtual world. One plane belongs
+/// to one (SimClock, EventQueue) pair — the vantage's own simulated site —
+/// and many planes' worlds advance independently (vantages are separate
+/// machines), concurrently across engine shards.
+class MeasurementPlane {
+ public:
+  MeasurementPlane(SimClock& clock, EventQueue& queue);
+
+  /// Begin an asynchronous probe of the prover as seen from `vantage`:
+  /// `one_way` models the vantage→prover path and `responder_delay` is
+  /// charged to the vantage clock inside each round (prover processing
+  /// stalls, per-round jitter) — both may encode adversarial behaviour.
+  /// `done` fires on the pumping thread when the last round lands; pump
+  /// the plane's EventQueue to completion.
+  void begin_probe(const geoloc::Landmark& vantage, Millis one_way,
+                   std::function<Millis(unsigned round)> responder_delay,
+                   const ProbeParams& params, Rng& rng,
+                   std::function<void(VantageObservation&&)> done);
+
+  /// Blocking adapter: runs one probe to completion on the plane's queue.
+  VantageObservation probe(const geoloc::Landmark& vantage, Millis one_way,
+                           std::function<Millis(unsigned round)> responder_delay,
+                           const ProbeParams& params, Rng& rng);
+
+ private:
+  SimClock* clock_;
+  EventQueue* queue_;
+};
+
+/// Build an observation from a finished bit exchange.
+VantageObservation observe_exchange(const geoloc::Landmark& vantage,
+                                    const distbound::ExchangeResult& result);
+
+/// Build an observation from a signed GeoProof audit transcript — the
+/// Δt_1..Δt_k the verifier timed are exactly a delay sample set, so every
+/// compliance audit a vantage runs doubles as a measurement.
+VantageObservation observe_transcript(const geoloc::Landmark& vantage,
+                                      const core::AuditTranscript& transcript);
+
+}  // namespace geoproof::locate

@@ -1,0 +1,334 @@
+#include "locate/multilaterate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/errors.hpp"
+#include "locate/measurement.hpp"  // locate::median
+
+namespace geoproof::locate {
+
+using net::GeoPoint;
+using net::haversine;
+
+Multilaterator::Multilaterator() : Multilaterator(Options{}) {}
+
+Multilaterator::Multilaterator(Options options) : options_(options) {
+  if (options_.grid < 4) {
+    throw InvalidArgument("Multilaterator: grid too small");
+  }
+  if (options_.min_inlier_fraction <= 0.5 ||
+      options_.min_inlier_fraction > 1.0) {
+    throw InvalidArgument(
+        "Multilaterator: min_inlier_fraction must be in (0.5, 1] — a "
+        "minority-consistent estimate is exactly what a Byzantine fleet "
+        "could forge");
+  }
+  if (options_.trim_factor < 1.0) {
+    throw InvalidArgument("Multilaterator: trim_factor must be >= 1");
+  }
+}
+
+namespace {
+
+struct BoundingBox {
+  double lat_min, lat_max, lon_min, lon_max;
+};
+
+/// The fleet's coverage region: the box over the active vantage positions,
+/// padded by a margin proportional to the fleet's extent. The search is
+/// *constrained* to this region on purpose — multilateration outside the
+/// vantage hull is extrapolation, and an unconstrained fit lets uniformly
+/// inflated distances (a relayed or stalling prover) "converge" at a
+/// far-field runaway point where the residuals artificially equalise.
+/// Constrained, that inflation has nowhere to hide: residuals stay large
+/// inside the region and the confidence radius honestly blows up.
+BoundingBox coverage_box(std::span<const VantageRange> ranges,
+                         const std::vector<std::size_t>& active) {
+  // Longitudes are unwrapped to within ±180° of the first active vantage
+  // before taking min/max: a fleet straddling the antimeridian must get
+  // its ~real hull, not a 360°-wide box that would both wreck the coarse
+  // grid's resolution and re-admit the far-field runaway this constraint
+  // exists to exclude. Candidate points may end up with lon outside
+  // [-180, 180) — haversine is periodic in longitude, so every cost
+  // evaluation stays correct; the final estimate is re-normalised by the
+  // caller.
+  const double lon_ref = ranges[active.front()].vantage.pos.lon_deg;
+  const auto unwrap = [lon_ref](double lon) {
+    return lon_ref + std::remainder(lon - lon_ref, 360.0);
+  };
+  BoundingBox box{90.0, -90.0, 1e9, -1e9};
+  for (const std::size_t i : active) {
+    const GeoPoint& p = ranges[i].vantage.pos;
+    const double lon = unwrap(p.lon_deg);
+    box.lat_min = std::min(box.lat_min, p.lat_deg);
+    box.lat_max = std::max(box.lat_max, p.lat_deg);
+    box.lon_min = std::min(box.lon_min, lon);
+    box.lon_max = std::max(box.lon_max, lon);
+  }
+  // 1 degree latitude ~ 111 km; longitude degrees shrink with latitude,
+  // capped so polar fleets do not blow the box up to the whole globe.
+  const double mid_lat = (box.lat_min + box.lat_max) / 2.0;
+  const double cos_lat =
+      std::max(0.2, std::cos(mid_lat * std::numbers::pi / 180.0));
+  const double diag_km = std::hypot(
+      (box.lat_max - box.lat_min) * 111.0,
+      (box.lon_max - box.lon_min) * 111.0 * cos_lat);
+  // Tight on purpose: the margin only admits provers slightly beyond the
+  // hull. Every extra kilometre of slack is a kilometre of consistent
+  // relay inflation the constrained fit could silently cancel by drifting
+  // outward instead of reporting it in the radius.
+  const double margin_km = 0.05 * diag_km + 200.0;
+  box.lat_min = std::max(box.lat_min - margin_km / 111.0, -89.9);
+  box.lat_max = std::min(box.lat_max + margin_km / 111.0, 89.9);
+  box.lon_min -= margin_km / (111.0 * cos_lat);
+  box.lon_max += margin_km / (111.0 * cos_lat);
+  return box;
+}
+
+}  // namespace
+
+GeoPoint Multilaterator::grid_search(
+    std::span<const VantageRange> ranges,
+    const std::vector<std::size_t>& active,
+    const std::function<double(const GeoPoint&)>& cost) const {
+  // The robust (median) cost surface is multi-modal: a minority of
+  // coincidentally-consistent circles can carve a second near-zero basin.
+  // A single coarse-to-fine descent may commit to the wrong one, so keep
+  // the best kBeam coarse cells and refine each; the true basin's lower
+  // floor wins the final comparison.
+  constexpr std::size_t kBeam = 5;
+  const BoundingBox coarse = coverage_box(ranges, active);
+  const double coarse_dlat = (coarse.lat_max - coarse.lat_min) / options_.grid;
+  const double coarse_dlon = (coarse.lon_max - coarse.lon_min) / options_.grid;
+
+  struct Candidate {
+    double cost;
+    GeoPoint point;
+  };
+  std::vector<Candidate> beam;
+  for (unsigned gy = 0; gy <= options_.grid; ++gy) {
+    for (unsigned gx = 0; gx <= options_.grid; ++gx) {
+      const GeoPoint p{coarse.lat_min + gy * coarse_dlat,
+                       coarse.lon_min + gx * coarse_dlon};
+      const Candidate c{cost(p), p};
+      if (beam.size() < kBeam) {
+        beam.push_back(c);
+        std::push_heap(beam.begin(), beam.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.cost < b.cost;
+                       });
+      } else if (c.cost < beam.front().cost) {
+        std::pop_heap(beam.begin(), beam.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        return a.cost < b.cost;
+                      });
+        beam.back() = c;
+        std::push_heap(beam.begin(), beam.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        return a.cost < b.cost;
+                      });
+      }
+    }
+  }
+
+  GeoPoint best{};
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Candidate& seed : beam) {
+    // Zoom into a 3x3-cell window around the seed, then keep refining
+    // around each level's winner (cf. TbgMultilateration).
+    GeoPoint local = seed.point;
+    double local_cost = seed.cost;
+    BoundingBox box{local.lat_deg - 1.5 * coarse_dlat,
+                    local.lat_deg + 1.5 * coarse_dlat,
+                    local.lon_deg - 1.5 * coarse_dlon,
+                    local.lon_deg + 1.5 * coarse_dlon};
+    for (unsigned level = 1; level <= options_.refinements; ++level) {
+      const double dlat = (box.lat_max - box.lat_min) / options_.grid;
+      const double dlon = (box.lon_max - box.lon_min) / options_.grid;
+      for (unsigned gy = 0; gy <= options_.grid; ++gy) {
+        for (unsigned gx = 0; gx <= options_.grid; ++gx) {
+          const GeoPoint p{box.lat_min + gy * dlat, box.lon_min + gx * dlon};
+          const double c = cost(p);
+          if (c < local_cost) {
+            local_cost = c;
+            local = p;
+          }
+        }
+      }
+      box = BoundingBox{local.lat_deg - 1.5 * dlat, local.lat_deg + 1.5 * dlat,
+                        local.lon_deg - 1.5 * dlon,
+                        local.lon_deg + 1.5 * dlon};
+    }
+    if (local_cost < best_cost) {
+      best_cost = local_cost;
+      best = local;
+    }
+  }
+  return best;
+}
+
+GeoPoint Multilaterator::solve_robust(std::span<const VantageRange> ranges,
+                                      const std::vector<std::size_t>& active,
+                                      std::size_t min_inliers) const {
+  // Least-quantile-of-squares at the majority floor: the position
+  // minimising the min_inliers-th smallest squared residual — i.e. the
+  // best position that explains a 2f+1-of-3f+1 majority. A lying minority
+  // cannot drag this fit (their residuals sit above the quantile), which
+  // is what lets the trim loop see them stand out instead of being
+  // averaged into everyone's error. And unlike the plain median, the
+  // majority quantile cannot be gamed by a fit that "explains" only the
+  // nearest half of the fleet — the failure mode a uniformly-inflated
+  // (relayed) measurement set invites.
+  const std::size_t quantile =
+      std::min(active.size() - 1,
+               std::max(active.size() / 2,
+                        min_inliers > 0 ? min_inliers - 1 : 0));
+  std::vector<double> scratch;
+  scratch.reserve(active.size());
+  return grid_search(ranges, active, [&](const GeoPoint& p) {
+    scratch.clear();
+    for (const std::size_t i : active) {
+      const double err =
+          haversine(ranges[i].vantage.pos, p).value - ranges[i].distance.value;
+      scratch.push_back(err * err);
+    }
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(quantile),
+                     scratch.end());
+    return scratch[quantile];
+  });
+}
+
+GeoPoint Multilaterator::solve_refine(
+    std::span<const VantageRange> ranges,
+    const std::vector<std::size_t>& active) const {
+  // Weighted least squares over the (post-trim) inlier set — the
+  // statistically efficient refit once the Byzantine vantages are out.
+  // Weights are floored at the active set's median sigma: a vantage that
+  // *claims* near-zero uncertainty (the obvious play for dominating a
+  // weighted fit) gets no more say than the majority's typical confidence.
+  std::vector<double> sigmas;
+  sigmas.reserve(active.size());
+  for (const std::size_t i : active) sigmas.push_back(ranges[i].sigma.value);
+  const double weight_floor = std::max(1.0, median(std::move(sigmas)));
+  return grid_search(ranges, active, [&](const GeoPoint& p) {
+    double cost = 0.0;
+    for (const std::size_t i : active) {
+      const VantageRange& r = ranges[i];
+      const double weight_km = std::max(r.sigma.value, weight_floor);
+      const double err =
+          (haversine(r.vantage.pos, p).value - r.distance.value) / weight_km;
+      cost += err * err;
+    }
+    return cost;
+  });
+}
+
+PositionEstimate Multilaterator::estimate(
+    std::span<const VantageRange> ranges) const {
+  if (ranges.size() < 3) {
+    throw InvalidArgument("Multilaterator: need >= 3 vantage ranges");
+  }
+  const std::size_t n = ranges.size();
+  const std::size_t min_inliers = static_cast<std::size_t>(
+      std::ceil(options_.min_inlier_fraction * static_cast<double>(n)));
+
+  std::vector<std::size_t> active(n);
+  for (std::size_t i = 0; i < n; ++i) active[i] = i;
+  std::vector<std::size_t> trimmed;
+
+  // Trim loop against the robust (least-median-of-squares) fit: compute
+  // residuals, eject the worst vantage whose residual stands out against
+  // the majority's scale, re-solve; stop at consistency or the majority
+  // floor.
+  std::vector<double> residuals;  // parallel to active
+  const auto compute_residuals = [&](const GeoPoint& position) {
+    residuals.clear();
+    for (const std::size_t i : active) {
+      residuals.push_back(std::abs(
+          haversine(ranges[i].vantage.pos, position).value -
+          ranges[i].distance.value));
+    }
+  };
+  for (;;) {
+    compute_residuals(solve_robust(ranges, active, min_inliers));
+    const std::size_t floor = std::max<std::size_t>(min_inliers, 3);
+    if (active.size() <= floor) break;
+
+    // Batch-trim every vantage whose residual stands out against the
+    // majority's robust scale (worst first, bounded by the majority
+    // floor), then re-solve. The robust fit is what makes batching safe:
+    // it is already pinned to the consistent majority, so all the
+    // suspects' residuals are measured against the same honest geometry —
+    // and one robust solve per *round* instead of per ejection keeps
+    // 200-vantage fleets with dozens of liars tractable.
+    const double scale = median(residuals);
+    std::vector<std::pair<double, std::size_t>> suspects;  // (excess, pos)
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const double threshold = std::max(
+          {options_.min_trim.value, options_.trim_factor * scale,
+           options_.sigma_factor * ranges[active[k]].sigma.value});
+      const double excess = residuals[k] - threshold;
+      if (excess > 0.0) suspects.emplace_back(excess, k);
+    }
+    if (suspects.empty()) break;  // everyone consistent
+    std::sort(suspects.begin(), suspects.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const std::size_t capacity = active.size() - floor;
+    suspects.resize(std::min(suspects.size(), capacity));
+    std::vector<std::size_t> drop_pos;
+    drop_pos.reserve(suspects.size());
+    for (const auto& [excess, pos] : suspects) drop_pos.push_back(pos);
+    std::sort(drop_pos.rbegin(), drop_pos.rend());  // erase back-to-front
+    for (const std::size_t pos : drop_pos) {
+      trimmed.push_back(active[pos]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+
+  // Final position: the efficient weighted refit on the surviving inliers.
+  GeoPoint position = solve_refine(ranges, active);
+  // The search runs in unwrapped longitude space (see coverage_box);
+  // bring the answer back to [-180, 180).
+  position.lon_deg = std::remainder(position.lon_deg, 360.0);
+  if (position.lon_deg == 180.0) position.lon_deg = -180.0;
+  compute_residuals(position);
+
+  PositionEstimate out;
+  out.position = position;
+  out.inliers = active;
+  std::sort(trimmed.begin(), trimmed.end());
+  out.outliers = std::move(trimmed);
+
+  double sum_abs = 0.0, max_res = 0.0, max_sigma = 0.0;
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    sum_abs += residuals[k];
+    max_res = std::max(max_res, residuals[k]);
+    max_sigma = std::max(max_sigma, ranges[active[k]].sigma.value);
+  }
+  out.mean_abs_residual_km =
+      Kilometers{sum_abs / static_cast<double>(active.size())};
+  out.max_inlier_residual_km = Kilometers{max_res};
+  out.radius_km = Kilometers{std::max(
+      options_.min_radius.value,
+      options_.radius_factor * std::max(max_res, max_sigma))};
+
+  // Converged = a majority-consistent inlier set whose residuals are all
+  // within their own trim thresholds (no suspect left standing because the
+  // majority floor stopped the trimming).
+  const double scale = median(residuals);
+  bool all_within = true;
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const double threshold = std::max(
+        {options_.min_trim.value, options_.trim_factor * scale,
+         options_.sigma_factor * ranges[active[k]].sigma.value});
+    all_within = all_within && residuals[k] <= threshold;
+  }
+  out.converged = active.size() >= min_inliers && all_within;
+  return out;
+}
+
+}  // namespace geoproof::locate

@@ -1,0 +1,101 @@
+// Byzantine-robust multilateration over great-circle distances.
+//
+// Input: one delay-derived distance estimate (plus uncertainty) per
+// vantage. Output: the position minimising the trimmed least-squares
+// residual, a confidence radius, and the inlier/outlier split.
+//
+// Robustness follows the BFT-PoLoc shape: solve on all vantages, compute
+// residuals, and iteratively trim the worst vantage whose residual stands
+// out against the *majority's* robust scale (median residual), re-solving
+// after each trim. Trimming stops before the inlier set can drop below
+// the configured majority fraction — with n = 3f + 1 vantages and the
+// default 2/3 floor, up to f lying vantages can be ejected while any
+// estimate that would require distrusting an honest majority is refused
+// (converged = false). A *prover*-side attack (relayed or stalled
+// responses) inflates every vantage's distance consistently, so no one is
+// trimmed — instead the residuals, and therefore the confidence radius,
+// inflate: the estimate honestly reports that the fleet cannot pin the
+// prover down.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "geoloc/schemes.hpp"
+#include "net/geo.hpp"
+
+namespace geoproof::locate {
+
+/// One vantage's contribution: where it is, how far the prover appears,
+/// and the 1-sigma uncertainty of that distance.
+struct VantageRange {
+  geoloc::Landmark vantage;
+  Kilometers distance{0.0};
+  Kilometers sigma{0.0};
+};
+
+/// The solver's answer. Indices in `inliers`/`outliers` refer to the input
+/// span's order.
+struct PositionEstimate {
+  net::GeoPoint position{};
+  /// Confidence radius: the prover is claimed to sit within radius_km of
+  /// `position`. Grows with residual spread, so inconsistent measurements
+  /// (a relayed prover) honestly report a loose fix.
+  Kilometers radius_km{0.0};
+  std::vector<std::size_t> inliers;
+  std::vector<std::size_t> outliers;
+  Kilometers mean_abs_residual_km{0.0};
+  Kilometers max_inlier_residual_km{0.0};
+  /// True when a majority-consistent inlier set survived trimming.
+  bool converged = false;
+};
+
+class Multilaterator {
+ public:
+  struct Options {
+    /// Grid resolution and refinement depth of the coarse-to-fine search.
+    unsigned grid = 32;
+    unsigned refinements = 5;
+    /// A vantage is trimmed when its residual exceeds
+    /// max(min_trim, trim_factor · median residual, sigma_factor · sigma).
+    double trim_factor = 3.0;
+    Kilometers min_trim{150.0};
+    double sigma_factor = 4.0;
+    /// Trimming never drops the inlier set below
+    /// ceil(min_inlier_fraction · n) — the 2f+1-of-3f+1 majority floor.
+    double min_inlier_fraction = 2.0 / 3.0;
+    /// Confidence-radius floor and multiplier over the inlier residual /
+    /// sigma scale.
+    Kilometers min_radius{25.0};
+    double radius_factor = 1.5;
+  };
+
+  Multilaterator();
+  explicit Multilaterator(Options options);
+
+  /// Estimate from >= 3 vantage ranges. Throws InvalidArgument on fewer.
+  PositionEstimate estimate(std::span<const VantageRange> ranges) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  net::GeoPoint grid_search(
+      std::span<const VantageRange> ranges,
+      const std::vector<std::size_t>& active,
+      const std::function<double(const net::GeoPoint&)>& cost) const;
+  /// Least-quantile-of-squares fit at the majority floor, used inside the
+  /// trim loop (the best position explaining a 2f+1-of-3f+1 majority).
+  net::GeoPoint solve_robust(std::span<const VantageRange> ranges,
+                             const std::vector<std::size_t>& active,
+                             std::size_t min_inliers) const;
+  /// Weighted least-squares refit on the final inlier set.
+  net::GeoPoint solve_refine(std::span<const VantageRange> ranges,
+                             const std::vector<std::size_t>& active) const;
+
+  Options options_;
+};
+
+}  // namespace geoproof::locate

@@ -20,6 +20,27 @@ Kilometers haversine(const GeoPoint& a, const GeoPoint& b) {
                     std::atan2(std::sqrt(s), std::sqrt(1.0 - s))};
 }
 
+GeoPoint destination(const GeoPoint& from, double bearing_deg,
+                     Kilometers distance) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  const double to_rad = std::numbers::pi / 180.0;
+  const double delta = distance.value / kEarthRadiusKm;  // angular distance
+  const double theta = bearing_deg * to_rad;
+  const double phi1 = from.lat_deg * to_rad;
+  const double lam1 = from.lon_deg * to_rad;
+  const double phi2 = std::asin(std::sin(phi1) * std::cos(delta) +
+                                std::cos(phi1) * std::sin(delta) *
+                                    std::cos(theta));
+  const double lam2 =
+      lam1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(phi1),
+                        std::cos(delta) - std::sin(phi1) * std::sin(phi2));
+  GeoPoint out{phi2 / to_rad, lam2 / to_rad};
+  // Normalise longitude to [-180, 180).
+  while (out.lon_deg >= 180.0) out.lon_deg -= 360.0;
+  while (out.lon_deg < -180.0) out.lon_deg += 360.0;
+  return out;
+}
+
 namespace places {
 GeoPoint brisbane() { return {-27.4698, 153.0251}; }
 GeoPoint armidale() { return {-30.5120, 151.6690}; }

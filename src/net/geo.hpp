@@ -20,6 +20,13 @@ struct GeoPoint {
 /// Great-circle (haversine) distance.
 Kilometers haversine(const GeoPoint& a, const GeoPoint& b);
 
+/// Forward geodesic on the sphere: the point `distance` away from `from`
+/// along the initial bearing `bearing_deg` (0 = north, 90 = east).
+/// Inverse of haversine in the sense haversine(from, destination(from, b, d))
+/// == d; used to lay out synthetic vantage/landmark fleets around a centre.
+GeoPoint destination(const GeoPoint& from, double bearing_deg,
+                     Kilometers distance);
+
 /// A named place for workloads and reports.
 struct Place {
   std::string name;

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <vector>
@@ -468,6 +469,100 @@ TEST(ShardedEngine, RunForCompletesWholeSweeps) {
     EXPECT_EQ(fleet.service.history(id).size(), report.delta.sweeps);
   }
   EXPECT_FALSE(engine.summary().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Parked worker pool + the generic run_on_shards hook
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngine, ParkedAndRespawnModesProduceIdenticalSweeps) {
+  const FleetSpec spec{.files_per_flavour = 3, .seed = 23};
+  Fleet parked_fleet = make_fleet(spec);
+  Fleet respawn_fleet = make_fleet(spec);
+
+  ShardedAuditEngine::Options parked_opts;
+  parked_opts.shards = 3;
+  parked_opts.parked_workers = true;
+  ShardedAuditEngine::ShardClock parked_reader = parked_fleet.stamp_reader();
+  parked_opts.clock_source = [&parked_reader](std::size_t) {
+    return parked_reader;
+  };
+  ShardedAuditEngine parked(parked_fleet.service, parked_opts);
+
+  ShardedAuditEngine::Options respawn_opts = parked_opts;
+  respawn_opts.parked_workers = false;
+  ShardedAuditEngine::ShardClock respawn_reader =
+      respawn_fleet.stamp_reader();
+  respawn_opts.clock_source = [&respawn_reader](std::size_t) {
+    return respawn_reader;
+  };
+  ShardedAuditEngine respawn(respawn_fleet.service, respawn_opts);
+
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    EXPECT_EQ(parked.sweep_once(), respawn.sweep_once()) << "sweep " << sweep;
+  }
+  EXPECT_EQ(parked.stats().audits, respawn.stats().audits);
+  EXPECT_EQ(parked.stats().passed, respawn.stats().passed);
+  // Per-file audit *outcomes* must agree; entry order within a shard's
+  // history may differ only in timestamps, which both fleets read off
+  // equivalent stamp clocks.
+  for (const std::uint64_t id : parked_fleet.service.file_ids()) {
+    EXPECT_EQ(parked_fleet.service.compliance(id).passed,
+              respawn_fleet.service.compliance(id).passed)
+        << "file " << id;
+  }
+}
+
+TEST(ShardedEngine, RunOnShardsRunsEveryShardExactlyOnce) {
+  Fleet fleet = make_fleet({.files_per_flavour = 1, .seed = 31});
+  ShardedAuditEngine::Options opts;
+  opts.shards = 4;
+  ShardedAuditEngine engine(fleet.service, opts);
+
+  std::vector<std::atomic<unsigned>> hits(4);
+  for (int round = 0; round < 3; ++round) {
+    engine.run_on_shards([&hits](std::size_t shard) {
+      hits[shard].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(hits[s].load(), 3u) << "shard " << s;
+  }
+  EXPECT_THROW(engine.run_on_shards(nullptr), InvalidArgument);
+}
+
+TEST(ShardedEngine, RunOnShardsPropagatesWorkerExceptions) {
+  Fleet fleet = make_fleet({.files_per_flavour = 1, .seed = 37});
+  ShardedAuditEngine::Options opts;
+  opts.shards = 3;
+  ShardedAuditEngine engine(fleet.service, opts);
+
+  EXPECT_THROW(engine.run_on_shards([](std::size_t shard) {
+    if (shard == 2) throw ProtocolError("shard 2 is unwell");
+  }),
+               ProtocolError);
+  // The pool survives a throwing dispatch: subsequent work still runs on
+  // every shard, and regular sweeps still work.
+  std::atomic<unsigned> total{0};
+  engine.run_on_shards(
+      [&total](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(), 3u);
+  EXPECT_EQ(engine.sweep_once(), fleet.service.size());
+}
+
+TEST(ShardedEngine, ParkedPoolReusesWorkersAcrossManySweeps) {
+  // Many small sweeps on a parked engine: the pool must neither deadlock
+  // nor miss a dispatch (each sweep audits the full registry exactly once).
+  Fleet fleet = make_fleet({.files_per_flavour = 2, .seed = 41});
+  ShardedAuditEngine::Options opts;
+  opts.shards = 4;
+  ShardedAuditEngine engine(fleet.service, opts);
+  const auto total = static_cast<unsigned>(fleet.service.size());
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    EXPECT_EQ(engine.sweep_once(), total) << "sweep " << sweep;
+  }
+  EXPECT_EQ(engine.stats().sweeps, 8u);
+  EXPECT_EQ(engine.stats().audits, 8u * total);
 }
 
 }  // namespace

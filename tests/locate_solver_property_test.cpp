@@ -1,0 +1,198 @@
+// Property tests for the Byzantine-robust multilaterator: randomised
+// synthetic geometries must be recovered within solver tolerance, and up
+// to f materially-lying vantages out of 3f+1 must be ejected without
+// dragging the estimate.
+#include "locate/multilaterate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "geoloc/schemes.hpp"
+#include "net/geo.hpp"
+
+namespace geoproof::locate {
+namespace {
+
+using net::GeoPoint;
+using net::haversine;
+
+/// Solver tolerance for exact-distance inputs: the coarse-to-fine search
+/// bottoms out well inside the default min_radius.
+constexpr double kExactToleranceKm = 30.0;
+
+struct Geometry {
+  std::vector<VantageRange> ranges;
+  GeoPoint truth;
+};
+
+/// Random fleet geometry with *exact* great-circle distances: `vantages`
+/// spiral vantages around a random centre, the prover placed uniformly-ish
+/// within the spread.
+Geometry exact_geometry(Rng& rng, unsigned vantages, Kilometers spread) {
+  Geometry g;
+  const GeoPoint center{-40.0 + 30.0 * rng.next_double(),
+                        110.0 + 40.0 * rng.next_double()};
+  g.truth = net::destination(
+      center, 360.0 * rng.next_double(),
+      Kilometers{spread.value * 0.6 * rng.next_double()});
+  for (const geoloc::Landmark& lm :
+       geoloc::spiral_landmarks(center, spread, vantages)) {
+    VantageRange r;
+    r.vantage = lm;
+    r.distance = haversine(lm.pos, g.truth);
+    r.sigma = Kilometers{10.0};
+    g.ranges.push_back(r);
+  }
+  return g;
+}
+
+TEST(MultilateratorProperty, RecoversExactGeometries) {
+  Rng rng(0x10ca7e01);
+  const Multilaterator solver;
+  for (unsigned trial = 0; trial < 20; ++trial) {
+    const unsigned vantages = 6 + static_cast<unsigned>(rng.next_below(20));
+    const Geometry g = exact_geometry(rng, vantages, Kilometers{1800.0});
+    const PositionEstimate est = solver.estimate(g.ranges);
+    EXPECT_TRUE(est.converged) << "trial " << trial;
+    EXPECT_TRUE(est.outliers.empty()) << "trial " << trial;
+    EXPECT_LT(haversine(est.position, g.truth).value, kExactToleranceKm)
+        << "trial " << trial << " with " << vantages << " vantages";
+  }
+}
+
+TEST(MultilateratorProperty, RejectsUpToFLiarsOfThreeFPlusOne) {
+  Rng rng(0x10ca7e02);
+  const Multilaterator solver;
+  for (const unsigned f : {1u, 2u, 4u, 6u}) {
+    const unsigned n = 3 * f + 1;
+    Geometry g = exact_geometry(rng, n, Kilometers{2000.0});
+    // f liars, spread across the fleet, each materially wrong: the lie
+    // displaces the claimed distance by 900-2400 km, flipped outward when
+    // shrinking would bottom out near zero (a lie the geometry cannot
+    // distinguish from a nearby prover is not material).
+    std::vector<std::size_t> liars;
+    for (unsigned k = 0; k < f; ++k) {
+      const std::size_t liar = (k * 3 + 1) % n;
+      double shift =
+          (rng.next_bool() ? 1.0 : -1.0) * (900.0 + 1500.0 * rng.next_double());
+      if (g.ranges[liar].distance.value + shift < 50.0) shift = -shift;
+      g.ranges[liar].distance =
+          Kilometers{g.ranges[liar].distance.value + shift};
+      liars.push_back(liar);
+    }
+    std::sort(liars.begin(), liars.end());
+
+    const PositionEstimate est = solver.estimate(g.ranges);
+    EXPECT_TRUE(est.converged) << "f=" << f;
+    EXPECT_EQ(est.outliers, liars) << "f=" << f;
+    EXPECT_EQ(est.inliers.size(), n - f) << "f=" << f;
+    EXPECT_LT(haversine(est.position, g.truth).value, kExactToleranceKm)
+        << "f=" << f;
+  }
+}
+
+TEST(MultilateratorProperty, MajorityFloorStopsTrimming) {
+  // More than f liars of 3f+1: the solver must refuse to trim past the
+  // 2f+1 majority floor rather than distrust an honest majority. With the
+  // liars in the majority's tolerance band broken, the estimate may be
+  // wrong — but it must say so via converged = false or surviving
+  // outlier-sized residuals, never silently trim to a lying minority.
+  Rng rng(0x10ca7e03);
+  const Multilaterator solver;
+  const unsigned f = 3;
+  const unsigned n = 3 * f + 1;
+  Geometry g = exact_geometry(rng, n, Kilometers{2000.0});
+  // 2f+1 liars: a coordinated majority pushing a fake position. (An
+  // attacker controlling a majority wins any quorum system; the solver's
+  // job is to never *reject honest vantages* to please them beyond the
+  // floor.)
+  for (unsigned k = 0; k < 2 * f + 1; ++k) {
+    g.ranges[k].distance = Kilometers{g.ranges[k].distance.value + 2500.0};
+  }
+  const PositionEstimate est = solver.estimate(g.ranges);
+  const std::size_t min_inliers = static_cast<std::size_t>(
+      std::ceil(solver.options().min_inlier_fraction * n));
+  EXPECT_GE(est.inliers.size(), min_inliers);
+  // The fleet is inconsistent beyond repair: the answer cannot be a
+  // confident small-radius fix.
+  EXPECT_FALSE(est.converged && est.radius_km.value <
+                   solver.options().min_radius.value + 1.0);
+}
+
+TEST(MultilateratorProperty, RelayedDistancesInflateTheRadius) {
+  // A prover-side relay inflates every distance consistently: there is no
+  // lying *minority* to eject, so the honest majority must survive and the
+  // inconsistency must surface as an inflated confidence radius (never a
+  // tight fix on a wrong position).
+  Rng rng(0x10ca7e04);
+  const Multilaterator solver;
+  for (unsigned trial = 0; trial < 5; ++trial) {
+    Geometry g = exact_geometry(rng, 16, Kilometers{1500.0});
+    const double relay_km = 800.0 + 1200.0 * rng.next_double();
+    for (VantageRange& r : g.ranges) {
+      r.distance = Kilometers{r.distance.value + relay_km};
+    }
+    const PositionEstimate est = solver.estimate(g.ranges);
+    const std::size_t min_inliers = static_cast<std::size_t>(
+        std::ceil(solver.options().min_inlier_fraction * g.ranges.size()));
+    EXPECT_GE(est.inliers.size(), min_inliers) << "trial " << trial;
+    // The flag: an order of magnitude above an honest fix's radius, and a
+    // substantial fraction of the injected relay leg. (A constrained fit
+    // can cancel part of a *consistent* inflation by drifting to the
+    // coverage margin — what it can never do is produce an honest-looking
+    // tight radius.)
+    EXPECT_GT(est.radius_km.value, 4.0 * solver.options().min_radius.value)
+        << "trial " << trial;
+    EXPECT_GT(est.radius_km.value, relay_km * 0.25) << "trial " << trial;
+  }
+}
+
+TEST(MultilateratorProperty, FleetStraddlingTheAntimeridianStillResolves) {
+  // Vantages either side of lon 180: the coverage box must span the ~real
+  // hull (unwrapped longitudes), not a 360-degree band, and the estimate
+  // must come back normalised to [-180, 180).
+  Rng rng(0x10ca7e05);
+  const Multilaterator solver;
+  for (unsigned trial = 0; trial < 5; ++trial) {
+    const GeoPoint center{-20.0 + 10.0 * rng.next_double(), 179.0};
+    const GeoPoint truth = net::destination(
+        center, 360.0 * rng.next_double(),
+        Kilometers{700.0 * rng.next_double()});
+    std::vector<VantageRange> ranges;
+    for (const geoloc::Landmark& lm :
+         geoloc::spiral_landmarks(center, Kilometers{1500.0}, 12)) {
+      VantageRange r;
+      r.vantage = lm;
+      r.distance = haversine(lm.pos, truth);
+      r.sigma = Kilometers{10.0};
+      ranges.push_back(r);
+    }
+    const PositionEstimate est = solver.estimate(ranges);
+    EXPECT_TRUE(est.converged) << "trial " << trial;
+    EXPECT_LT(haversine(est.position, truth).value, kExactToleranceKm)
+        << "trial " << trial;
+    EXPECT_GE(est.position.lon_deg, -180.0) << "trial " << trial;
+    EXPECT_LT(est.position.lon_deg, 180.0) << "trial " << trial;
+  }
+}
+
+TEST(MultilateratorProperty, InputValidation) {
+  const Multilaterator solver;
+  std::vector<VantageRange> two(2);
+  EXPECT_THROW(solver.estimate(two), InvalidArgument);
+
+  Multilaterator::Options bad;
+  bad.min_inlier_fraction = 0.4;  // minority-consistent estimates forbidden
+  EXPECT_THROW(Multilaterator{bad}, InvalidArgument);
+  Multilaterator::Options tiny;
+  tiny.grid = 2;
+  EXPECT_THROW(Multilaterator{tiny}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geoproof::locate

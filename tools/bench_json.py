@@ -4,11 +4,11 @@
 Each Google Benchmark binary is invoked with
 ``--benchmark_out=<tmp>.json --benchmark_out_format=json`` (several suites
 print human-readable sweeps to stdout first, so stdout cannot be captured
-as JSON). The per-suite files are merged into one aggregate document:
+as JSON). The per-binary files are merged into aggregate documents:
 
     {
       "schema": 1,
-      "context": { ... first suite's benchmark context ... },
+      "context": { ... first binary's benchmark context ... },
       "suites": { "<binary>": [ {name, real_time, cpu_time, ...}, ... ] },
       "benchmarks": { "<binary>/<name>": {real_time, cpu_time, time_unit,
                                           iterations, items_per_second?} }
@@ -16,8 +16,18 @@ as JSON). The per-suite files are merged into one aggregate document:
 
 ``benchmarks`` is the flat map perf PRs diff against a stored baseline.
 
+Two aggregation modes:
+
+  * single document (``--out``): every requested binary merges into one
+    file — the smoke target's shape;
+  * per-suite documents (``--out-dir`` + repeated ``--suite NAME=b1,b2``):
+    each named suite is run and written to ``<out-dir>/BENCH_<NAME>.json``,
+    so a perf PR touching one subsystem diffs only that suite's baseline.
+
 Usage:
-    tools/bench_json.py --bin-dir build/bench --out build/BENCH_core.json
+    tools/bench_json.py --bin-dir build/bench --out-dir build \
+        --suite core=bench_audit_service,bench_sharded_engine \
+        --suite locate=bench_multicloud_locate
     tools/bench_json.py --bin-dir build/bench --out build/BENCH_smoke.json \
         --benchmarks bench_audit_service --filter BM_ServiceRunOnceMac
 
@@ -106,14 +116,59 @@ def flatten(suites):
     return flat
 
 
+def run_and_write(bin_dir, names, out_path, bench_filter, min_time,
+                  timeout_s):
+    """Run `names` and write their aggregate document to `out_path`."""
+    suites = {}
+    context = None
+    for name in names:
+        print("bench_json: running %s ..." % name, flush=True)
+        doc = run_one(bin_dir, name, bench_filter, min_time, timeout_s)
+        if context is None:
+            context = doc.get("context", {})
+        suites[name] = doc.get("benchmarks", [])
+
+    aggregate = {
+        "schema": 1,
+        "context": context or {},
+        "suites": suites,
+        "benchmarks": flatten(suites),
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(out_path)), exist_ok=True)
+    with open(out_path, "w") as f:
+        json.dump(aggregate, f, indent=2, sort_keys=True)
+        f.write("\n")
+    total = sum(len(v) for v in suites.values())
+    print("bench_json: wrote %d benchmark entries from %d binaries to %s"
+          % (total, len(suites), out_path))
+
+
+def parse_suite(spec):
+    """'NAME=bin1,bin2' -> (NAME, [bin1, bin2])."""
+    name, eq, bins = spec.partition("=")
+    names = [b for b in bins.split(",") if b]
+    if not name or eq != "=" or not names:
+        sys.exit("bench_json: bad --suite spec %r (want NAME=bin1,bin2)"
+                 % spec)
+    return name, names
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin-dir", required=True,
                         help="directory holding the bench_* binaries")
-    parser.add_argument("--out", required=True,
-                        help="aggregate JSON output path")
+    parser.add_argument("--out", default="",
+                        help="single aggregate JSON output path")
+    parser.add_argument("--out-dir", default="",
+                        help="directory for per-suite BENCH_<name>.json "
+                             "files (requires --suite)")
+    parser.add_argument("--suite", action="append", default=[],
+                        metavar="NAME=BIN1,BIN2",
+                        help="named suite to aggregate into its own "
+                             "BENCH_<NAME>.json (repeatable)")
     parser.add_argument("--benchmarks", default="",
-                        help="comma-separated binary names (default: all)")
+                        help="comma-separated binary names for --out mode "
+                             "(default: all)")
     parser.add_argument("--filter", default="",
                         help="--benchmark_filter regex passed to each binary")
     parser.add_argument("--min-time", default="",
@@ -125,6 +180,25 @@ def main():
     if not os.path.isdir(args.bin_dir):
         sys.exit("bench_json: no such bin dir: %s (build the bench targets "
                  "first)" % args.bin_dir)
+    if bool(args.out) == bool(args.suite):
+        sys.exit("bench_json: pass exactly one of --out (single document) "
+                 "or --suite/--out-dir (per-suite documents)")
+
+    if args.suite:
+        if not args.out_dir:
+            sys.exit("bench_json: --suite requires --out-dir")
+        available = set(discover_benchmarks(args.bin_dir))
+        for spec in args.suite:
+            suite_name, names = parse_suite(spec)
+            missing = [n for n in names if n not in available]
+            if missing:
+                sys.exit("bench_json: suite %s names missing binaries: %s"
+                         % (suite_name, ", ".join(missing)))
+            out_path = os.path.join(args.out_dir,
+                                    "BENCH_%s.json" % suite_name)
+            run_and_write(args.bin_dir, names, out_path, args.filter,
+                          args.min_time, args.timeout)
+        return
 
     names = (
         [n for n in args.benchmarks.split(",") if n]
@@ -133,30 +207,8 @@ def main():
     )
     if not names:
         sys.exit("bench_json: no bench binaries found in %s" % args.bin_dir)
-
-    suites = {}
-    context = None
-    for name in names:
-        print("bench_json: running %s ..." % name, flush=True)
-        doc = run_one(args.bin_dir, name, args.filter, args.min_time,
-                      args.timeout)
-        if context is None:
-            context = doc.get("context", {})
-        suites[name] = doc.get("benchmarks", [])
-
-    aggregate = {
-        "schema": 1,
-        "context": context or {},
-        "suites": suites,
-        "benchmarks": flatten(suites),
-    }
-    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
-    with open(args.out, "w") as f:
-        json.dump(aggregate, f, indent=2, sort_keys=True)
-        f.write("\n")
-    total = sum(len(v) for v in suites.values())
-    print("bench_json: wrote %d benchmark entries from %d suites to %s"
-          % (total, len(suites), args.out))
+    run_and_write(args.bin_dir, names, args.out, args.filter, args.min_time,
+                  args.timeout)
 
 
 if __name__ == "__main__":
