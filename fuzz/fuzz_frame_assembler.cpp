@@ -1,0 +1,112 @@
+// Coverage-guided fuzzing of net::FrameAssembler — the first parser that
+// touches raw socket bytes, so every adversary on the wire reaches it
+// before anything else. The input encodes both the byte stream and how the
+// kernel delivers it: the first 8 bytes seed a deterministic chunking
+// schedule, the rest is the stream, fed in chunks of 1..4096 bytes (so
+// mid-header splits, byte-at-a-time dribbles and jumbo reads all occur).
+//
+// Properties enforced on every input:
+//  1. feed() either succeeds or throws NetError (oversized frame); any
+//     other escape is a finding;
+//  2. split-invariance: the frames popped (and whether an error occurred)
+//     must be identical to feeding the whole stream in one call — frame
+//     boundaries may never depend on read sizes;
+//  3. every popped frame fits kMaxFrameBytes, and popped payload bytes
+//     never exceed bytes fed (no amplification).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+using geoproof::Bytes;
+using geoproof::BytesView;
+using geoproof::NetError;
+using geoproof::net::FrameAssembler;
+using geoproof::net::kMaxFrameBytes;
+
+struct RunResult {
+  std::vector<Bytes> frames;
+  bool errored = false;
+};
+
+/// Feed `stream` in chunks whose sizes walk a SplitMix64 sequence; pop
+/// completed frames after every feed. Stops at the first NetError (the
+/// assembler clears its buffer on error; the connection would be dropped).
+RunResult run_chunked(BytesView stream, std::uint64_t chunk_seed) {
+  RunResult result;
+  FrameAssembler assembler;
+  std::uint64_t state = chunk_seed;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    // SplitMix64 step, inlined so the schedule is self-contained.
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const std::size_t chunk =
+        std::min<std::size_t>(stream.size() - off, 1 + (z % 4096));
+    try {
+      assembler.feed(stream.subspan(off, chunk));
+    } catch (const NetError&) {
+      result.errored = true;
+    }
+    while (auto frame = assembler.next()) result.frames.push_back(*frame);
+    if (result.errored) return result;
+    off += chunk;
+  }
+  return result;
+}
+
+RunResult run_whole(BytesView stream) {
+  RunResult result;
+  FrameAssembler assembler;
+  try {
+    assembler.feed(stream);
+  } catch (const NetError&) {
+    result.errored = true;
+  }
+  while (auto frame = assembler.next()) result.frames.push_back(*frame);
+  return result;
+}
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "fuzz_frame_assembler: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 8) return 0;
+  std::uint64_t chunk_seed = 0;
+  for (int i = 0; i < 8; ++i) {
+    chunk_seed = (chunk_seed << 8) | data[i];
+  }
+  const BytesView stream(data + 8, size - 8);
+
+  const RunResult whole = run_whole(stream);
+  const RunResult chunked = run_chunked(stream, chunk_seed);
+
+  if (whole.errored != chunked.errored) {
+    fail("error outcome depends on read chunking");
+  }
+  if (whole.frames != chunked.frames) {
+    fail("frame sequence depends on read chunking");
+  }
+  std::size_t popped_bytes = 0;
+  for (const Bytes& frame : whole.frames) {
+    if (frame.size() > kMaxFrameBytes) fail("oversized frame accepted");
+    popped_bytes += frame.size();
+  }
+  if (popped_bytes > stream.size()) fail("frame bytes exceed stream bytes");
+  return 0;
+}

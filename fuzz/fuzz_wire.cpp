@@ -1,0 +1,82 @@
+// Coverage-guided fuzzing of the wire deserializers: the bytes a malicious
+// provider, a Byzantine vantage, or a corrupted link controls. The first
+// input byte selects the parser under test (so one corpus explores all of
+// them and libFuzzer's coverage feedback crosses message boundaries); the
+// rest is the wire payload.
+//
+// Two properties are enforced on every input:
+//  1. the parser either succeeds or throws geoproof::Error — any other
+//     escape (crash, ASan report, foreign exception) is a finding;
+//  2. accepted bytes are canonical: re-serializing the parsed value must
+//     reproduce the input payload exactly (the parsers reject trailing
+//     bytes, so any divergence means two distinct wire forms decode to the
+//     same value — a signature-confusion hazard for SignedTranscript).
+//
+// Built with -fsanitize=fuzzer under Clang (GEOPROOF_FUZZ_LIBFUZZER), or
+// with the standalone corpus-replay driver everywhere else.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+#include "core/transcript.hpp"
+#include "por/dynamic.hpp"
+
+namespace {
+
+using geoproof::Bytes;
+using geoproof::BytesView;
+
+/// Message selector values; keep in sync with make_corpus.cpp.
+enum Selector : std::uint8_t {
+  kAuditRequest = 0,
+  kAuditTranscript = 1,
+  kSignedTranscript = 2,
+  kReadProof = 3,
+  kSelectorCount = 4,
+};
+
+template <typename Message>
+void parse_and_check_roundtrip(BytesView payload) {
+  Message parsed = Message::deserialize(payload);
+  const Bytes back = parsed.serialize();
+  if (back.size() != payload.size() ||
+      !std::equal(back.begin(), back.end(), payload.begin())) {
+    std::fprintf(stderr,
+                 "fuzz_wire: accepted non-canonical encoding "
+                 "(%zu bytes in, %zu bytes out)\n",
+                 payload.size(), back.size());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t selector = data[0] % kSelectorCount;
+  const BytesView payload(data + 1, size - 1);
+  try {
+    switch (selector) {
+      case kAuditRequest:
+        parse_and_check_roundtrip<geoproof::core::AuditRequest>(payload);
+        break;
+      case kAuditTranscript:
+        parse_and_check_roundtrip<geoproof::core::AuditTranscript>(payload);
+        break;
+      case kSignedTranscript:
+        parse_and_check_roundtrip<geoproof::core::SignedTranscript>(payload);
+        break;
+      case kReadProof:
+        parse_and_check_roundtrip<geoproof::por::ReadProof>(payload);
+        break;
+      default:
+        break;
+    }
+  } catch (const geoproof::Error&) {
+    // Typed rejection is the contract for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Seed-corpus generator for the fuzz targets: emits valid wire messages
+// through the real serializers (plus a few single-byte mutants via the
+// shared tests/fuzz_util.hpp helper), so the fuzzers start from deep in
+// the accepting paths instead of spending their budget rediscovering the
+// framing. Usage: geoproof_make_corpus <out-dir>  — writes
+// <out-dir>/wire/* for fuzz_wire and <out-dir>/frame/* for
+// fuzz_frame_assembler.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "core/transcript.hpp"
+#include "crypto/signature.hpp"
+#include "fuzz_util.hpp"
+#include "por/dynamic.hpp"
+
+namespace {
+
+using geoproof::Bytes;
+using geoproof::bytes_of;
+using geoproof::Millis;
+using geoproof::Rng;
+
+/// Selector prefixes; keep in sync with fuzz_wire.cpp.
+constexpr std::uint8_t kAuditRequest = 0;
+constexpr std::uint8_t kAuditTranscript = 1;
+constexpr std::uint8_t kSignedTranscript = 2;
+constexpr std::uint8_t kReadProof = 3;
+
+void write_file(const std::filesystem::path& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "make_corpus: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+Bytes with_selector(std::uint8_t selector, const Bytes& payload) {
+  Bytes out;
+  out.reserve(payload.size() + 1);
+  out.push_back(selector);
+  geoproof::append(out, payload);
+  return out;
+}
+
+/// 4-byte big-endian length prefix, as the TCP framing writes it.
+void append_frame(Bytes& out, const Bytes& payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  geoproof::append(out, payload);
+}
+
+/// fuzz_frame_assembler expects an 8-byte chunk-schedule seed first.
+Bytes framed_input(std::uint64_t chunk_seed,
+                   const std::vector<Bytes>& payloads, bool truncate_tail) {
+  Bytes out;
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(chunk_seed >> (8 * i)));
+  }
+  for (const Bytes& payload : payloads) append_frame(out, payload);
+  if (truncate_tail && out.size() > 3) {
+    out.resize(out.size() - 3);  // leave a mid-frame split on the wire
+  }
+  return out;
+}
+
+geoproof::core::AuditTranscript sample_transcript() {
+  geoproof::core::AuditTranscript t;
+  t.file_id = 7;
+  t.nonce = bytes_of("corpus-nonce-0123");
+  t.position = {-27.47, 153.02};
+  t.challenge = {3, 11, 42};
+  t.rtts = {Millis{4.5}, Millis{5.25}, Millis{6.0}};
+  t.segments = {bytes_of("segment-a"), bytes_of("segment-b"),
+                bytes_of("segment-c")};
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: geoproof_make_corpus <out-dir>\n");
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  const std::filesystem::path wire_dir = root / "wire";
+  const std::filesystem::path frame_dir = root / "frame";
+  std::filesystem::create_directories(wire_dir);
+  std::filesystem::create_directories(frame_dir);
+
+  Rng rng(0xc0bb);
+  std::size_t written = 0;
+  const auto emit = [&](const std::filesystem::path& dir,
+                        const std::string& name, const Bytes& data,
+                        int mutants) {
+    write_file(dir / name, data);
+    ++written;
+    for (int m = 0; m < mutants; ++m) {
+      Bytes mutant = data;
+      geoproof::fuzzutil::mutate_one_byte(rng, mutant);
+      write_file(dir / (name + "_mut" + std::to_string(m)), mutant);
+      ++written;
+    }
+  };
+
+  // --- wire corpus -------------------------------------------------------
+  geoproof::core::AuditRequest req;
+  req.file_id = 7;
+  req.n_segments = 1024;
+  req.k = 3;
+  req.nonce = bytes_of("corpus-nonce-0123");
+  req.positions = {5, 99, 512};
+  emit(wire_dir, "audit_request", with_selector(kAuditRequest,
+                                                req.serialize()), 3);
+
+  geoproof::core::AuditRequest req_sampled = req;
+  req_sampled.positions.clear();  // device-sampled challenge (MAC flavour)
+  emit(wire_dir, "audit_request_sampled",
+       with_selector(kAuditRequest, req_sampled.serialize()), 2);
+
+  const geoproof::core::AuditTranscript t = sample_transcript();
+  emit(wire_dir, "audit_transcript",
+       with_selector(kAuditTranscript, t.serialize()), 3);
+
+  geoproof::crypto::MerkleSigner signer(bytes_of("corpus-signer"), 4);
+  geoproof::core::SignedTranscript st;
+  st.transcript = t;
+  st.signature = signer.sign(t.serialize());
+  emit(wire_dir, "signed_transcript",
+       with_selector(kSignedTranscript, st.serialize()), 3);
+
+  geoproof::por::ReadProof proof;
+  proof.segment = bytes_of("segment-bytes-with-tag-suffix");
+  proof.path.resize(4);
+  for (std::size_t level = 0; level < proof.path.size(); ++level) {
+    for (std::size_t b = 0; b < proof.path[level].size(); ++b) {
+      proof.path[level][b] = static_cast<std::uint8_t>(level * 31 + b);
+    }
+  }
+  emit(wire_dir, "read_proof", with_selector(kReadProof, proof.serialize()),
+       3);
+
+  // --- frame corpus ------------------------------------------------------
+  emit(frame_dir, "single", framed_input(1, {t.serialize()}, false), 2);
+  emit(frame_dir, "pipelined",
+       framed_input(2, {req.serialize(), t.serialize(), st.serialize()},
+                    false),
+       3);
+  emit(frame_dir, "empty_frames", framed_input(3, {Bytes{}, Bytes{}}, false),
+       1);
+  emit(frame_dir, "mid_frame_tail",
+       framed_input(4, {req.serialize(), t.serialize()}, true), 2);
+
+  // Oversized header: announces kMaxFrameBytes + 1 and must be rejected
+  // without buffering. Hand-built so the generator itself never allocates
+  // the bogus payload.
+  Bytes oversize;
+  for (int i = 7; i >= 0; --i) {
+    oversize.push_back(static_cast<std::uint8_t>(0x05 >> i));  // chunk seed
+  }
+  const std::uint32_t huge = 64u * 1024 * 1024 + 1;
+  oversize.push_back(static_cast<std::uint8_t>(huge >> 24));
+  oversize.push_back(static_cast<std::uint8_t>(huge >> 16));
+  oversize.push_back(static_cast<std::uint8_t>(huge >> 8));
+  oversize.push_back(static_cast<std::uint8_t>(huge));
+  emit(frame_dir, "oversize_header", oversize, 1);
+
+  std::printf("make_corpus: wrote %zu files under %s\n", written,
+              root.c_str());
+  return 0;
+}

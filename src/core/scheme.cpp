@@ -56,7 +56,7 @@ NonceLedger::NonceLedger(std::uint64_t seed, std::size_t capacity)
 }
 
 Bytes NonceLedger::issue(std::vector<std::uint64_t> payload) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   Key key;
   do {
     const Bytes fresh = rng_.next_bytes(kNonceBytes);
@@ -93,7 +93,7 @@ Bytes NonceLedger::issue(std::vector<std::uint64_t> payload) {
 std::optional<std::vector<std::uint64_t>> NonceLedger::consume(
     const Bytes& nonce) {
   if (nonce.size() != kNonceBytes) return std::nullopt;
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   Key key;
   std::copy(nonce.begin(), nonce.end(), key.begin());
   const auto it = entries_.find(key);
@@ -289,13 +289,13 @@ unsigned SentinelAuditScheme::sentinels_remaining_locked(
 
 unsigned SentinelAuditScheme::sentinels_remaining(
     std::uint64_t file_id) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return sentinels_remaining_locked(file_id);
 }
 
 AuditScheme::ChallengePlan SentinelAuditScheme::plan_challenge(
     const FileRecord& file, std::uint32_t k) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   if (sentinels_remaining_locked(file.file_id) < k) {
     throw CryptoError("SentinelAuditScheme: sentinel supply exhausted");
   }
@@ -395,7 +395,7 @@ AuditScheme::ChallengePlan DynamicAuditScheme::plan_challenge(
     const FileRecord& file, std::uint32_t k) {
   (void)client(file.file_id);  // fail fast on unregistered files
   ChallengePlan plan;
-  std::scoped_lock lock(rng_mu_);
+  MutexLock lock(rng_mu_);
   plan.positions = por::sample_challenge(file.n_segments, k, challenge_rng_);
   return plan;
 }

@@ -20,12 +20,12 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/policy.hpp"
 #include "core/transcript.hpp"
 #include "por/dynamic.hpp"
@@ -116,21 +116,21 @@ class NonceLedger {
   std::optional<std::vector<std::uint64_t>> consume(const Bytes& nonce);
 
   std::size_t outstanding() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
   std::size_t capacity() const { return capacity_; }
   /// Entries dropped because the ledger was full (observability: a rising
   /// count means audits are being issued and never verified).
   std::uint64_t expired() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return expired_;
   }
   /// Internal issue-order queue depth, including lazily-pruned consumed
   /// entries. Bounded by a small multiple of capacity(); exposed so the
   /// bound is testable.
   std::size_t queue_depth() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return order_.size();
   }
 
@@ -140,12 +140,13 @@ class NonceLedger {
   /// simply never found.
   using Key = std::array<std::uint8_t, kNonceBytes>;
 
-  mutable std::mutex mu_;
-  Rng rng_;
+  mutable Mutex mu_;
+  Rng rng_ GEOPROOF_GUARDED_BY(mu_);
   std::size_t capacity_;
-  std::uint64_t expired_ = 0;
-  std::map<Key, std::vector<std::uint64_t>> entries_;
-  std::deque<Key> order_;  // issue order; consumed entries pruned lazily
+  std::uint64_t expired_ GEOPROOF_GUARDED_BY(mu_) = 0;
+  std::map<Key, std::vector<std::uint64_t>> entries_ GEOPROOF_GUARDED_BY(mu_);
+  /// Issue order; consumed entries pruned lazily.
+  std::deque<Key> order_ GEOPROOF_GUARDED_BY(mu_);
 };
 
 /// The polymorphic TPA interface. `make_request` and `verify` are the whole
@@ -332,14 +333,15 @@ class SentinelAuditScheme : public AuditScheme {
       const std::vector<std::uint64_t>& payload) const override;
 
  private:
-  unsigned sentinels_remaining_locked(std::uint64_t file_id) const;
+  unsigned sentinels_remaining_locked(std::uint64_t file_id) const
+      GEOPROOF_REQUIRES(mu_);
 
   por::SentinelPor por_;
   /// Guards next_sentinel_: concurrent audits of distinct files must spend
   /// disjoint sentinels (see the AuditScheme thread-safety contract).
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Next unspent sentinel index per file.
-  std::map<std::uint64_t, unsigned> next_sentinel_;
+  std::map<std::uint64_t, unsigned> next_sentinel_ GEOPROOF_GUARDED_BY(mu_);
 };
 
 /// The dynamic-POR flavour (§IV via Wang et al.): each round returns
@@ -382,8 +384,8 @@ class DynamicAuditScheme : public AuditScheme {
   /// Guards challenge_rng_ (an Rng is not thread-safe; see rng.hpp).
   /// clients_ needs no lock during audits — register_file must be quiescent
   /// with respect to auditing, per the thread-safety contract above.
-  std::mutex rng_mu_;
-  Rng challenge_rng_;
+  Mutex rng_mu_;
+  Rng challenge_rng_ GEOPROOF_GUARDED_BY(rng_mu_);
   std::map<std::uint64_t, por::DynamicPorClient> clients_;
 };
 

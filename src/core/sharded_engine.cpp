@@ -16,11 +16,16 @@ namespace geoproof::core {
 /// pop from the back, so an owner and a thief contend only on the lock,
 /// never on the same end's ordering.
 struct ShardedAuditEngine::ShardQueue {
-  std::mutex mu;
-  std::deque<std::uint64_t> items;
+  Mutex mu;
+  std::deque<std::uint64_t> items GEOPROOF_GUARDED_BY(mu);
+
+  void assign(const std::vector<std::uint64_t>& ids) {
+    MutexLock lock(mu);
+    items.assign(ids.begin(), ids.end());
+  }
 
   std::optional<std::uint64_t> pop_front() {
-    std::scoped_lock lock(mu);
+    MutexLock lock(mu);
     if (items.empty()) return std::nullopt;
     const std::uint64_t id = items.front();
     items.pop_front();
@@ -28,7 +33,7 @@ struct ShardedAuditEngine::ShardQueue {
   }
 
   std::optional<std::uint64_t> pop_back() {
-    std::scoped_lock lock(mu);
+    MutexLock lock(mu);
     if (items.empty()) return std::nullopt;
     const std::uint64_t id = items.back();
     items.pop_back();
@@ -41,7 +46,7 @@ ShardedAuditEngine::ShardedAuditEngine(AuditService& service)
 
 ShardedAuditEngine::~ShardedAuditEngine() {
   {
-    std::scoped_lock lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     pool_shutdown_ = true;
   }
   pool_cv_.notify_all();
@@ -317,11 +322,13 @@ void ShardedAuditEngine::ensure_pool() {
 
 void ShardedAuditEngine::pool_worker(std::size_t shard) {
   std::uint64_t seen_epoch = 0;
-  std::unique_lock lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   for (;;) {
-    pool_cv_.wait(lock, [this, seen_epoch] {
-      return pool_shutdown_ || pool_epoch_ != seen_epoch;
-    });
+    // Explicit wait loop (not the predicate overload): the guarded reads
+    // stay in this function's body, where the analysis sees pool_mu_ held.
+    while (!pool_shutdown_ && pool_epoch_ == seen_epoch) {
+      pool_cv_.wait(lock.native_lock());
+    }
     if (pool_shutdown_) return;
     seen_epoch = pool_epoch_;
     const std::function<void(std::size_t)>* job = pool_job_;
@@ -355,15 +362,15 @@ void ShardedAuditEngine::dispatch_to_shards(
   } else if (options_.parked_workers) {
     ensure_pool();
     {
-      std::scoped_lock lock(pool_mu_);
+      MutexLock lock(pool_mu_);
       pool_job_ = &guarded;
       pool_remaining_ = options_.shards - 1;
       ++pool_epoch_;
     }
     pool_cv_.notify_all();
     guarded(0);
-    std::unique_lock lock(pool_mu_);
-    pool_done_cv_.wait(lock, [this] { return pool_remaining_ == 0; });
+    MutexLock lock(pool_mu_);
+    while (pool_remaining_ != 0) pool_done_cv_.wait(lock.native_lock());
     pool_job_ = nullptr;
   } else {
     // Historical respawn-per-dispatch mode, kept for the bench comparison.
@@ -394,7 +401,7 @@ unsigned ShardedAuditEngine::sweep_once() {
   const std::vector<std::vector<std::uint64_t>> plan = shard_plan();
   std::vector<ShardQueue> queues(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    queues[s].items.assign(plan[s].begin(), plan[s].end());
+    queues[s].assign(plan[s]);
   }
 
   std::atomic<unsigned> sweep_passed{0};

@@ -63,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/audit_service.hpp"
 #include "net/async.hpp"
 
@@ -224,14 +225,17 @@ class ShardedAuditEngine {
   /// non-zero shard, spawned on first dispatch, parked on pool_cv_ between
   /// dispatches. pool_job_ points at the current dispatch's job for the
   /// duration of one epoch; pool_remaining_ counts workers still in it.
+  /// All pool protocol state is guarded by pool_mu_ (machine-checked under
+  /// -Wthread-safety); the condition variables wait on its native handle.
   std::vector<std::jthread> pool_;
-  std::mutex pool_mu_;
+  Mutex pool_mu_;
   std::condition_variable pool_cv_;
   std::condition_variable pool_done_cv_;
-  const std::function<void(std::size_t)>* pool_job_ = nullptr;
-  std::uint64_t pool_epoch_ = 0;
-  std::size_t pool_remaining_ = 0;
-  bool pool_shutdown_ = false;
+  const std::function<void(std::size_t)>* pool_job_
+      GEOPROOF_GUARDED_BY(pool_mu_) = nullptr;
+  std::uint64_t pool_epoch_ GEOPROOF_GUARDED_BY(pool_mu_) = 0;
+  std::size_t pool_remaining_ GEOPROOF_GUARDED_BY(pool_mu_) = 0;
+  bool pool_shutdown_ GEOPROOF_GUARDED_BY(pool_mu_) = false;
 
   std::atomic<std::uint64_t> audits_{0};
   std::atomic<std::uint64_t> passed_{0};

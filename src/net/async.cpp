@@ -300,7 +300,7 @@ bool EventLoop::cancel_timer(TimerId id) { return wheel_.cancel(id); }
 
 void EventLoop::post(std::function<void()> fn) {
   {
-    std::scoped_lock lock(post_mu_);
+    MutexLock lock(post_mu_);
     posted_.push_back(std::move(fn));
   }
   const std::uint64_t one = 1;
@@ -319,7 +319,7 @@ std::size_t EventLoop::pump(Millis max_wait) {
     wait = std::min(wait, *next);
   }
   {
-    std::scoped_lock lock(post_mu_);
+    MutexLock lock(post_mu_);
     if (!posted_.empty()) wait = Millis{0};
   }
 
@@ -352,7 +352,7 @@ std::size_t EventLoop::pump(Millis max_wait) {
 
   std::vector<std::function<void()>> tasks;
   {
-    std::scoped_lock lock(post_mu_);
+    MutexLock lock(post_mu_);
     tasks.swap(posted_);
   }
   for (auto& task : tasks) {
@@ -372,7 +372,7 @@ void EventLoop::run() {
 bool EventLoop::idle() const {
   if (wheel_.pending() > 0) return false;
   {
-    std::scoped_lock lock(post_mu_);
+    MutexLock lock(post_mu_);
     if (!posted_.empty()) return false;
   }
   return handlers_.size() <= 1;  // only the wakeup fd

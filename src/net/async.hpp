@@ -26,7 +26,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -34,6 +33,7 @@
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "net/channel.hpp"
 
@@ -278,7 +278,7 @@ class EventLoop final : public AsyncDriver {
   bool cancel_timer(TimerId id);
 
   /// Thread-safe: run `fn` on the loop thread at the next pump.
-  void post(std::function<void()> fn);
+  void post(std::function<void()> fn) GEOPROOF_EXCLUDES(post_mu_);
   /// Thread-safe: make run() return after the current pump.
   void stop();
 
@@ -296,11 +296,13 @@ class EventLoop final : public AsyncDriver {
  private:
   Socket epoll_;
   Socket wake_;
-  std::unordered_map<int, FdHandler> handlers_;
-  TimerWheel wheel_;
+  std::unordered_map<int, FdHandler> handlers_;  // loop thread only
+  TimerWheel wheel_;                             // loop thread only
   std::atomic<bool> stopping_{false};
-  mutable std::mutex post_mu_;
-  std::vector<std::function<void()>> posted_;
+  /// The one cross-thread door: post() appends under post_mu_ from any
+  /// thread, the loop thread swaps the queue out under it each pump.
+  mutable Mutex post_mu_;
+  std::vector<std::function<void()>> posted_ GEOPROOF_GUARDED_BY(post_mu_);
 };
 
 }  // namespace geoproof::net

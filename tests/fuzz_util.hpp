@@ -1,0 +1,54 @@
+// Shared randomized-input helpers for the wire-robustness tests and the
+// fuzz/ corpus tooling: one place owns "random buffer" and "single-byte
+// mutant" so every harness (the gtest fuzz suite, the libFuzzer seed
+// corpus generator, the standalone fuzz drivers) draws the same shapes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace geoproof::fuzzutil {
+
+/// XOR one uniformly-chosen byte of `buf` with a uniformly-chosen non-zero
+/// delta: the canonical "corrupted wire" mutant. No-op on an empty buffer.
+inline void mutate_one_byte(Rng& rng, Bytes& buf) {
+  if (buf.empty()) return;
+  const std::size_t pos = static_cast<std::size_t>(rng.next_below(buf.size()));
+  std::uint8_t delta = 0;
+  while (delta == 0) delta = static_cast<std::uint8_t>(rng.next_below(256));
+  buf[pos] ^= delta;
+}
+
+/// A uniformly random buffer of length in [0, max_len).
+inline Bytes random_buffer(Rng& rng, std::size_t max_len = 512) {
+  const std::size_t len = static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(max_len)));
+  return rng.next_bytes(len);
+}
+
+/// Feed `n` random buffers of assorted sizes to `parse`; every call must
+/// either succeed (harmless) or throw geoproof::Error — anything else
+/// (crash, foreign exception) propagates to the caller. Returns how many
+/// buffers parsed successfully.
+template <typename ParseFn>
+int fuzz_random_buffers(ParseFn&& parse, std::uint64_t seed, int n = 300,
+                        std::size_t max_len = 512) {
+  Rng rng(seed);
+  int parsed = 0;
+  for (int i = 0; i < n; ++i) {
+    const Bytes buf = random_buffer(rng, max_len);
+    try {
+      parse(buf);
+      ++parsed;
+    } catch (const Error&) {
+      // expected for malformed input
+    }
+  }
+  return parsed;
+}
+
+}  // namespace geoproof::fuzzutil

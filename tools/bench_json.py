@@ -31,6 +31,16 @@ Usage:
     tools/bench_json.py --bin-dir build/bench --out build/BENCH_smoke.json \
         --benchmarks bench_audit_service --filter BM_ServiceRunOnceMac
 
+Compare mode: ``--baseline <file>`` diffs the freshly written aggregate
+(or, with ``--compare <file>``, an existing one — no benchmarks are run)
+against a stored baseline document and prints a per-suite delta report.
+``--threshold`` sets the regression cut in percent (default 10); the
+report is informational unless ``--fail-on-regress`` is passed, because
+shared CI runners add timing noise that should not fail unrelated PRs.
+
+    tools/bench_json.py --baseline bench/baselines/BENCH_smoke.json \
+        --compare build/BENCH_smoke.json --threshold 15 --fail-on-regress
+
 Only the Python standard library is used.
 """
 
@@ -143,6 +153,85 @@ def run_and_write(bin_dir, names, out_path, bench_filter, min_time,
           % (total, len(suites), out_path))
 
 
+def compare_docs(current, baseline, threshold_pct):
+    """Diff two aggregate documents' flat ``benchmarks`` maps.
+
+    Returns {"rows": [...], "regressions": n, "improvements": n,
+    "missing": [...], "new": [...]}; each row is a dict with key,
+    base/current real_time, delta_pct and status ('regress', 'improve',
+    'ok'). Keys only present on one side are listed, not scored.
+    """
+    cur = current.get("benchmarks", {})
+    base = baseline.get("benchmarks", {})
+    rows = []
+    regressions = 0
+    improvements = 0
+    for key in sorted(set(cur) & set(base)):
+        base_t = base[key].get("real_time")
+        cur_t = cur[key].get("real_time")
+        if not base_t or cur_t is None:
+            continue
+        delta_pct = 100.0 * (cur_t - base_t) / base_t
+        if delta_pct > threshold_pct:
+            status = "regress"
+            regressions += 1
+        elif delta_pct < -threshold_pct:
+            status = "improve"
+            improvements += 1
+        else:
+            status = "ok"
+        rows.append({
+            "key": key,
+            "base": base_t,
+            "current": cur_t,
+            "unit": cur[key].get("time_unit", base[key].get("time_unit", "")),
+            "delta_pct": delta_pct,
+            "status": status,
+        })
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "improvements": improvements,
+        "missing": sorted(set(base) - set(cur)),
+        "new": sorted(set(cur) - set(base)),
+    }
+
+
+def render_report(report, threshold_pct, out=sys.stdout):
+    """Print the per-suite delta report (suite = binary name prefix)."""
+    by_suite = {}
+    for row in report["rows"]:
+        suite = row["key"].split("/", 1)[0]
+        by_suite.setdefault(suite, []).append(row)
+
+    marks = {"regress": "!", "improve": "+", "ok": " "}
+    print("bench_json: baseline comparison (threshold %.1f%%)"
+          % threshold_pct, file=out)
+    for suite in sorted(by_suite):
+        print("  suite %s" % suite, file=out)
+        for row in by_suite[suite]:
+            name = row["key"].split("/", 1)[1]
+            print("   %s %-48s %10.1f -> %10.1f %-3s %+7.1f%%"
+                  % (marks[row["status"]], name, row["base"], row["current"],
+                     row["unit"], row["delta_pct"]), file=out)
+    for key in report["missing"]:
+        print("   - %s: in baseline only (renamed or removed?)" % key,
+              file=out)
+    for key in report["new"]:
+        print("   + %s: new, no baseline entry" % key, file=out)
+    print("bench_json: %d compared, %d regression(s), %d improvement(s)"
+          % (len(report["rows"]), report["regressions"],
+             report["improvements"]), file=out)
+
+
+def load_doc(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit("bench_json: cannot load %s: %s" % (path, err))
+
+
 def parse_suite(spec):
     """'NAME=bin1,bin2' -> (NAME, [bin1, bin2])."""
     name, eq, bins = spec.partition("=")
@@ -155,8 +244,9 @@ def parse_suite(spec):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bin-dir", required=True,
-                        help="directory holding the bench_* binaries")
+    parser.add_argument("--bin-dir", default="",
+                        help="directory holding the bench_* binaries "
+                             "(required unless --compare)")
     parser.add_argument("--out", default="",
                         help="single aggregate JSON output path")
     parser.add_argument("--out-dir", default="",
@@ -175,10 +265,34 @@ def main():
                         help="--benchmark_min_time passed to each binary")
     parser.add_argument("--timeout", type=int, default=1800,
                         help="per-binary timeout in seconds")
+    parser.add_argument("--baseline", default="",
+                        help="stored aggregate JSON to diff the results "
+                             "against (with --out or --compare)")
+    parser.add_argument("--compare", default="",
+                        help="existing aggregate JSON to diff against "
+                             "--baseline without running any benchmarks")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default: %(default)s)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any benchmark regresses beyond "
+                             "the threshold (default: report only)")
     args = parser.parse_args()
 
-    if not os.path.isdir(args.bin_dir):
-        sys.exit("bench_json: no such bin dir: %s (build the bench targets "
+    if args.compare:
+        if not args.baseline:
+            sys.exit("bench_json: --compare requires --baseline")
+        report = compare_docs(load_doc(args.compare), load_doc(args.baseline),
+                              args.threshold)
+        render_report(report, args.threshold)
+        if args.fail_on_regress and report["regressions"]:
+            sys.exit(1)
+        return
+    if args.baseline and not args.out:
+        sys.exit("bench_json: --baseline needs --out (or --compare FILE)")
+
+    if not args.bin_dir or not os.path.isdir(args.bin_dir):
+        sys.exit("bench_json: no such bin dir: %r (build the bench targets "
                  "first)" % args.bin_dir)
     if bool(args.out) == bool(args.suite):
         sys.exit("bench_json: pass exactly one of --out (single document) "
@@ -209,6 +323,12 @@ def main():
         sys.exit("bench_json: no bench binaries found in %s" % args.bin_dir)
     run_and_write(args.bin_dir, names, args.out, args.filter, args.min_time,
                   args.timeout)
+    if args.baseline:
+        report = compare_docs(load_doc(args.out), load_doc(args.baseline),
+                              args.threshold)
+        render_report(report, args.threshold)
+        if args.fail_on_regress and report["regressions"]:
+            sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for the GeoProof tree.
+
+Four rules, each enforcing a discipline the type system cannot:
+
+  clock      std::chrono::steady_clock / system_clock only in the clock
+             abstraction and the explicitly real-time sites (net transport,
+             engine pacing, wall-clock test deadlines). Everything else must
+             go through common/clock.hpp so simulations stay deterministic.
+  raw-close  ::close on file descriptors only inside the net Socket RAII
+             wrapper; a stray close elsewhere double-closes or leaks.
+  raw-rng    std::mt19937 / rand() / srand() only inside common/rng; all
+             other code takes a seeded geoproof::Rng so runs replay.
+  test-reg   every tests/*_test.cpp must be registered in
+             tests/CMakeLists.txt, or it silently never runs in CI.
+
+Comments and string literals are stripped before matching, so prose about
+steady_clock does not trip the rules. Stdlib only; runs as a CTest entry
+and as the CI lint gate.
+
+Usage: geoproof_lint.py [--root DIR] [--list-rules]
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+SCAN_DIRS = ("src", "tests", "examples", "bench", "fuzz")
+CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+
+class Violation(NamedTuple):
+    path: str  # repo-relative, posix separators
+    line: int  # 1-based; 0 for file-level findings
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule(NamedTuple):
+    name: str
+    pattern: re.Pattern
+    allowlist: frozenset  # repo-relative posix paths where the match is fine
+    message: str
+
+
+RULES = [
+    Rule(
+        name="clock",
+        pattern=re.compile(
+            r"std::chrono::(?:steady_clock|system_clock)"
+            r"|(?<![A-Za-z0-9_:])(?:steady_clock|system_clock)::"
+        ),
+        allowlist=frozenset(
+            {
+                # The abstraction itself.
+                "src/common/clock.hpp",
+                # Real-time transport: RTTs are measured against the wall.
+                "src/net/channel.hpp",
+                "src/net/channel.cpp",
+                # Event-loop timer wheel runs on the monotonic clock.
+                "src/net/async.hpp",
+                "src/net/async.cpp",
+                # Engine sweep pacing is wall-clock by design.
+                "src/core/sharded_engine.hpp",
+                "src/core/sharded_engine.cpp",
+                # Real-thread tests/benches need wall-clock deadlines.
+                "tests/net_async_test.cpp",
+                "bench/bench_setup_overhead.cpp",
+            }
+        ),
+        message=(
+            "raw std::chrono clock outside the allowlist; take a "
+            "geoproof::Clock (common/clock.hpp) so simulated time works"
+        ),
+    ),
+    Rule(
+        name="raw-close",
+        pattern=re.compile(r"(?<![A-Za-z0-9_])::close\s*\("),
+        allowlist=frozenset({"src/net/async.cpp"}),
+        message=(
+            "raw ::close outside net::Socket; use the RAII Socket wrapper "
+            "so descriptors cannot double-close or leak"
+        ),
+    ),
+    Rule(
+        name="raw-rng",
+        pattern=re.compile(
+            r"std::mt19937|(?<![A-Za-z0-9_])mt19937(?![A-Za-z0-9_])"
+            r"|(?<![A-Za-z0-9_.:>])s?rand\s*\("
+        ),
+        allowlist=frozenset({"src/common/rng.hpp", "src/common/rng.cpp"}),
+        message=(
+            "raw std RNG outside common/rng; take a seeded geoproof::Rng "
+            "so runs are replayable"
+        ),
+    ),
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    Replaced characters become spaces so line and column positions of the
+    surviving code are unchanged. Handles //, /* */, "...", '...' with
+    backslash escapes. Raw strings get the simple-delimiter treatment,
+    which covers every use in this tree.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_cxx_files(root: Path) -> Iterable[Path]:
+    for dirname in SCAN_DIRS:
+        base = root / dirname
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                yield path
+
+
+def check_patterns(root: Path) -> List[Violation]:
+    violations = []
+    for path in iter_cxx_files(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            violations.append(Violation(rel, 0, "io", f"unreadable: {err}"))
+            continue
+        code = strip_comments_and_strings(text)
+        for rule in RULES:
+            if rel in rule.allowlist:
+                continue
+            for lineno, line in enumerate(code.splitlines(), start=1):
+                if rule.pattern.search(line):
+                    violations.append(
+                        Violation(rel, lineno, rule.name, rule.message)
+                    )
+    return violations
+
+
+def check_test_registration(root: Path) -> List[Violation]:
+    tests_dir = root / "tests"
+    cmake = tests_dir / "CMakeLists.txt"
+    if not tests_dir.is_dir() or not cmake.is_file():
+        return []
+    registered = set(
+        re.findall(r"([A-Za-z0-9_]+_test\.cpp)", cmake.read_text(encoding="utf-8"))
+    )
+    violations = []
+    for path in sorted(tests_dir.glob("*_test.cpp")):
+        if path.name not in registered:
+            violations.append(
+                Violation(
+                    f"tests/{path.name}",
+                    0,
+                    "test-reg",
+                    "not registered in tests/CMakeLists.txt; it will never "
+                    "run in CI",
+                )
+            )
+    return violations
+
+
+def collect_violations(root: Path) -> List[Violation]:
+    return check_patterns(root) + check_test_registration(root)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of tools/)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.message}")
+        print("test-reg: every tests/*_test.cpp registered in CMakeLists.txt")
+        return 0
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"geoproof_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    violations = collect_violations(root)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"geoproof_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("geoproof_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,117 @@
+"""Self-test for bench_json.py's baseline-compare mode: synthetic aggregate
+documents through compare_docs/render_report and the --compare CLI path.
+Stdlib unittest; no Google Benchmark binaries needed.
+"""
+
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_json  # noqa: E402
+
+
+def doc(entries):
+    """{key: real_time_ns} -> aggregate-document shape."""
+    return {
+        "schema": 1,
+        "context": {},
+        "suites": {},
+        "benchmarks": {
+            key: {"real_time": value, "cpu_time": value, "time_unit": "ns",
+                  "iterations": 100}
+            for key, value in entries.items()
+        },
+    }
+
+
+class CompareDocsTest(unittest.TestCase):
+    def test_regression_beyond_threshold_is_flagged(self):
+        report = bench_json.compare_docs(
+            doc({"bench_core/BM_A": 130.0}), doc({"bench_core/BM_A": 100.0}),
+            threshold_pct=10.0)
+        self.assertEqual(report["regressions"], 1)
+        self.assertEqual(report["rows"][0]["status"], "regress")
+        self.assertAlmostEqual(report["rows"][0]["delta_pct"], 30.0)
+
+    def test_threshold_is_configurable(self):
+        current = doc({"bench_core/BM_A": 130.0})
+        base = doc({"bench_core/BM_A": 100.0})
+        loose = bench_json.compare_docs(current, base, threshold_pct=50.0)
+        self.assertEqual(loose["regressions"], 0)
+        self.assertEqual(loose["rows"][0]["status"], "ok")
+
+    def test_improvement_is_counted_not_flagged(self):
+        report = bench_json.compare_docs(
+            doc({"bench_core/BM_A": 50.0}), doc({"bench_core/BM_A": 100.0}),
+            threshold_pct=10.0)
+        self.assertEqual(report["regressions"], 0)
+        self.assertEqual(report["improvements"], 1)
+
+    def test_missing_and_new_keys_are_listed_not_scored(self):
+        report = bench_json.compare_docs(
+            doc({"bench_core/BM_New": 1.0}), doc({"bench_core/BM_Old": 1.0}),
+            threshold_pct=10.0)
+        self.assertEqual(report["rows"], [])
+        self.assertEqual(report["missing"], ["bench_core/BM_Old"])
+        self.assertEqual(report["new"], ["bench_core/BM_New"])
+
+    def test_render_groups_by_suite(self):
+        report = bench_json.compare_docs(
+            doc({"bench_core/BM_A": 100.0, "bench_async/BM_B": 200.0}),
+            doc({"bench_core/BM_A": 100.0, "bench_async/BM_B": 100.0}),
+            threshold_pct=10.0)
+        out = io.StringIO()
+        bench_json.render_report(report, 10.0, out=out)
+        text = out.getvalue()
+        self.assertIn("suite bench_async", text)
+        self.assertIn("suite bench_core", text)
+        self.assertIn("1 regression(s)", text)
+
+
+class CompareCliTest(unittest.TestCase):
+    def run_cli(self, argv):
+        old_argv = sys.argv
+        sys.argv = ["bench_json.py"] + argv
+        try:
+            bench_json.main()
+            return 0
+        except SystemExit as err:
+            return err.code if isinstance(err.code, int) else 1
+        finally:
+            sys.argv = old_argv
+
+    def write(self, tree, name, document):
+        path = Path(tree) / name
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_compare_mode_reports_without_failing_by_default(self):
+        with tempfile.TemporaryDirectory() as tree:
+            cur = self.write(tree, "cur.json", doc({"bench_core/BM_A": 200.0}))
+            base = self.write(tree, "base.json",
+                              doc({"bench_core/BM_A": 100.0}))
+            self.assertEqual(
+                self.run_cli(["--compare", cur, "--baseline", base]), 0)
+
+    def test_fail_on_regress_exits_nonzero(self):
+        with tempfile.TemporaryDirectory() as tree:
+            cur = self.write(tree, "cur.json", doc({"bench_core/BM_A": 200.0}))
+            base = self.write(tree, "base.json",
+                              doc({"bench_core/BM_A": 100.0}))
+            self.assertEqual(
+                self.run_cli(["--compare", cur, "--baseline", base,
+                              "--fail-on-regress"]), 1)
+
+    def test_compare_requires_baseline(self):
+        with tempfile.TemporaryDirectory() as tree:
+            cur = self.write(tree, "cur.json", doc({}))
+            self.assertNotEqual(self.run_cli(["--compare", cur]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,152 @@
+"""Self-test for geoproof_lint.py: feed violating and clean snippets
+through the rule engine on synthetic trees and assert each rule fires
+exactly where it should. Stdlib unittest so it runs anywhere python3 does
+(registered as the `lint_selftest` CTest entry).
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import geoproof_lint  # noqa: E402
+
+
+def make_tree(files):
+    """Create a temp repo-shaped tree: {relpath: content} -> root Path."""
+    root = Path(tempfile.mkdtemp(prefix="geoproof_lint_test_"))
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+    return root
+
+
+def rules_hit(violations):
+    return sorted({v.rule for v in violations})
+
+
+class StripTest(unittest.TestCase):
+    def test_line_comments_blanked(self):
+        code = "int x;  // steady_clock here\nint y;\n"
+        stripped = geoproof_lint.strip_comments_and_strings(code)
+        self.assertNotIn("steady_clock", stripped)
+        self.assertIn("int y;", stripped)
+
+    def test_block_comments_preserve_line_numbers(self):
+        code = "a\n/* one\ntwo */\nb\n"
+        stripped = geoproof_lint.strip_comments_and_strings(code)
+        self.assertEqual(code.count("\n"), stripped.count("\n"))
+        self.assertNotIn("two", stripped)
+
+    def test_string_literals_blanked(self):
+        code = 'auto s = "::close(fd) mt19937";\n'
+        stripped = geoproof_lint.strip_comments_and_strings(code)
+        self.assertNotIn("close", stripped)
+        self.assertNotIn("mt19937", stripped)
+
+    def test_escaped_quote_does_not_end_string(self):
+        code = 'auto s = "a\\"b steady_clock";\nint keep;\n'
+        stripped = geoproof_lint.strip_comments_and_strings(code)
+        self.assertNotIn("steady_clock", stripped)
+        self.assertIn("int keep;", stripped)
+
+
+class ClockRuleTest(unittest.TestCase):
+    def test_flags_raw_clock_outside_allowlist(self):
+        root = make_tree(
+            {"src/core/policy.cpp": "auto t = std::chrono::steady_clock::now();\n"}
+        )
+        violations = geoproof_lint.check_patterns(root)
+        self.assertEqual(rules_hit(violations), ["clock"])
+        self.assertEqual(violations[0].path, "src/core/policy.cpp")
+        self.assertEqual(violations[0].line, 1)
+
+    def test_allowlisted_file_is_clean(self):
+        root = make_tree(
+            {"src/common/clock.hpp": "using C = std::chrono::steady_clock;\n"}
+        )
+        self.assertEqual(geoproof_lint.check_patterns(root), [])
+
+    def test_comment_mention_is_clean(self):
+        root = make_tree(
+            {"src/core/policy.cpp": "// steady_clock over TCP\nint x;\n"}
+        )
+        self.assertEqual(geoproof_lint.check_patterns(root), [])
+
+
+class RawCloseRuleTest(unittest.TestCase):
+    def test_flags_global_close(self):
+        root = make_tree({"src/core/engine.cpp": "void f(int fd) { ::close(fd); }\n"})
+        self.assertEqual(rules_hit(geoproof_lint.check_patterns(root)), ["raw-close"])
+
+    def test_member_close_is_clean(self):
+        root = make_tree(
+            {"src/core/engine.cpp": "void g(Socket& s) { s.close(); Socket::close(s); }\n"}
+        )
+        self.assertEqual(geoproof_lint.check_patterns(root), [])
+
+    def test_socket_impl_is_allowlisted(self):
+        root = make_tree({"src/net/async.cpp": "if (fd >= 0) ::close(fd);\n"})
+        self.assertEqual(geoproof_lint.check_patterns(root), [])
+
+
+class RawRngRuleTest(unittest.TestCase):
+    def test_flags_mt19937_and_rand(self):
+        root = make_tree(
+            {
+                "tests/foo_test.cpp": "std::mt19937 gen(42);\n",
+                "src/core/bar.cpp": "int r = rand();\n",
+            }
+        )
+        violations = geoproof_lint.check_patterns(root)
+        self.assertEqual(rules_hit(violations), ["raw-rng"])
+        self.assertEqual(len(violations), 2)
+
+    def test_rng_module_and_lookalikes_are_clean(self):
+        root = make_tree(
+            {
+                "src/common/rng.cpp": "std::mt19937 impl(seed);\n",
+                "src/core/ok.cpp": "auto b = random_buffer(rng); o.brand(x);\n",
+            }
+        )
+        self.assertEqual(geoproof_lint.check_patterns(root), [])
+
+
+class TestRegistrationRuleTest(unittest.TestCase):
+    def test_unregistered_test_is_flagged(self):
+        root = make_tree(
+            {
+                "tests/CMakeLists.txt": "set(S\n  core_a_test.cpp)\n",
+                "tests/core_a_test.cpp": "int main() {}\n",
+                "tests/core_b_test.cpp": "int main() {}\n",
+            }
+        )
+        violations = geoproof_lint.check_test_registration(root)
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0].path, "tests/core_b_test.cpp")
+        self.assertEqual(violations[0].rule, "test-reg")
+
+    def test_fully_registered_tree_is_clean(self):
+        root = make_tree(
+            {
+                "tests/CMakeLists.txt": "set(S core_a_test.cpp core_b_test.cpp)\n",
+                "tests/core_a_test.cpp": "int main() {}\n",
+                "tests/core_b_test.cpp": "int main() {}\n",
+            }
+        )
+        self.assertEqual(geoproof_lint.check_test_registration(root), [])
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repository_is_clean(self):
+        repo = Path(__file__).resolve().parent.parent
+        self.assertEqual(
+            [v.render() for v in geoproof_lint.collect_violations(repo)], []
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
