@@ -1,0 +1,117 @@
+// geoproof-audit — the auditor CLI.
+//
+// Fans MeasureRequests out to a vantage fleet (one --vantage host:port per
+// landmark), converts the reported RTT sample sets to distances through a
+// calibrated delay model, and multilaterates a position fix. The JSON
+// audit report goes to stdout; logs go to stderr.
+//
+// Exit codes: 0 converged fix produced, 3 audit ran but no converged fix,
+// 2 flag error, 1 fatal.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "daemon/auditor_client.hpp"
+
+namespace {
+
+geoproof::daemon::VantageEndpoint parse_endpoint(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw geoproof::InvalidArgument("--vantage expects host:port, got \"" +
+                                    spec + "\"");
+  }
+  geoproof::daemon::VantageEndpoint ep;
+  ep.host = spec.substr(0, colon);
+  const int port = std::stoi(spec.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw geoproof::InvalidArgument("--vantage port out of range in \"" +
+                                    spec + "\"");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+int run(int argc, char** argv) {
+  using namespace geoproof;
+
+  daemon::AuditorConfig config;
+  std::vector<std::string> vantage_specs;
+  std::uint64_t prover_port = 0;
+  std::uint64_t rounds = 8;
+  std::string log_level = "info";
+  FlagParser flags("geoproof-audit",
+                   "GeoProof auditor: drive a vantage fleet to a position fix");
+  flags.add("vantage", &vantage_specs, "vantage endpoint host:port (repeat)");
+  flags.add("prover-host", &config.prover_host, "prover address");
+  flags.add("prover-port", &prover_port, "prover port");
+  flags.add("file-id", &config.file_id, "audited file id");
+  flags.add("n-segments", &config.n_segments,
+            "segment count of the audited file (from geoproofd's FILE line)");
+  flags.add("rounds", &rounds, "timed rounds per vantage");
+  flags.add("probe-seed", &config.probe_seed, "challenge-sequence seed");
+  flags.add("max-rtt-ms", &config.max_rtt_ms,
+            "per-round violation threshold forwarded to vantages (0 = off)");
+  flags.add("timeout-ms", &config.sweep_timeout_ms,
+            "deadline for one vantage's whole sweep");
+  flags.add("cal-ms-per-km", &config.cal_ms_per_km,
+            "delay-model calibration slope (0 = physical bound only)");
+  flags.add("cal-intercept-ms", &config.cal_intercept_ms,
+            "delay-model calibration intercept");
+  flags.add("log-level", &log_level, "debug|info|warn|error");
+
+  switch (flags.parse(argc, argv)) {
+    case FlagParser::ParseStatus::kHelp:
+      std::fputs(flags.usage().c_str(), stdout);
+      return 0;
+    case FlagParser::ParseStatus::kError:
+      std::fprintf(stderr, "geoproof-audit: %s\n%s", flags.error().c_str(),
+                   flags.usage().c_str());
+      return 2;
+    case FlagParser::ParseStatus::kOk:
+      break;
+  }
+  log::Level level;
+  log::parse_level(log_level, level);
+  log::set_level(level);
+
+  config.prover_port = static_cast<std::uint16_t>(prover_port);
+  config.rounds = static_cast<std::uint32_t>(rounds);
+  try {
+    for (const std::string& spec : vantage_specs) {
+      config.vantages.push_back(parse_endpoint(spec));
+    }
+    if (config.vantages.empty()) {
+      throw InvalidArgument("at least one --vantage is required");
+    }
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "geoproof-audit: %s\n", err.what());
+    return 2;
+  }
+
+  daemon::AuditorClient client(config);
+  const daemon::FleetReport report = client.run();
+
+  const std::string json = daemon::to_json(client.config(), report);
+  std::fputs(json.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+
+  return report.have_estimate && report.estimate.converged ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "geoproof-audit: fatal: %s\n", err.what());
+    return 1;
+  }
+}

@@ -1,0 +1,88 @@
+// geoproof-vantage — a trusted landmark daemon.
+//
+// Serves the auditor's control protocol (daemon/wire.hpp) and runs timed
+// distance-bounding sweeps against a prover on request. Stdout handshake:
+//
+//   READY port=<p>
+//
+// --extra-oneway-ms emulates this vantage's geographic distance to the
+// prover (slept inside the timed window); --lie-rtt-ms turns the vantage
+// Byzantine. Exit codes: 0 clean shutdown, 2 flag error, 1 fatal.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "daemon/signal.hpp"
+#include "daemon/vantage_daemon.hpp"
+#include "net/async.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace geoproof;
+
+  daemon::VantageConfig config;
+  std::string log_level = "info";
+  FlagParser flags("geoproof-vantage", "GeoProof vantage (landmark) daemon");
+  flags.add("name", &config.name, "vantage name reported to the auditor");
+  flags.add("lat", &config.latitude_deg, "advertised latitude (degrees)");
+  flags.add("lon", &config.longitude_deg, "advertised longitude (degrees)");
+  flags.add("host", &config.host, "address to bind");
+  std::uint64_t port = 0;
+  flags.add("port", &port, "port to bind (0 = kernel-chosen, printed in READY)");
+  flags.add("extra-oneway-ms", &config.extra_oneway_ms,
+            "emulated one-way path delay to the prover");
+  flags.add("lie-rtt-ms", &config.lie_rtt_ms,
+            "Byzantine mode: fabricate samples around this RTT");
+  flags.add("log-level", &log_level, "debug|info|warn|error");
+
+  switch (flags.parse(argc, argv)) {
+    case FlagParser::ParseStatus::kHelp:
+      std::fputs(flags.usage().c_str(), stdout);
+      return 0;
+    case FlagParser::ParseStatus::kError:
+      std::fprintf(stderr, "geoproof-vantage: %s\n%s", flags.error().c_str(),
+                   flags.usage().c_str());
+      return 2;
+    case FlagParser::ParseStatus::kOk:
+      break;
+  }
+  config.port = static_cast<std::uint16_t>(port);
+  log::Level level;
+  log::parse_level(log_level, level);
+  log::set_level(level);
+
+  daemon::ShutdownSignal shutdown;
+  daemon::VantageDaemon vantage(std::move(config));
+
+  std::printf("READY port=%u\n", vantage.port());
+  std::fflush(stdout);
+
+  net::EventLoop loop;
+  loop.add_fd(shutdown.fd(), /*want_read=*/true, /*want_write=*/false,
+              [&](bool, bool, bool) {
+                shutdown.consume();
+                loop.stop();
+              });
+  loop.run();
+  loop.remove_fd(shutdown.fd());
+
+  log::info("geoproof-vantage", "shutting down",
+            {{"signal", shutdown.received()}, {"sweeps", vantage.sweeps()}});
+  vantage.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "geoproof-vantage: fatal: %s\n", err.what());
+    return 1;
+  }
+}

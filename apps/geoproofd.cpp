@@ -1,0 +1,97 @@
+// geoproofd — the prover/provider daemon.
+//
+// Encodes a deterministic pseudorandom file under the POR pipeline and
+// serves timed segment requests (core::SegmentRequest frames) until
+// SIGTERM/SIGINT. Stdout carries the machine handshake for spawning
+// harnesses:
+//
+//   READY port=<p>
+//   FILE id=<id> segments=<n> segment_bytes=<b>
+//
+// Everything else is logfmt on stderr. Exit codes: 0 clean shutdown,
+// 2 flag error, 1 fatal.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "daemon/prover_daemon.hpp"
+#include "daemon/signal.hpp"
+#include "net/async.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace geoproof;
+
+  daemon::ProverConfig config;
+  std::string log_level = "info";
+  FlagParser flags("geoproofd", "GeoProof prover/provider daemon");
+  flags.add("host", &config.host, "address to bind");
+  std::uint64_t port = 0;
+  flags.add("port", &port, "port to bind (0 = kernel-chosen, printed in READY)");
+  flags.add("file-id", &config.file_id, "file id to store and serve");
+  flags.add("file-bytes", &config.file_bytes, "original file size to encode");
+  flags.add("seed", &config.seed, "file content + key seed");
+  flags.add("stall-ms", &config.stall_ms,
+            "adversarial stall added to every answer");
+  flags.add("log-level", &log_level, "debug|info|warn|error");
+
+  switch (flags.parse(argc, argv)) {
+    case FlagParser::ParseStatus::kHelp:
+      std::fputs(flags.usage().c_str(), stdout);
+      return 0;
+    case FlagParser::ParseStatus::kError:
+      std::fprintf(stderr, "geoproofd: %s\n%s", flags.error().c_str(),
+                   flags.usage().c_str());
+      return 2;
+    case FlagParser::ParseStatus::kOk:
+      break;
+  }
+  config.port = static_cast<std::uint16_t>(port);
+  log::Level level;
+  log::parse_level(log_level, level);
+  log::set_level(level);
+
+  daemon::ShutdownSignal shutdown;
+  daemon::ProverDaemon prover(std::move(config));
+
+  std::printf("READY port=%u\n", prover.port());
+  std::printf("FILE id=%llu segments=%llu segment_bytes=%zu\n",
+              static_cast<unsigned long long>(prover.file_id()),
+              static_cast<unsigned long long>(prover.n_segments()),
+              prover.segment_bytes());
+  std::fflush(stdout);
+
+  // Park the main thread on its own loop watching the signal pipe; the
+  // server pumps its own loop on its own thread.
+  net::EventLoop loop;
+  loop.add_fd(shutdown.fd(), /*want_read=*/true, /*want_write=*/false,
+              [&](bool, bool, bool) {
+                shutdown.consume();
+                loop.stop();
+              });
+  loop.run();
+  loop.remove_fd(shutdown.fd());
+
+  log::info("geoproofd", "shutting down",
+            {{"signal", shutdown.received()},
+             {"requests_served", prover.requests_served()}});
+  prover.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "geoproofd: fatal: %s\n", err.what());
+    return 1;
+  }
+}

@@ -1,0 +1,178 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace geoproof {
+
+namespace {
+
+std::string type_name(std::size_t variant_index) {
+  switch (variant_index) {
+    case 0: return "string";
+    case 1: return "uint";
+    case 2: return "int";
+    case 3: return "float";
+    case 4: return "bool";
+    default: return "string (repeatable)";
+  }
+}
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagParser::add(const std::string& name, std::string* dest,
+                     std::string help) {
+  flags_.push_back({name, dest, std::move(help), "\"" + *dest + "\""});
+}
+
+void FlagParser::add(const std::string& name, std::uint64_t* dest,
+                     std::string help) {
+  flags_.push_back({name, dest, std::move(help), std::to_string(*dest)});
+}
+
+void FlagParser::add(const std::string& name, std::int64_t* dest,
+                     std::string help) {
+  flags_.push_back({name, dest, std::move(help), std::to_string(*dest)});
+}
+
+void FlagParser::add(const std::string& name, double* dest, std::string help) {
+  flags_.push_back({name, dest, std::move(help), format_double(*dest)});
+}
+
+void FlagParser::add(const std::string& name, bool* dest, std::string help) {
+  flags_.push_back({name, dest, std::move(help), *dest ? "true" : "false"});
+}
+
+void FlagParser::add(const std::string& name, std::vector<std::string>* dest,
+                     std::string help) {
+  flags_.push_back({name, dest, std::move(help), "[]"});
+}
+
+const FlagParser::Flag* FlagParser::find(const std::string& name) const {
+  const auto it =
+      std::find_if(flags_.begin(), flags_.end(),
+                   [&name](const Flag& f) { return f.name == name; });
+  return it == flags_.end() ? nullptr : &*it;
+}
+
+bool FlagParser::assign(const Flag& flag, const std::string& value) {
+  const auto fail = [this, &flag, &value](const std::string& why) {
+    error_ = "--" + flag.name + ": " + why + ": \"" + value + "\"";
+    return false;
+  };
+  if (auto* s = std::get_if<std::string*>(&flag.dest)) {
+    **s = value;
+    return true;
+  }
+  if (auto* v = std::get_if<std::vector<std::string>*>(&flag.dest)) {
+    (*v)->push_back(value);
+    return true;
+  }
+  if (auto* b = std::get_if<bool*>(&flag.dest)) {
+    if (value == "true" || value == "1") {
+      **b = true;
+    } else if (value == "false" || value == "0") {
+      **b = false;
+    } else {
+      return fail("expected true/false/1/0");
+    }
+    return true;
+  }
+  // Numeric flags share strtoX error handling.
+  if (value.empty()) return fail("empty value");
+  errno = 0;
+  char* end = nullptr;
+  if (auto* u = std::get_if<std::uint64_t*>(&flag.dest)) {
+    if (value[0] == '-') return fail("negative value for unsigned flag");
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return fail("expected unsigned integer");
+    }
+    **u = parsed;
+    return true;
+  }
+  if (auto* i = std::get_if<std::int64_t*>(&flag.dest)) {
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return fail("expected integer");
+    }
+    **i = parsed;
+    return true;
+  }
+  auto* d = std::get_if<double*>(&flag.dest);
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return fail("expected number");
+  }
+  **d = parsed;
+  return true;
+}
+
+FlagParser::ParseStatus FlagParser::parse(int argc, const char* const* argv) {
+  error_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return ParseStatus::kHelp;
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      error_ = "unexpected argument: \"" + arg + "\" (flags are --name=value)";
+      return ParseStatus::kError;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      have_value = true;
+    }
+    const Flag* flag = find(arg);
+    if (flag == nullptr) {
+      error_ = "unknown flag: --" + arg;
+      return ParseStatus::kError;
+    }
+    const bool is_bool = std::holds_alternative<bool*>(flag->dest);
+    if (!have_value) {
+      if (is_bool) {
+        value = "true";  // bare --flag sets a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        error_ = "--" + arg + ": missing value";
+        return ParseStatus::kError;
+      }
+    }
+    if (!assign(*flag, value)) return ParseStatus::kError;
+  }
+  return ParseStatus::kOk;
+}
+
+std::string FlagParser::usage() const {
+  std::ostringstream out;
+  out << program_ << ": " << description_ << "\n\nUsage: " << program_
+      << " [--flag=value ...]\n\nFlags:\n";
+  std::size_t width = 2;  // never narrower than "--help"'s column
+  for (const Flag& f : flags_) width = std::max(width, f.name.size());
+  for (const Flag& f : flags_) {
+    out << "  --" << f.name << std::string(width - f.name.size() + 2, ' ')
+        << f.help << " (" << type_name(f.dest.index())
+        << ", default " << f.default_text << ")\n";
+  }
+  out << "  --help" << std::string(width - 2, ' ')
+      << "print this message and exit\n";
+  return out.str();
+}
+
+}  // namespace geoproof

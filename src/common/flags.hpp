@@ -1,0 +1,68 @@
+// Minimal command-line flag parser for the daemon binaries (apps/).
+//
+// Register typed destinations, parse `--name=value` / `--name value` /
+// `--bool-flag`, get a generated --help text. Deliberately tiny: no
+// positional arguments, no subcommands, stdlib only — the daemons need a
+// dozen flags each and nothing more, and the container bakes in no
+// third-party CLI library.
+//
+// Unknown flags, missing values and unparsable values are reported through
+// ParseResult (not exceptions): a daemon's main() prints the error plus
+// usage and exits 2, without a try/catch dance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace geoproof {
+
+class FlagParser {
+ public:
+  enum class ParseStatus {
+    kOk,    // all flags consumed into their destinations
+    kHelp,  // --help seen; caller should print usage() and exit 0
+    kError, // unknown flag / missing / bad value; see error()
+  };
+
+  FlagParser(std::string program, std::string description);
+
+  /// Register a flag writing into `*dest` (must outlive parse()). The
+  /// registered default value is what usage() documents.
+  void add(const std::string& name, std::string* dest, std::string help);
+  void add(const std::string& name, std::uint64_t* dest, std::string help);
+  void add(const std::string& name, std::int64_t* dest, std::string help);
+  void add(const std::string& name, double* dest, std::string help);
+  /// Bool flags accept `--name` (true), `--name=true/false/1/0`.
+  void add(const std::string& name, bool* dest, std::string help);
+  /// Repeatable flag: every occurrence appends to `*dest`.
+  void add(const std::string& name, std::vector<std::string>* dest,
+           std::string help);
+
+  /// Parse argv[1..argc). On kError, error() describes the failure.
+  ParseStatus parse(int argc, const char* const* argv);
+
+  const std::string& error() const { return error_; }
+  std::string usage() const;
+
+ private:
+  using Dest = std::variant<std::string*, std::uint64_t*, std::int64_t*,
+                            double*, bool*, std::vector<std::string>*>;
+  struct Flag {
+    std::string name;
+    Dest dest;
+    std::string help;
+    std::string default_text;
+  };
+
+  const Flag* find(const std::string& name) const;
+  bool assign(const Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::string error_;
+};
+
+}  // namespace geoproof

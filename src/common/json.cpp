@@ -1,0 +1,125 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace geoproof {
+
+namespace {
+
+// Shortest decimal that round-trips a double: %.17g always round-trips but
+// prints 0.1 as 0.10000000000000001; try increasing precision and keep the
+// first that parses back exactly.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  out.append(buf);
+}
+
+}  // namespace
+
+void JsonWriter::comma_for_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key() already placed the comma and ':'
+  }
+  if (!scopes_.empty()) {
+    if (scopes_.back().items > 0) out_.push_back(',');
+    ++scopes_.back().items;
+  }
+}
+
+void JsonWriter::append_escaped(std::string_view v) {
+  out_.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_.push_back('{');
+  scopes_.push_back({false, 0});
+}
+
+void JsonWriter::end_object() {
+  scopes_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_.push_back('[');
+  scopes_.push_back({true, 0});
+}
+
+void JsonWriter::end_array() {
+  scopes_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!scopes_.empty()) {
+    if (scopes_.back().items > 0) out_.push_back(',');
+    ++scopes_.back().items;
+  }
+  append_escaped(k);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  append_escaped(v);
+}
+
+void JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  append_double(out_, v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+}
+
+}  // namespace geoproof

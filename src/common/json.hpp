@@ -1,0 +1,63 @@
+// Minimal JSON emitter for machine-readable reports (geoproof-audit).
+//
+// Write-only and streaming: begin/end nesting with automatic comma
+// placement, string escaping per RFC 8259, doubles via shortest-roundtrip
+// formatting (non-finite values become null — JSON has no NaN). No parser:
+// the C++ side only ever *produces* JSON; the functional harness consumes
+// it with Python's json module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geoproof {
+
+class JsonWriter {
+ public:
+  /// Structural tokens. A document is one value: object, array or scalar.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key for the next value (objects only).
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  /// The document so far. Caller is responsible for having balanced every
+  /// begin with its end.
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  void comma_for_value();
+  void append_escaped(std::string_view v);
+
+  struct Scope {
+    bool array = false;
+    std::size_t items = 0;
+  };
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool pending_key_ = false;
+};
+
+}  // namespace geoproof

@@ -1,0 +1,157 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+#include <sstream>
+
+#include "common/thread_annotations.hpp"
+
+namespace geoproof::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+
+Mutex& stream_mutex() {
+  static Mutex mu;
+  return mu;
+}
+
+std::ostream*& stream_slot() {
+  static std::ostream* stream = nullptr;  // nullptr = stderr
+  return stream;
+}
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_value(std::string& out, std::string_view v) {
+  if (!needs_quoting(v)) {
+    out.append(v);
+    return;
+  }
+  out.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string timestamp_utc() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+  }
+  return "info";
+}
+
+bool parse_level(std::string_view name, Level& out) {
+  if (name == "debug") { out = Level::kDebug; return true; }
+  if (name == "info") { out = Level::kInfo; return true; }
+  if (name == "warn") { out = Level::kWarn; return true; }
+  if (name == "error") { out = Level::kError; return true; }
+  out = Level::kInfo;
+  return false;
+}
+
+Field::Field(std::string k, std::string v)
+    : key(std::move(k)), value(std::move(v)) {}
+Field::Field(std::string k, std::string_view v)
+    : key(std::move(k)), value(v) {}
+Field::Field(std::string k, const char* v) : key(std::move(k)), value(v) {}
+Field::Field(std::string k, std::uint64_t v)
+    : key(std::move(k)), value(std::to_string(v)) {}
+Field::Field(std::string k, std::int64_t v)
+    : key(std::move(k)), value(std::to_string(v)) {}
+Field::Field(std::string k, int v)
+    : key(std::move(k)), value(std::to_string(v)) {}
+Field::Field(std::string k, double v)
+    : key(std::move(k)), value(format_number(v)) {}
+Field::Field(std::string k, bool v)
+    : key(std::move(k)), value(v ? "true" : "false") {}
+
+void set_level(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_stream(std::ostream* stream) {
+  MutexLock lock(stream_mutex());
+  stream_slot() = stream;
+}
+
+void write(Level lvl, std::string_view component, std::string_view msg,
+           const std::vector<Field>& fields) {
+  if (lvl < level()) return;
+  std::string line;
+  line.reserve(96);
+  line += "ts=";
+  line += timestamp_utc();
+  line += " level=";
+  line += to_string(lvl);
+  line += " component=";
+  append_value(line, component);
+  line += " msg=";
+  append_value(line, msg);
+  for (const Field& f : fields) {
+    line.push_back(' ');
+    line += f.key;
+    line.push_back('=');
+    append_value(line, f.value);
+  }
+  line.push_back('\n');
+
+  MutexLock lock(stream_mutex());
+  std::ostream* out = stream_slot();
+  if (out != nullptr) {
+    (*out) << line << std::flush;
+  } else {
+    std::fputs(line.c_str(), stderr);
+    std::fflush(stderr);
+  }
+}
+
+}  // namespace geoproof::log

@@ -1,0 +1,79 @@
+// Structured logging for the daemon binaries.
+//
+// One line per event in logfmt style:
+//
+//   ts=2026-08-08T03:12:45.018Z level=info component=geoproofd
+//       msg="listening" port=41231
+//
+// Values containing spaces, quotes or '=' are double-quoted with backslash
+// escapes, so lines stay machine-splittable; the functional-test harness
+// greps them. Output goes to stderr by default (stdout is reserved for the
+// daemons' READY/FILE handshake lines) and is serialised by an internal
+// mutex so interleaved threads never shear a line.
+//
+// This is intentionally *not* a general logging framework: no sinks, no
+// rotation, no formatting DSL — a process-wide level filter and a
+// redirectable stream (for tests) is all the daemons need.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geoproof::log {
+
+enum class Level : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+std::string_view to_string(Level level);
+/// Parse "debug"/"info"/"warn"/"error" (case-sensitive); defaults to kInfo
+/// on anything else and reports whether the name was recognised.
+bool parse_level(std::string_view name, Level& out);
+
+/// One key=value pair. Values are preformatted strings; numeric helpers
+/// below format in place so call sites stay one-liners.
+struct Field {
+  std::string key;
+  std::string value;
+
+  Field(std::string k, std::string v);
+  Field(std::string k, std::string_view v);
+  Field(std::string k, const char* v);
+  Field(std::string k, std::uint64_t v);
+  Field(std::string k, std::int64_t v);
+  Field(std::string k, int v);
+  Field(std::string k, double v);
+  Field(std::string k, bool v);
+};
+
+/// Process-wide minimum level (default kInfo). Thread-safe.
+void set_level(Level level);
+Level level();
+
+/// Redirect output (tests); nullptr restores stderr. The stream must
+/// outlive all logging. Thread-safe.
+void set_stream(std::ostream* stream);
+
+/// Emit one line; filtered by the process-wide level.
+void write(Level level, std::string_view component, std::string_view msg,
+           const std::vector<Field>& fields = {});
+
+inline void debug(std::string_view component, std::string_view msg,
+                  const std::vector<Field>& fields = {}) {
+  write(Level::kDebug, component, msg, fields);
+}
+inline void info(std::string_view component, std::string_view msg,
+                 const std::vector<Field>& fields = {}) {
+  write(Level::kInfo, component, msg, fields);
+}
+inline void warn(std::string_view component, std::string_view msg,
+                 const std::vector<Field>& fields = {}) {
+  write(Level::kWarn, component, msg, fields);
+}
+inline void error(std::string_view component, std::string_view msg,
+                  const std::vector<Field>& fields = {}) {
+  write(Level::kError, component, msg, fields);
+}
+
+}  // namespace geoproof::log

@@ -1,0 +1,55 @@
+#include "daemon/prover_daemon.hpp"
+
+#include <thread>
+
+#include "common/errors.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/transcript.hpp"
+
+namespace geoproof::daemon {
+
+ProverDaemon::ProverDaemon(ProverConfig config) : config_(std::move(config)) {
+  if (config_.file_bytes == 0) {
+    throw InvalidArgument("ProverDaemon: file_bytes must be > 0");
+  }
+  Rng rng(config_.seed);
+  const Bytes file = rng.next_bytes(
+      static_cast<std::size_t>(config_.file_bytes));
+  const Bytes master_key = rng.next_bytes(16);
+  const por::PorEncoder encoder{por::PorParams{}};
+  file_ = encoder.encode(file, config_.file_id, master_key);
+  log::info("prover", "file encoded",
+            {{"file_id", config_.file_id},
+             {"bytes", config_.file_bytes},
+             {"segments", file_.n_segments},
+             {"segment_bytes", static_cast<std::uint64_t>(file_.segment_bytes)}});
+
+  server_ = std::make_unique<net::TcpServer>(
+      [this](BytesView request) { return serve(request); },
+      net::TcpServer::Options{config_.host, config_.port, /*backlog=*/64});
+  log::info("prover", "listening",
+            {{"host", config_.host}, {"port", server_->port()}});
+}
+
+void ProverDaemon::stop() {
+  if (server_) server_->stop();
+}
+
+Bytes ProverDaemon::serve(BytesView request) {
+  const core::SegmentRequest req = core::SegmentRequest::deserialize(request);
+  if (req.file_id != file_.file_id) {
+    throw StorageError("prover: unknown file " + std::to_string(req.file_id));
+  }
+  if (req.index >= file_.n_segments) {
+    throw StorageError("prover: segment index out of range");
+  }
+  if (config_.stall_ms > 0.0) {
+    std::this_thread::sleep_for(to_nanos(Millis{config_.stall_ms}));
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return file_.segments[static_cast<std::size_t>(req.index)];
+}
+
+}  // namespace geoproof::daemon

@@ -1,0 +1,91 @@
+#include "daemon/signal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace geoproof::daemon {
+
+namespace {
+
+// Handler-visible state. The write fd lives in an atomic (not the object)
+// because a signal handler gets no context pointer; -1 means no instance.
+std::atomic<int> g_write_fd{-1};
+std::atomic<int> g_signo{0};
+
+extern "C" void shutdown_handler(int signo) {
+  // Async-signal-safe only: atomics and write(2). The pipe is O_NONBLOCK,
+  // so a full pipe (already signalled) drops the byte harmlessly — one
+  // byte is all the loop needs.
+  g_signo.store(signo, std::memory_order_relaxed);
+  const int fd = g_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+ShutdownSignal::ShutdownSignal() {
+  int expected = -1;
+  // Reserve the singleton slot before creating anything; a second live
+  // instance would fight over the handler state.
+  if (!g_write_fd.compare_exchange_strong(expected, -2)) {
+    throw NetError("ShutdownSignal: an instance is already installed");
+  }
+  g_signo.store(0, std::memory_order_relaxed);
+
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    g_write_fd.store(-1);
+    throw NetError(std::string("ShutdownSignal: pipe2: ") +
+                   std::strerror(errno));
+  }
+  read_end_ = net::Socket(fds[0]);
+  write_end_ = net::Socket(fds[1]);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = shutdown_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (::sigaction(SIGTERM, &sa, &old_term_) != 0 ||
+      ::sigaction(SIGINT, &sa, &old_int_) != 0) {
+    g_write_fd.store(-1);
+    throw NetError(std::string("ShutdownSignal: sigaction: ") +
+                   std::strerror(errno));
+  }
+  g_write_fd.store(write_end_.fd());
+}
+
+ShutdownSignal::~ShutdownSignal() {
+  // Detach the handler state before the pipe closes so a signal landing
+  // mid-destruction cannot write to a recycled descriptor.
+  g_write_fd.store(-1);
+  ::sigaction(SIGTERM, &old_term_, nullptr);
+  ::sigaction(SIGINT, &old_int_, nullptr);
+}
+
+int ShutdownSignal::received() const {
+  return g_signo.load(std::memory_order_relaxed);
+}
+
+void ShutdownSignal::consume() {
+  char buf[16];
+  while (::read(read_end_.fd(), buf, sizeof buf) > 0) {
+  }
+}
+
+void ShutdownSignal::trigger(int signo) {
+  g_signo.store(signo, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(write_end_.fd(), &byte, 1);
+}
+
+}  // namespace geoproof::daemon

@@ -1,0 +1,56 @@
+// Self-pipe SIGTERM/SIGINT handling for the daemon binaries.
+//
+// A signal handler may only touch async-signal-safe state, so the handler
+// here does the minimum possible: record the signal number in an atomic and
+// write one byte to a non-blocking pipe. The daemon registers the pipe's
+// read end with its main-thread EventLoop and calls loop.stop() when it
+// becomes readable — shutdown then flows through the ordinary teardown
+// path (destructors, joined threads, RAII sockets) instead of exiting from
+// signal context.
+//
+// One instance per process: installing a second while one is live throws.
+// The destructor restores the previous signal dispositions, so tests can
+// install/tear down repeatedly.
+#pragma once
+
+#include <signal.h>
+
+#include "net/async.hpp"
+
+namespace geoproof::daemon {
+
+class ShutdownSignal {
+ public:
+  /// Creates the pipe and installs SIGTERM/SIGINT handlers. Throws
+  /// NetError on pipe/sigaction failure or if an instance already exists.
+  ShutdownSignal();
+  /// Restores the previous signal dispositions.
+  ~ShutdownSignal();
+
+  ShutdownSignal(const ShutdownSignal&) = delete;
+  ShutdownSignal& operator=(const ShutdownSignal&) = delete;
+
+  /// Read end of the self-pipe: becomes readable once a signal fires.
+  /// Register with EventLoop::add_fd(fd(), /*read=*/true, ...).
+  int fd() const { return read_end_.fd(); }
+
+  /// Signal number received, or 0 if none yet. Safe from any thread.
+  int received() const;
+  bool triggered() const { return received() != 0; }
+
+  /// Drain the pipe (the readiness callback should call this so a
+  /// level-triggered loop does not spin on the readable fd).
+  void consume();
+
+  /// Simulate delivery (tests): records `signo` and wakes the pipe
+  /// exactly as the real handler would.
+  void trigger(int signo);
+
+ private:
+  net::Socket read_end_;
+  net::Socket write_end_;
+  struct sigaction old_term_;
+  struct sigaction old_int_;
+};
+
+}  // namespace geoproof::daemon

@@ -84,3 +84,15 @@
 #include "locate/fleet.hpp"
 #include "locate/measurement.hpp"
 #include "locate/multilaterate.hpp"
+
+// Real-process daemons (apps/geoproofd, geoproof-vantage, geoproof-audit):
+// the prover/vantage serving cores, the auditor fan-out client, and the
+// control-protocol wire messages they exchange.
+#include "common/flags.hpp"
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "daemon/auditor_client.hpp"
+#include "daemon/prover_daemon.hpp"
+#include "daemon/signal.hpp"
+#include "daemon/vantage_daemon.hpp"
+#include "daemon/wire.hpp"

@@ -366,6 +366,13 @@ void EventLoop::run() {
   while (!stopping_.load(std::memory_order_acquire)) {
     pump(Millis{100.0});
   }
+  // Final non-blocking drain: a task posted before stop() may have landed
+  // after the last pump swapped the queue out (post and stop race from
+  // other threads), and the stop flag is only checked between pumps. One
+  // more zero-wait pump makes the guarantee deterministic: everything
+  // posted happens-before stop() runs before run() returns — daemons rely
+  // on this for teardown work queued from signal context.
+  pump(Millis{0});
   stopping_.store(false, std::memory_order_release);  // allow a later run()
 }
 

@@ -287,7 +287,9 @@ class EventLoop final : public AsyncDriver {
   /// the number of handlers/timers/tasks run.
   std::size_t pump(Millis max_wait);
   std::size_t pump() override { return pump(Millis{10.0}); }
-  /// Pump until stop() is called.
+  /// Pump until stop() is called. Guarantee: any task whose post()
+  /// happened-before the stop() runs before run() returns (a final
+  /// zero-wait pump drains the posted queue after the stop flag is seen).
   void run();
 
   bool idle() const override;

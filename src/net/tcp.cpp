@@ -205,7 +205,11 @@ std::optional<Bytes> FrameAssembler::next() {
 // TcpServer (non-blocking, multiplexing)
 // --------------------------------------------------------------------------
 
-TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {
+TcpServer::TcpServer(RequestHandler handler)
+    : TcpServer(std::move(handler), Options{}) {}
+
+TcpServer::TcpServer(RequestHandler handler, const Options& options)
+    : handler_(std::move(handler)) {
   if (!handler_) throw InvalidArgument("TcpServer: null handler");
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -217,8 +221,10 @@ TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("TcpServer: bad host \"" + options.host + "\"");
+  }
+  addr.sin_port = htons(options.port);  // 0 = kernel-chosen ephemeral
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     throw NetError(std::string("TcpServer: bind failed: ") +
                    std::strerror(errno));
@@ -229,7 +235,7 @@ TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {
   }
   port_ = ntohs(addr.sin_port);
 
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, options.backlog) != 0) {
     throw NetError(std::string("TcpServer: listen failed: ") +
                    std::strerror(errno));
   }

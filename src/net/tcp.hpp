@@ -67,7 +67,20 @@ class FrameAssembler {
 /// the loop.
 class TcpServer {
  public:
+  /// Bind address. The default requests an ephemeral port on loopback:
+  /// port 0 lets the kernel pick, and port() reports the chosen value —
+  /// spawned-daemon harnesses bind 0 and read the port back instead of
+  /// racing to guess a free one. SO_REUSEADDR is always set, so an
+  /// explicit port can be rebound while a previous owner's connections
+  /// linger in TIME_WAIT.
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-chosen; see port()
+    int backlog = 64;
+  };
+
   explicit TcpServer(RequestHandler handler);
+  TcpServer(RequestHandler handler, const Options& options);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;

@@ -1,0 +1,118 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace geoproof {
+namespace {
+
+using Status = FlagParser::ParseStatus;
+
+Status parse(FlagParser& flags, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParser, ParsesEveryTypeInEqualsForm) {
+  std::string s = "default";
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  FlagParser flags("t", "test");
+  flags.add("str", &s, "");
+  flags.add("uint", &u, "");
+  flags.add("int", &i, "");
+  flags.add("float", &d, "");
+  flags.add("flag", &b, "");
+
+  EXPECT_EQ(parse(flags, {"--str=hello", "--uint=42", "--int=-7",
+                          "--float=2.5", "--flag=true"}),
+            Status::kOk);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(u, 42u);
+  EXPECT_EQ(i, -7);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParser, SeparateValueAndBareBoolForms) {
+  std::string s;
+  bool b = false;
+  FlagParser flags("t", "test");
+  flags.add("str", &s, "");
+  flags.add("flag", &b, "");
+  EXPECT_EQ(parse(flags, {"--str", "spaced value", "--flag"}), Status::kOk);
+  EXPECT_EQ(s, "spaced value");
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParser, RepeatableFlagAppends) {
+  std::vector<std::string> items;
+  FlagParser flags("t", "test");
+  flags.add("item", &items, "");
+  EXPECT_EQ(parse(flags, {"--item=a", "--item=b", "--item", "c"}), Status::kOk);
+  EXPECT_EQ(items, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FlagParser, UntouchedFlagsKeepDefaults) {
+  std::uint64_t u = 99;
+  std::string s = "keep";
+  FlagParser flags("t", "test");
+  flags.add("uint", &u, "");
+  flags.add("str", &s, "");
+  EXPECT_EQ(parse(flags, {"--uint=1"}), Status::kOk);
+  EXPECT_EQ(u, 1u);
+  EXPECT_EQ(s, "keep");
+}
+
+TEST(FlagParser, HelpWinsOverEverything) {
+  std::uint64_t u = 0;
+  FlagParser flags("t", "test");
+  flags.add("uint", &u, "");
+  EXPECT_EQ(parse(flags, {"--uint=3", "--help"}), Status::kHelp);
+  EXPECT_EQ(parse(flags, {"-h"}), Status::kHelp);
+}
+
+TEST(FlagParser, RejectsUnknownFlagAndPositionals) {
+  FlagParser flags("t", "test");
+  EXPECT_EQ(parse(flags, {"--nope=1"}), Status::kError);
+  EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
+  EXPECT_EQ(parse(flags, {"positional"}), Status::kError);
+}
+
+TEST(FlagParser, RejectsBadValues) {
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  FlagParser flags("t", "test");
+  flags.add("uint", &u, "");
+  flags.add("int", &i, "");
+  flags.add("float", &d, "");
+  flags.add("flag", &b, "");
+
+  EXPECT_EQ(parse(flags, {"--uint=-1"}), Status::kError);
+  EXPECT_EQ(parse(flags, {"--uint=12x"}), Status::kError);
+  EXPECT_EQ(parse(flags, {"--int=abc"}), Status::kError);
+  EXPECT_EQ(parse(flags, {"--float=1.2.3"}), Status::kError);
+  EXPECT_EQ(parse(flags, {"--flag=maybe"}), Status::kError);
+  EXPECT_EQ(parse(flags, {"--uint"}), Status::kError);  // missing value
+}
+
+TEST(FlagParser, UsageDocumentsFlagsAndDefaults) {
+  std::uint64_t u = 8;
+  std::string s = "x";
+  FlagParser flags("geoproofd", "prover daemon");
+  flags.add("rounds", &u, "timed rounds");
+  flags.add("host", &s, "bind address");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("geoproofd"), std::string::npos);
+  EXPECT_NE(usage.find("--rounds"), std::string::npos);
+  EXPECT_NE(usage.find("default 8"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geoproof

@@ -1,0 +1,85 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace geoproof {
+namespace {
+
+TEST(JsonWriter, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "prover");
+  w.kv("port", std::uint64_t{4242});
+  w.kv("offset", std::int64_t{-3});
+  w.kv("ratio", 0.5);
+  w.kv("ok", true);
+  w.key("missing");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"prover","port":4242,"offset":-3,"ratio":0.5,)"
+            R"("ok":true,"missing":null})");
+}
+
+TEST(JsonWriter, NestedContainersPlaceCommasAutomatically) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("samples");
+  w.begin_array();
+  w.value(1.5);
+  w.value(2.5);
+  w.begin_object();
+  w.kv("nested", false);
+  w.end_object();
+  w.end_array();
+  w.kv("count", std::uint64_t{3});
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"samples":[1.5,2.5,{"nested":false}],"count":3})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("arr");
+  w.begin_array();
+  w.end_array();
+  w.key("obj");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"arr":[],"obj":{}})");
+}
+
+TEST(JsonWriter, StringsAreEscaped) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("quote \" backslash \\ newline \n tab \t");
+  w.value(std::string_view("ctrl \x01 byte"));
+  w.end_array();
+  EXPECT_EQ(w.str(),
+            "[\"quote \\\" backslash \\\\ newline \\n tab \\t\","
+            "\"ctrl \\u0001 byte\"]");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.1);
+  w.value(-27.4678901234);
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[0.1,-27.4678901234,null,null]");
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  JsonWriter w;
+  w.value("alone");
+  EXPECT_EQ(w.str(), "\"alone\"");
+}
+
+}  // namespace
+}  // namespace geoproof

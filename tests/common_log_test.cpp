@@ -1,0 +1,89 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace geoproof::log {
+namespace {
+
+/// Capture log output for one test and restore stderr + level after.
+class LogCapture {
+ public:
+  LogCapture() : saved_level_(level()) { set_stream(&out_); }
+  ~LogCapture() {
+    set_stream(nullptr);
+    set_level(saved_level_);
+  }
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+  Level saved_level_;
+};
+
+TEST(Log, LineCarriesLevelComponentMessageAndFields) {
+  LogCapture capture;
+  info("prover", "listening", {{"port", 4242}, {"host", "127.0.0.1"}});
+  const std::string line = capture.str();
+  EXPECT_NE(line.find("level=info"), std::string::npos);
+  EXPECT_NE(line.find("component=prover"), std::string::npos);
+  EXPECT_NE(line.find("msg=listening"), std::string::npos);
+  EXPECT_NE(line.find("port=4242"), std::string::npos);
+  EXPECT_NE(line.find("host=127.0.0.1"), std::string::npos);
+  EXPECT_NE(line.find("ts="), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(Log, ValuesWithSpacesAreQuotedAndEscaped) {
+  LogCapture capture;
+  warn("audit", "sweep failed", {{"error", "connect refused \"here\""}});
+  const std::string line = capture.str();
+  EXPECT_NE(line.find("msg=\"sweep failed\""), std::string::npos);
+  EXPECT_NE(line.find("error=\"connect refused \\\"here\\\"\""),
+            std::string::npos);
+}
+
+TEST(Log, LevelFilterSuppressesBelowThreshold) {
+  LogCapture capture;
+  set_level(Level::kWarn);
+  debug("c", "dropped");
+  info("c", "dropped");
+  warn("c", "kept");
+  error("c", "kept");
+  const std::string out = capture.str();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("level=warn"), std::string::npos);
+  EXPECT_NE(out.find("level=error"), std::string::npos);
+}
+
+TEST(Log, FieldFormatsNumericsAndBools) {
+  const Field u("u", std::uint64_t{18446744073709551615ull});
+  EXPECT_EQ(u.value, "18446744073709551615");
+  const Field i("i", std::int64_t{-5});
+  EXPECT_EQ(i.value, "-5");
+  const Field d("d", 2.5);
+  EXPECT_EQ(d.value, "2.5");
+  const Field b("b", true);
+  EXPECT_EQ(b.value, "true");
+}
+
+TEST(Log, ParseLevelRoundTripsAndRejectsUnknown) {
+  Level out;
+  for (const auto lvl :
+       {Level::kDebug, Level::kInfo, Level::kWarn, Level::kError}) {
+    ASSERT_TRUE(parse_level(to_string(lvl), out));
+    EXPECT_EQ(out, lvl);
+  }
+  EXPECT_FALSE(parse_level("verbose", out));
+  EXPECT_EQ(out, Level::kInfo);  // safe default
+}
+
+TEST(Log, EmptyValueIsQuoted) {
+  LogCapture capture;
+  info("c", "m", {{"empty", ""}});
+  EXPECT_NE(capture.str().find("empty=\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geoproof::log

@@ -1,0 +1,231 @@
+// Spawned-fleet audit path, in process: real ProverDaemon + VantageDaemon
+// TcpServers on loopback, driven by AuditorClient — the same objects the
+// apps/ binaries wrap, minus fork/exec (tests/functional covers that).
+//
+// Geography emulation: every process shares one loopback, so each vantage
+// is told the one-way delay its fictional position implies
+// (slope/2 * haversine(vantage, true prover position)) and sleeps it
+// inside the timed window. The auditor never sees the true position — it
+// calibrates from the declared slope and must *recover* it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/auditor_client.hpp"
+#include "daemon/prover_daemon.hpp"
+#include "daemon/vantage_daemon.hpp"
+#include "daemon/wire.hpp"
+#include "net/geo.hpp"
+#include "net/tcp.hpp"
+
+namespace geoproof::daemon {
+namespace {
+
+// RTT grows 0.05 ms per km — a plausible terrestrial-Internet slope that
+// keeps the slowest in-process sweep under a second.
+constexpr double kRttMsPerKm = 0.05;
+
+const net::GeoPoint kTruth = net::places::brisbane();
+
+struct Site {
+  std::string name;
+  net::GeoPoint pos;
+  double lie_rtt_ms = 0.0;  // 0 = honest
+};
+
+/// Spawn one in-process vantage per site, emulating its distance to the
+/// (secret) true prover position.
+std::vector<std::unique_ptr<VantageDaemon>> spawn_fleet(
+    const std::vector<Site>& sites) {
+  std::vector<std::unique_ptr<VantageDaemon>> fleet;
+  for (const Site& site : sites) {
+    VantageConfig config;
+    config.name = site.name;
+    config.latitude_deg = site.pos.lat_deg;
+    config.longitude_deg = site.pos.lon_deg;
+    config.extra_oneway_ms =
+        kRttMsPerKm / 2.0 * net::haversine(site.pos, kTruth).value;
+    config.lie_rtt_ms = site.lie_rtt_ms;
+    fleet.push_back(std::make_unique<VantageDaemon>(config));
+  }
+  return fleet;
+}
+
+AuditorConfig auditor_config(
+    const ProverDaemon& prover,
+    const std::vector<std::unique_ptr<VantageDaemon>>& fleet) {
+  AuditorConfig config;
+  for (const auto& vantage : fleet) {
+    config.vantages.push_back({"127.0.0.1", vantage->port()});
+  }
+  config.prover_port = prover.port();
+  config.file_id = prover.file_id();
+  config.n_segments = prover.n_segments();
+  config.rounds = 4;
+  config.probe_seed = 0xa0d1;
+  config.cal_ms_per_km = kRttMsPerKm;
+  return config;
+}
+
+ProverConfig small_prover() {
+  ProverConfig config;
+  config.file_bytes = 16 * 1024;
+  config.seed = 0xf11e;
+  return config;
+}
+
+TEST(DaemonRoundtrip, HonestFleetRecoversProverPosition) {
+  ProverDaemon prover(small_prover());
+  const auto fleet = spawn_fleet({{"sydney", net::places::sydney()},
+                                  {"melbourne", net::places::melbourne()},
+                                  {"townsville", net::places::townsville()},
+                                  {"adelaide", net::places::adelaide()}});
+
+  AuditorClient client(auditor_config(prover, fleet));
+  const FleetReport report = client.run();
+
+  EXPECT_EQ(report.responded, 4u);
+  EXPECT_EQ(report.completed, 4u);
+  ASSERT_TRUE(report.have_estimate);
+  EXPECT_TRUE(report.estimate.converged);
+  // Generous bound: sleep overshoot on a loaded CI box maps through the
+  // slope to tens of km, not hundreds.
+  EXPECT_LT(net::haversine(report.estimate.position, kTruth).value, 250.0);
+  // Per-vantage delay-derived distances must track the emulated geometry.
+  for (const VantageOutcome& outcome : report.outcomes) {
+    const net::GeoPoint site{outcome.report.latitude_deg,
+                             outcome.report.longitude_deg};
+    const double true_km = net::haversine(site, kTruth).value;
+    EXPECT_NEAR(outcome.distance.value, true_km,
+                0.25 * true_km + 50.0)
+        << outcome.report.vantage_name;
+  }
+  EXPECT_GT(prover.requests_served(), 0u);
+}
+
+TEST(DaemonRoundtrip, ByzantineVantagesAreEjected) {
+  // 7 = 3f + 1 with f = 2: two liars fabricate an implausibly close
+  // prover; the majority floor lets the solver trim exactly them.
+  ProverDaemon prover(small_prover());
+  const auto fleet = spawn_fleet({{"sydney", net::places::sydney()},
+                                  {"melbourne", net::places::melbourne()},
+                                  {"townsville", net::places::townsville()},
+                                  {"adelaide", net::places::adelaide()},
+                                  {"armidale", net::places::armidale()},
+                                  {"perth", net::places::perth(), 10.0},
+                                  {"hobart", net::places::hobart(), 12.0}});
+
+  AuditorClient client(auditor_config(prover, fleet));
+  const FleetReport report = client.run();
+
+  EXPECT_EQ(report.completed, 7u);
+  ASSERT_TRUE(report.have_estimate);
+  EXPECT_TRUE(report.estimate.converged);
+  EXPECT_LT(net::haversine(report.estimate.position, kTruth).value, 250.0);
+  // The liars (fleet indices 5 and 6) must be in the outlier set.
+  EXPECT_EQ(report.estimate.outliers.size(), 2u);
+  for (const std::size_t idx : report.estimate.outliers) {
+    EXPECT_GE(idx, 5u);
+  }
+}
+
+TEST(DaemonRoundtrip, DeadVantageDoesNotBlockTheAudit) {
+  ProverDaemon prover(small_prover());
+  const auto fleet = spawn_fleet({{"sydney", net::places::sydney()},
+                                  {"melbourne", net::places::melbourne()},
+                                  {"townsville", net::places::townsville()}});
+
+  AuditorConfig config = auditor_config(prover, fleet);
+  // A vantage that is not listening: connect fails, the rest proceed.
+  {
+    net::TcpServer placeholder([](BytesView) { return Bytes{}; });
+    config.vantages.push_back({"127.0.0.1", placeholder.port()});
+  }  // stopped: the port is now dead
+
+  AuditorClient client(config);
+  const FleetReport report = client.run();
+
+  EXPECT_EQ(report.responded, 3u);
+  EXPECT_EQ(report.completed, 3u);
+  ASSERT_TRUE(report.have_estimate);
+  EXPECT_FALSE(report.outcomes[3].responded);
+  EXPECT_FALSE(report.outcomes[3].error.empty());
+  EXPECT_LT(net::haversine(report.estimate.position, kTruth).value, 300.0);
+}
+
+TEST(DaemonRoundtrip, VantageAnswersPingOverTheWire) {
+  VantageConfig config;
+  config.name = "sydney";
+  VantageDaemon vantage(config);
+  net::TcpRequestChannel channel("127.0.0.1", vantage.port());
+  const Bytes reply = channel.request(encode(Ping{77}));
+  const Pong pong = decode_pong(reply);
+  EXPECT_EQ(pong.nonce, 77u);
+  EXPECT_EQ(pong.vantage_name, "sydney");
+}
+
+TEST(DaemonRoundtrip, TimingViolationsCountAgainstThreshold) {
+  // A stalled prover pushes every round over a tight per-round budget.
+  ProverConfig prover_config = small_prover();
+  prover_config.stall_ms = 5.0;
+  ProverDaemon prover(prover_config);
+
+  VantageConfig config;
+  config.name = "local";
+  VantageDaemon vantage(config);
+
+  MeasureRequest request;
+  request.prover_host = "127.0.0.1";
+  request.prover_port = prover.port();
+  request.file_id = prover.file_id();
+  request.n_segments = prover.n_segments();
+  request.rounds = 3;
+  request.probe_seed = 9;
+  request.max_rtt_ms = 1.0;
+
+  const SampleReport report = vantage.measure(request);
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(report.rtt_ms.size(), 3u);
+  EXPECT_EQ(report.timing_violations, 3u);
+  for (const double rtt : report.rtt_ms) EXPECT_GT(rtt, 5.0);
+}
+
+TEST(DaemonRoundtrip, UnreachableProverYieldsFailedSweepNotACrash) {
+  VantageConfig config;
+  VantageDaemon vantage(config);
+
+  net::TcpServer placeholder([](BytesView) { return Bytes{}; });
+  const std::uint16_t dead_port = placeholder.port();
+  placeholder.stop();
+
+  MeasureRequest request;
+  request.prover_host = "127.0.0.1";
+  request.prover_port = dead_port;
+  request.file_id = 1;
+  request.n_segments = 10;
+  request.rounds = 2;
+
+  const SampleReport report = vantage.measure(request);
+  EXPECT_FALSE(report.completed);
+  EXPECT_FALSE(report.error.empty());
+}
+
+TEST(DaemonRoundtrip, AuditReportSerialisesToJson) {
+  ProverDaemon prover(small_prover());
+  const auto fleet = spawn_fleet({{"sydney", net::places::sydney()},
+                                  {"melbourne", net::places::melbourne()},
+                                  {"townsville", net::places::townsville()}});
+  AuditorClient client(auditor_config(prover, fleet));
+  const FleetReport report = client.run();
+
+  const std::string json = to_json(client.config(), report);
+  EXPECT_NE(json.find("\"estimate\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"vantages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sydney\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geoproof::daemon

@@ -1,0 +1,219 @@
+"""Spawned-daemon functional-test framework.
+
+Spawns the real apps/ binaries (geoproofd, geoproof-vantage,
+geoproof-audit) as subprocesses and supervises them: wait for handshake
+lines on stdout, SIGTERM at the end, assert a clean exit 0, and never leak
+a process even when the test body throws.
+
+Binary discovery: $GEOPROOF_APPS_DIR (set by the CTest harness to the
+apps/ build directory). Stdlib only — the container installs no
+third-party Python packages.
+"""
+
+import math
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+APPS_DIR = os.environ.get("GEOPROOF_APPS_DIR", "")
+
+# Coordinates mirror src/net/geo.cpp places:: (the paper's Table III
+# cities); the harness uses them to lay out emulated fleets.
+CITIES = {
+    "brisbane": (-27.4698, 153.0251),
+    "armidale": (-30.5120, 151.6690),
+    "sydney": (-33.8688, 151.2093),
+    "townsville": (-19.2590, 146.8169),
+    "melbourne": (-37.8136, 144.9631),
+    "adelaide": (-34.9285, 138.6007),
+    "hobart": (-42.8821, 147.3272),
+    "perth": (-31.9505, 115.8605),
+}
+
+EARTH_RADIUS_KM = 6371.0
+
+
+def haversine_km(a, b):
+    """Great-circle distance between (lat, lon) pairs in degrees."""
+    lat1, lon1, lat2, lon2 = map(math.radians, [a[0], a[1], b[0], b[1]])
+    h = (math.sin((lat2 - lat1) / 2) ** 2
+         + math.cos(lat1) * math.cos(lat2) * math.sin((lon2 - lon1) / 2) ** 2)
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def binary(name):
+    path = os.path.join(APPS_DIR, name)
+    if not (APPS_DIR and os.path.isfile(path) and os.access(path, os.X_OK)):
+        raise RuntimeError(
+            f"binary {name!r} not found under GEOPROOF_APPS_DIR={APPS_DIR!r};"
+            " build the apps/ targets and run through CTest")
+    return path
+
+
+class Daemon:
+    """One spawned binary with line-oriented stdout supervision."""
+
+    def __init__(self, name, argv):
+        self.name = name
+        self.proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        self.stdout_lines = []
+        self.stderr_lines = []
+        self._cond = threading.Condition()
+        self._readers = [
+            threading.Thread(target=self._pump, args=(self.proc.stdout,
+                                                      self.stdout_lines),
+                             daemon=True),
+            threading.Thread(target=self._pump, args=(self.proc.stderr,
+                                                      self.stderr_lines),
+                             daemon=True),
+        ]
+        for t in self._readers:
+            t.start()
+
+    def _pump(self, stream, sink):
+        for line in stream:
+            with self._cond:
+                sink.append(line.rstrip("\n"))
+                self._cond.notify_all()
+        stream.close()
+
+    def wait_for_line(self, pattern, timeout=20.0):
+        """Block until a stdout line matches `pattern`; return the match."""
+        regex = re.compile(pattern)
+        deadline = time.monotonic() + timeout
+        scanned = 0
+        with self._cond:
+            while True:
+                while scanned < len(self.stdout_lines):
+                    match = regex.search(self.stdout_lines[scanned])
+                    scanned += 1
+                    if match:
+                        return match
+                if self.proc.poll() is not None:
+                    raise AssertionError(
+                        f"{self.name} exited (rc={self.proc.returncode}) "
+                        f"before matching {pattern!r}; stderr:\n"
+                        + "\n".join(self.stderr_lines))
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise AssertionError(
+                        f"{self.name}: no stdout line matched {pattern!r} "
+                        f"within {timeout}s; saw {self.stdout_lines!r}")
+                self._cond.wait(remaining)
+
+    def terminate(self):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+
+    def wait_clean(self, timeout=20.0):
+        """SIGTERM contract: the daemon must exit 0 within the timeout."""
+        try:
+            rc = self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            raise AssertionError(
+                f"{self.name} did not exit within {timeout}s of SIGTERM")
+        for t in self._readers:
+            t.join(timeout=5.0)
+        if rc != 0:
+            raise AssertionError(
+                f"{self.name} exited {rc}; stderr:\n"
+                + "\n".join(self.stderr_lines))
+        return rc
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+
+class Harness:
+    """Context manager owning every spawned daemon; kills leftovers."""
+
+    def __init__(self):
+        self.daemons = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        for daemon in self.daemons:
+            daemon.kill()
+        return False
+
+    def spawn(self, name, argv):
+        daemon = Daemon(name, argv)
+        self.daemons.append(daemon)
+        return daemon
+
+    def spawn_prover(self, file_bytes=16384, seed=7, stall_ms=0.0):
+        """Start geoproofd; returns (daemon, port, file_id, n_segments)."""
+        daemon = self.spawn("geoproofd", [
+            binary("geoproofd"),
+            f"--file-bytes={file_bytes}", f"--seed={seed}",
+            f"--stall-ms={stall_ms}",
+        ])
+        port = int(daemon.wait_for_line(r"READY port=(\d+)").group(1))
+        match = daemon.wait_for_line(r"FILE id=(\d+) segments=(\d+)")
+        return daemon, port, int(match.group(1)), int(match.group(2))
+
+    def spawn_vantage(self, name, extra_oneway_ms=0.0, lie_rtt_ms=0.0):
+        """Start geoproof-vantage at city `name`; returns (daemon, port)."""
+        lat, lon = CITIES[name]
+        daemon = self.spawn(f"vantage-{name}", [
+            binary("geoproof-vantage"),
+            f"--name={name}", f"--lat={lat}", f"--lon={lon}",
+            f"--extra-oneway-ms={extra_oneway_ms}",
+            f"--lie-rtt-ms={lie_rtt_ms}",
+        ])
+        port = int(daemon.wait_for_line(r"READY port=(\d+)").group(1))
+        return daemon, port
+
+    def shutdown_all_clean(self):
+        """SIGTERM every daemon, then assert all exited 0."""
+        for daemon in self.daemons:
+            daemon.terminate()
+        for daemon in self.daemons:
+            daemon.wait_clean()
+
+
+def run_audit(vantage_ports, prover_port, file_id, n_segments, rounds=6,
+              cal_ms_per_km=0.05, cal_intercept_ms=0.0, extra_args=()):
+    """Run geoproof-audit to completion; returns (exit code, parsed JSON)."""
+    import json
+    argv = [binary("geoproof-audit"),
+            "--prover-host=127.0.0.1", f"--prover-port={prover_port}",
+            f"--file-id={file_id}", f"--n-segments={n_segments}",
+            f"--rounds={rounds}", f"--cal-ms-per-km={cal_ms_per_km}",
+            f"--cal-intercept-ms={cal_intercept_ms}"]
+    argv += [f"--vantage=127.0.0.1:{port}" for port in vantage_ports]
+    argv += list(extra_args)
+    result = subprocess.run(argv, capture_output=True, text=True, timeout=180)
+    if not result.stdout.strip():
+        raise AssertionError(
+            f"geoproof-audit produced no JSON (rc={result.returncode});"
+            f" stderr:\n{result.stderr}")
+    return result.returncode, json.loads(result.stdout)
+
+
+def main(test_functions):
+    """Minimal runner: execute each function, report, exit non-zero on
+    failure (CTest counts the script's exit code)."""
+    failed = 0
+    for fn in test_functions:
+        print(f"=== {fn.__name__} ===", flush=True)
+        try:
+            fn()
+            print(f"--- {fn.__name__}: PASS", flush=True)
+        except Exception as err:  # noqa: BLE001 - report and continue
+            failed += 1
+            print(f"--- {fn.__name__}: FAIL: {err}", flush=True)
+            import traceback
+            traceback.print_exc()
+    sys.exit(1 if failed else 0)

@@ -1,0 +1,115 @@
+"""Measurement-protocol checks against a spawned prover + vantage pair.
+
+The Python side speaks the MeasureRequest/SampleReport envelope itself
+(wire.py), so the daemons' byte layouts are pinned independently of the
+C++ serializer, and the emulated-delay knob is verified to actually land
+inside the timed window.
+"""
+
+import framework
+import wire
+
+
+def _measure(port, prover_port, file_id, n_segments, rounds=4, seed=5,
+             max_rtt_ms=0.0):
+    sock = wire.connect(port)
+    try:
+        wire.send_frame(sock, wire.measure_request(
+            "127.0.0.1", prover_port, file_id, n_segments, rounds, seed,
+            max_rtt_ms))
+        return wire.parse_sample_report(wire.recv_frame(sock))
+    finally:
+        sock.close()
+
+
+def test_honest_sweep_reports_samples():
+    with framework.Harness() as harness:
+        _, prover_port, file_id, n_segments = harness.spawn_prover()
+        _, vantage_port = harness.spawn_vantage("sydney")
+
+        report = _measure(vantage_port, prover_port, file_id, n_segments,
+                          rounds=6)
+        assert report["completed"], report["error"]
+        assert report["name"] == "sydney"
+        assert abs(report["lat"] - framework.CITIES["sydney"][0]) < 1e-6
+        assert len(report["rtt_ms"]) == 6
+        assert all(rtt > 0 for rtt in report["rtt_ms"])
+        assert report["elapsed_ms"] >= max(report["rtt_ms"])
+
+        harness.shutdown_all_clean()
+
+
+def test_emulated_delay_lands_in_timed_window():
+    oneway_ms = 15.0
+    with framework.Harness() as harness:
+        _, prover_port, file_id, n_segments = harness.spawn_prover()
+        _, vantage_port = harness.spawn_vantage(
+            "melbourne", extra_oneway_ms=oneway_ms)
+
+        report = _measure(vantage_port, prover_port, file_id, n_segments,
+                          rounds=4)
+        assert report["completed"], report["error"]
+        # Every sample must carry the emulated 2x one-way delay; sleep can
+        # only overshoot, so the floor is sharp.
+        assert min(report["rtt_ms"]) >= 2 * oneway_ms, report["rtt_ms"]
+        assert min(report["rtt_ms"]) < 2 * oneway_ms + 50.0, report["rtt_ms"]
+
+        harness.shutdown_all_clean()
+
+
+def test_timing_violations_counted():
+    with framework.Harness() as harness:
+        _, prover_port, file_id, n_segments = harness.spawn_prover(
+            stall_ms=5.0)
+        _, vantage_port = harness.spawn_vantage("sydney")
+
+        report = _measure(vantage_port, prover_port, file_id, n_segments,
+                          rounds=3, max_rtt_ms=1.0)
+        assert report["completed"], report["error"]
+        assert report["timing_violations"] == 3, report
+
+        harness.shutdown_all_clean()
+
+
+def test_unreachable_prover_reported_not_fatal():
+    with framework.Harness() as harness:
+        _, vantage_port = harness.spawn_vantage("sydney")
+        # Port 1 on loopback: nothing listens there in the test container.
+        report = _measure(vantage_port, 1, file_id=1, n_segments=4, rounds=2)
+        assert not report["completed"]
+        assert report["error"]
+        # The vantage survives the failed sweep and still answers.
+        sock = wire.connect(vantage_port)
+        try:
+            wire.send_frame(sock, wire.ping(3))
+            nonce, _ = wire.parse_pong(wire.recv_frame(sock))
+            assert nonce == 3
+        finally:
+            sock.close()
+        harness.shutdown_all_clean()
+
+
+def test_byzantine_vantage_fabricates():
+    with framework.Harness() as harness:
+        _, prover_port, file_id, n_segments = harness.spawn_prover()
+        _, vantage_port = harness.spawn_vantage("perth", lie_rtt_ms=10.0)
+
+        report = _measure(vantage_port, prover_port, file_id, n_segments,
+                          rounds=5)
+        assert report["completed"]
+        assert len(report["rtt_ms"]) == 5
+        # Fabricated samples sit in [lie, 1.02*lie) regardless of the
+        # actual path.
+        assert all(10.0 <= rtt <= 10.3 for rtt in report["rtt_ms"]), report
+
+        harness.shutdown_all_clean()
+
+
+if __name__ == "__main__":
+    framework.main([
+        test_honest_sweep_reports_samples,
+        test_emulated_delay_lands_in_timed_window,
+        test_timing_violations_counted,
+        test_unreachable_prover_reported_not_fatal,
+        test_byzantine_vantage_fabricates,
+    ])

@@ -336,6 +336,75 @@ TEST(EventLoop, StopUnblocksRun) {
 }
 
 // --------------------------------------------------------------------------
+// Deterministic shutdown ordering: the daemon teardown path relies on
+// run()'s guarantee that every task posted happens-before stop() executes
+// before run() returns. These run under TSan in CI.
+// --------------------------------------------------------------------------
+
+TEST(EventLoop, StopDrainsTasksPostedBeforeIt) {
+  // All posts happen-before stop() on the poster thread; none may be lost,
+  // however the post/stop signals interleave with the runner's pumps.
+  constexpr int kTasks = 100;
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread runner([&] { loop.run(); });
+  for (int i = 0; i < kTasks; ++i) loop.post([&] { ++ran; });
+  loop.stop();
+  runner.join();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(EventLoop, PostBeforeStopRunsBeforeRunReturns) {
+  // Single-threaded worst case: the stop flag is already set when run()
+  // starts, so only the final drain can execute the task.
+  EventLoop loop;
+  bool ran = false;
+  loop.post([&] { ran = true; });
+  loop.stop();
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, StopFromPostedTaskStillRunsLaterPosts) {
+  // A task may stop the loop and queue teardown work behind itself (the
+  // daemons' signal handler path); the teardown work must still run.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.post([&] {
+    order.push_back(1);
+    loop.stop();
+    loop.post([&] { order.push_back(2); });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, ShutdownDrainPreservesFifoOrder) {
+  constexpr int kTasks = 32;
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < kTasks; ++i) {
+    loop.post([&order, i] { order.push_back(i); });
+  }
+  loop.stop();
+  loop.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, RunIsReusableAfterStop) {
+  EventLoop loop;
+  loop.stop();
+  loop.run();  // returns immediately, resets the stop flag
+  bool ran = false;
+  loop.post([&] { ran = true; });
+  std::thread stopper([&] { loop.stop(); });
+  loop.run();
+  stopper.join();
+  EXPECT_TRUE(ran);
+}
+
+// --------------------------------------------------------------------------
 // AsyncTcpChannel over a real server
 // --------------------------------------------------------------------------
 

@@ -88,6 +88,38 @@ TEST(TcpServer, ManySmallRequests) {
   }
 }
 
+TEST(TcpServer, PortZeroReportsKernelChosenPort) {
+  TcpServer server([](BytesView req) { return Bytes(req.begin(), req.end()); },
+                   TcpServer::Options{.host = "127.0.0.1", .port = 0});
+  ASSERT_GT(server.port(), 0);
+  TcpRequestChannel client("127.0.0.1", server.port());
+  EXPECT_EQ(client.request(bytes_of("ping")), bytes_of("ping"));
+}
+
+TEST(TcpServer, ExplicitPortBindsAndRebinds) {
+  // Grab a kernel-chosen port, release it, and rebind it explicitly:
+  // SO_REUSEADDR means the second bind succeeds even while the first
+  // server's accepted connection lingers in TIME_WAIT.
+  std::uint16_t port = 0;
+  {
+    TcpServer first([](BytesView req) { return Bytes(req.begin(), req.end()); });
+    port = first.port();
+    TcpRequestChannel client("127.0.0.1", port);
+    EXPECT_EQ(client.request(bytes_of("one")), bytes_of("one"));
+  }
+  TcpServer second([](BytesView) { return bytes_of("two"); },
+                   TcpServer::Options{.port = port});
+  EXPECT_EQ(second.port(), port);
+  TcpRequestChannel client("127.0.0.1", port);
+  EXPECT_EQ(client.request({}), bytes_of("two"));
+}
+
+TEST(TcpServer, BadBindAddressThrows) {
+  EXPECT_THROW((TcpServer([](BytesView) { return Bytes{}; },
+                          TcpServer::Options{.host = "not-an-address"})),
+               NetError);
+}
+
 TEST(TcpServer, StopUnblocksAccept) {
   auto server = std::make_unique<TcpServer>(
       [](BytesView req) { return Bytes(req.begin(), req.end()); });

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the GeoProof tree.
 
-Four rules, each enforcing a discipline the type system cannot:
+Five rules, each enforcing a discipline the type system cannot:
 
   clock      std::chrono::steady_clock / system_clock only in the clock
              abstraction and the explicitly real-time sites (net transport,
@@ -13,6 +13,12 @@ Four rules, each enforcing a discipline the type system cannot:
              other code takes a seeded geoproof::Rng so runs replay.
   test-reg   every tests/*_test.cpp must be registered in
              tests/CMakeLists.txt, or it silently never runs in CI.
+  func-reg   every tests/functional/test_*.py must be registered in
+             tests/functional/CMakeLists.txt, for the same reason.
+
+The pattern rules also cover the daemon binaries under apps/ — spawned
+processes are where an unreplayable RNG or a stray wall-clock read hides
+longest.
 
 Comments and string literals are stripped before matching, so prose about
 steady_clock does not trip the rules. Stdlib only; runs as a CTest entry
@@ -30,7 +36,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, List, NamedTuple
 
-SCAN_DIRS = ("src", "tests", "examples", "bench", "fuzz")
+SCAN_DIRS = ("src", "apps", "tests", "examples", "bench", "fuzz")
 CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 
@@ -71,6 +77,8 @@ RULES = [
                 # Engine sweep pacing is wall-clock by design.
                 "src/core/sharded_engine.hpp",
                 "src/core/sharded_engine.cpp",
+                # Log timestamps are wall-clock metadata, not measured time.
+                "src/common/log.cpp",
                 # Real-thread tests/benches need wall-clock deadlines.
                 "tests/net_async_test.cpp",
                 "bench/bench_setup_overhead.cpp",
@@ -205,8 +213,35 @@ def check_test_registration(root: Path) -> List[Violation]:
     return violations
 
 
+def check_functional_registration(root: Path) -> List[Violation]:
+    func_dir = root / "tests" / "functional"
+    cmake = func_dir / "CMakeLists.txt"
+    if not func_dir.is_dir() or not cmake.is_file():
+        return []
+    registered = set(
+        re.findall(r"(test_[A-Za-z0-9_]+\.py)", cmake.read_text(encoding="utf-8"))
+    )
+    violations = []
+    for path in sorted(func_dir.glob("test_*.py")):
+        if path.name not in registered:
+            violations.append(
+                Violation(
+                    f"tests/functional/{path.name}",
+                    0,
+                    "func-reg",
+                    "not registered in tests/functional/CMakeLists.txt; it "
+                    "will never run in CI",
+                )
+            )
+    return violations
+
+
 def collect_violations(root: Path) -> List[Violation]:
-    return check_patterns(root) + check_test_registration(root)
+    return (
+        check_patterns(root)
+        + check_test_registration(root)
+        + check_functional_registration(root)
+    )
 
 
 def main(argv: List[str]) -> int:
@@ -226,6 +261,10 @@ def main(argv: List[str]) -> int:
         for rule in RULES:
             print(f"{rule.name}: {rule.message}")
         print("test-reg: every tests/*_test.cpp registered in CMakeLists.txt")
+        print(
+            "func-reg: every tests/functional/test_*.py registered in "
+            "tests/functional/CMakeLists.txt"
+        )
         return 0
 
     root = args.root.resolve()

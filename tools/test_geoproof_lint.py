@@ -140,6 +140,47 @@ class TestRegistrationRuleTest(unittest.TestCase):
         self.assertEqual(geoproof_lint.check_test_registration(root), [])
 
 
+class FunctionalRegistrationRuleTest(unittest.TestCase):
+    def test_unregistered_script_is_flagged(self):
+        root = make_tree(
+            {
+                "tests/functional/CMakeLists.txt":
+                    "set(F\n  test_lifecycle.py)\n",
+                "tests/functional/test_lifecycle.py": "pass\n",
+                "tests/functional/test_orphan.py": "pass\n",
+                "tests/functional/framework.py": "pass\n",
+            }
+        )
+        violations = geoproof_lint.check_functional_registration(root)
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0].path, "tests/functional/test_orphan.py")
+        self.assertEqual(violations[0].rule, "func-reg")
+
+    def test_helpers_without_test_prefix_are_ignored(self):
+        root = make_tree(
+            {
+                "tests/functional/CMakeLists.txt": "set(F test_a.py)\n",
+                "tests/functional/test_a.py": "pass\n",
+                "tests/functional/wire.py": "pass\n",
+            }
+        )
+        self.assertEqual(geoproof_lint.check_functional_registration(root), [])
+
+    def test_tree_without_functional_dir_is_clean(self):
+        root = make_tree({"tests/CMakeLists.txt": "set(S)\n"})
+        self.assertEqual(geoproof_lint.check_functional_registration(root), [])
+
+
+class AppsScanTest(unittest.TestCase):
+    def test_apps_sources_are_scanned(self):
+        root = make_tree(
+            {"apps/mydaemon.cpp": "auto t = std::chrono::system_clock::now();\n"}
+        )
+        violations = geoproof_lint.check_patterns(root)
+        self.assertEqual(rules_hit(violations), ["clock"])
+        self.assertEqual(violations[0].path, "apps/mydaemon.cpp")
+
+
 class RealTreeTest(unittest.TestCase):
     def test_repository_is_clean(self):
         repo = Path(__file__).resolve().parent.parent
