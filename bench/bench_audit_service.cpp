@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/audit_service.hpp"
@@ -128,6 +129,26 @@ void BM_ServiceRunOnceMac(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ServiceRunOnceMac);
+
+/// Batched MAC audits: one Merkle signature and one batched verify per
+/// run of `range(0)` audits of the same registration. items/s here over
+/// BM_ServiceRunOnceMac's is the batching speedup — same world, same
+/// registration, so the ratio isolates the amortised signing and
+/// key-schedule cost. (bench_million_registry covers batches scattered
+/// across a large arena.)
+void BM_ServiceRunBatchMac(benchmark::State& state) {
+  ServiceWorld w;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint64_t> ids(batch, 1);
+  const AuditService::Now now = [&w] { return w.clock.now(); };
+  for (auto _ : state) {
+    w.ensure_keys(state);
+    benchmark::DoNotOptimize(w.service->run_batch(now, ids));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ServiceRunBatchMac)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_ServiceRunOnceDynamic(benchmark::State& state) {
   ServiceWorld w;

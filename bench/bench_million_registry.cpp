@@ -1,0 +1,203 @@
+// Million-registration control plane: the arena registry's scaling proof.
+//
+// BM_RegistryAdd measures registration throughput at 1e4 -> 1e6 targets;
+// BM_RegistryRunOnce pins the flat-per-audit-cost claim (the per-audit
+// time at 1e6 registrations must stay within noise of the 1e4 time — a
+// per-call map walk or history scan would show up as a slope);
+// BM_RegistryRunBatch measures the batched sign/verify path that amortises
+// one Merkle signature across a whole run (the 10-100x lever over
+// bench_audit_service's BM_ServiceRunOnceMac); BM_ComplianceSnapshot shows
+// aggregate compliance is an O(1) counter read at any registry size.
+//
+// The provider is procedural: any (file_id, index) segment is synthesised
+// on demand with a valid tag, so a million registered files cost no
+// backing store and the bench measures the control plane, not memcpy.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/audit_service.hpp"
+#include "core/provider.hpp"
+#include "net/channel.hpp"
+#include "por/params.hpp"
+
+namespace {
+
+using namespace geoproof;
+using namespace geoproof::core;
+
+constexpr net::GeoPoint kSite{-27.47, 153.02};
+constexpr std::uint64_t kSegmentsPerFile = 64;
+constexpr std::uint32_t kChallenge = 10;
+/// Fibonacci-hash stride: visits ids in a scattered, deterministic order
+/// so the flat-cost runs touch cold slots across the whole arena.
+constexpr std::uint64_t kStride = 2654435761ull;
+
+/// Serves any (file_id, index) with deterministic bytes and a freshly
+/// computed valid tag — one cached SegmentMac per touched file.
+struct ProceduralProvider {
+  por::PorParams params;
+  Bytes master;
+  std::unordered_map<std::uint64_t, std::unique_ptr<crypto::SegmentMac>>
+      macs;
+
+  net::RequestHandler handler() {
+    return [this](BytesView request) {
+      const SegmentRequest req = SegmentRequest::deserialize(request);
+      auto& mac = macs[req.file_id];
+      if (!mac) {
+        mac = std::make_unique<crypto::SegmentMac>(
+            por::PorKeys::derive(master, req.file_id, params.tag).mac_key,
+            params.tag);
+      }
+      Bytes wire(params.blocks_per_segment * params.block_size);
+      for (std::size_t i = 0; i < wire.size(); ++i) {
+        wire[i] = static_cast<std::uint8_t>(req.file_id * 31 + req.index * 7 +
+                                            i);
+      }
+      append(wire, mac->tag({wire.data(), wire.size()}, req.index,
+                            req.file_id));
+      return wire;
+    };
+  }
+};
+
+/// One MAC scheme, one device, one LAN channel, n registrations.
+struct RegistryWorld {
+  const Bytes master = bytes_of("bench-million-registry-master");
+  por::PorParams params;
+  SimClock clock;
+  net::SimAuditTimer timer{clock};
+  ProceduralProvider provider;
+  std::unique_ptr<net::SimRequestChannel> channel;
+  std::unique_ptr<VerifierDevice> verifier;
+  std::unique_ptr<MacAuditScheme> scheme;
+  AuditService service{AuditService::Options{.history_limit = 8}};
+  std::uint64_t n;
+
+  explicit RegistryWorld(std::uint64_t n_regs, unsigned signer_height = 10)
+      : n(n_regs) {
+    provider.params = params;
+    provider.master = master;
+    channel = std::make_unique<net::SimRequestChannel>(
+        clock, net::lan_latency(net::LanModel{}, Kilometers{0.1}, 5),
+        provider.handler());
+    VerifierDevice::Config vcfg;
+    vcfg.position = kSite;
+    vcfg.signer_height = signer_height;
+    verifier = std::make_unique<VerifierDevice>(vcfg, *channel, timer);
+    AuditorConfig cfg;
+    cfg.master_key = master;
+    cfg.expected_position = kSite;
+    cfg.policy = LatencyPolicy::for_disk(storage::wd2500jd());
+    cfg.verifier_pk = verifier->public_key();
+    scheme = std::make_unique<MacAuditScheme>(cfg, params);
+    for (std::uint64_t id = 1; id <= n; ++id) {
+      service.add(*scheme, *verifier,
+                  FileRecord{id, kSegmentsPerFile, 0}, kChallenge, "m");
+    }
+  }
+
+  AuditService::Now now() {
+    return [this] { return clock.now(); };
+  }
+};
+
+/// Registration throughput: N adds (default labels) into a fresh service.
+void BM_RegistryAdd(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  RegistryWorld w(0, /*signer_height=*/4);  // adds consume no keys
+  for (auto _ : state) {
+    AuditService service;
+    for (std::uint64_t id = 1; id <= n; ++id) {
+      service.add(*w.scheme, *w.verifier, FileRecord{id, kSegmentsPerFile, 0},
+                  kChallenge);
+    }
+    benchmark::DoNotOptimize(service.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RegistryAdd)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+/// The flat-cost claim: one audit through a registry of N registrations.
+/// Per-iteration time must not grow with N (acceptance: 1e6 within 1.25x
+/// of 1e4). Fixed iterations keep the run inside one device key budget.
+void BM_RegistryRunOnce(benchmark::State& state) {
+  RegistryWorld w(static_cast<std::uint64_t>(state.range(0)));
+  const AuditService::Now now = w.now();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t id = 1 + (i++ * kStride) % w.n;
+    benchmark::DoNotOptimize(w.service.run_once(now, id));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryRunOnce)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Iterations(512)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Batched signing and verification: one Merkle signature per run of
+/// `range(0)` audits. items/s here vs BM_ServiceRunOnceMac's is the
+/// amortisation factor.
+void BM_RegistryRunBatch(benchmark::State& state) {
+  RegistryWorld w(100000);
+  const AuditService::Now now = w.now();
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t i = 0;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(batch);
+  for (auto _ : state) {
+    ids.clear();
+    for (std::uint64_t b = 0; b < batch; ++b) {
+      ids.push_back(1 + (i++ * kStride) % w.n);
+    }
+    benchmark::DoNotOptimize(w.service.run_batch(now, ids));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_RegistryRunBatch)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Iterations(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Aggregate + per-id compliance reads: O(1) counter snapshots regardless
+/// of registry size or audit history depth. Each iteration performs 1024
+/// read pairs so the per-iteration time sits in the microseconds — single
+/// nanosecond-scale reads are too noisy for the smoke regression gate.
+void BM_ComplianceSnapshot(benchmark::State& state) {
+  constexpr std::uint64_t kReadsPerIter = 1024;
+  RegistryWorld w(static_cast<std::uint64_t>(state.range(0)),
+                  /*signer_height=*/4);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    for (std::uint64_t r = 0; r < kReadsPerIter; ++r) {
+      benchmark::DoNotOptimize(w.service.compliance());
+      benchmark::DoNotOptimize(
+          w.service.compliance(1 + (i++ * kStride) % w.n));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kReadsPerIter));
+}
+BENCHMARK(BM_ComplianceSnapshot)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

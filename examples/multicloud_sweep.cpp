@@ -261,16 +261,21 @@ int main() {
     const auto& reg = service.registration(id);
     const auto c = service.compliance(id);
     const auto& last = service.history(id).back().report;
-    std::printf("%-16s %-14s %8u %8u %8.1f%% %10s %s\n", reg.label.c_str(),
-                sites[id - 1]->disk_name.c_str(), c.total, c.passed,
+    std::printf("%-16s %-14s %8llu %8llu %8.1f%% %10s %s\n",
+                reg.label.c_str(), sites[id - 1]->disk_name.c_str(),
+                static_cast<unsigned long long>(c.total),
+                static_cast<unsigned long long>(c.passed),
                 100.0 * c.rate(), c.meets(0.99) ? "MET" : "BREACHED",
                 last.accepted ? "-" : last.summary().c_str());
   }
 
   std::printf("\nengine: %s\n", engine.summary().c_str());
   const auto aggregate = engine.compliance_all();
-  std::printf("fleet aggregate: %u/%u engine-driven audits passed (%.1f%%)\n",
-              aggregate.passed, aggregate.total, 100.0 * aggregate.rate());
+  std::printf("fleet aggregate: %llu/%llu engine-driven audits passed "
+              "(%.1f%%)\n",
+              static_cast<unsigned long long>(aggregate.passed),
+              static_cast<unsigned long long>(aggregate.total),
+              100.0 * aggregate.rate());
   std::printf("\nreading the table: timing failures = the data moved; tag "
               "failures = the data rotted (sentinel values or Merkle "
               "proofs). One engine, three flavours, every provider watched "

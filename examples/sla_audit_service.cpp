@@ -143,10 +143,13 @@ int main() {
   const auto print_row = [&](std::uint64_t id, const std::string& disk) {
     const auto& reg = service.registration(id);
     const auto c = service.compliance(id);
-    std::printf("%-16s %-14s %8u %8u %9.1f%% %12s %18u\n",
-                reg.label.c_str(), disk.c_str(), c.total, c.passed,
+    std::printf("%-16s %-14s %8llu %8llu %9.1f%% %12s %18llu\n",
+                reg.label.c_str(), disk.c_str(),
+                static_cast<unsigned long long>(c.total),
+                static_cast<unsigned long long>(c.passed),
                 100.0 * c.rate(), c.meets(0.99) ? "MET" : "BREACHED",
-                service.consecutive_failures(id));
+                static_cast<unsigned long long>(
+                    service.consecutive_failures(id)));
   };
   for (const Site& site : sites) {
     print_row(site.registration, site.disk.name);
@@ -154,10 +157,11 @@ int main() {
   print_row(dyn_registration, sites[0].disk.name);
 
   const auto aggregate = service.compliance();
-  std::printf("\nfleet aggregate: %u/%u audits passed (%.1f%%) across %zu "
-              "registrations\n",
-              aggregate.passed, aggregate.total, 100.0 * aggregate.rate(),
-              service.size());
+  std::printf("\nfleet aggregate: %llu/%llu audits passed (%.1f%%) across "
+              "%zu registrations\n",
+              static_cast<unsigned long long>(aggregate.passed),
+              static_cast<unsigned long long>(aggregate.total),
+              100.0 * aggregate.rate(), service.size());
 
   std::printf("\nfailure signatures (last audit of each registration):\n");
   for (const std::uint64_t id : service.file_ids()) {

@@ -91,12 +91,21 @@ bool FlagParser::assign(const Flag& flag, const std::string& value) {
     }
     return true;
   }
-  // Numeric flags share strtoX error handling.
+  // Numeric flags share strtoX error handling. The strtoX family skips
+  // leading whitespace and accepts stray signs, so checking only the end
+  // pointer would let `--rounds=" -1"` parse as 2^64-1: unsigned flags
+  // accept bare decimal digit strings exclusively, and the signed/float
+  // paths reject any whitespace before handing over to strtoX.
   if (value.empty()) return fail("empty value");
+  if (value.find_first_of(" \t\n\v\f\r") != std::string::npos) {
+    return fail("whitespace in numeric value");
+  }
   errno = 0;
   char* end = nullptr;
   if (auto* u = std::get_if<std::uint64_t*>(&flag.dest)) {
-    if (value[0] == '-') return fail("negative value for unsigned flag");
+    if (value.find_first_not_of("0123456789") != std::string::npos) {
+      return fail("expected unsigned integer (decimal digits only)");
+    }
     const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
     if (errno != 0 || end == nullptr || *end != '\0') {
       return fail("expected unsigned integer");

@@ -1,10 +1,65 @@
 #include "core/audit_service.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/errors.hpp"
 
 namespace geoproof::core {
+
+namespace {
+void copy_counter(std::atomic<std::uint64_t>& dst,
+                  const std::atomic<std::uint64_t>& src) {
+  dst.store(src.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+}  // namespace
+
+// Slots move only while audits are quiescent (arena growth in add()), so
+// relaxed counter copies are exact.
+AuditService::Slot::Slot(Slot&& other) noexcept
+    : reg(std::move(other.reg)),
+      history_head(other.history_head),
+      live(other.live) {
+  copy_counter(counters.total, other.counters.total);
+  copy_counter(counters.passed, other.counters.passed);
+  copy_counter(counters.tail_failures, other.counters.tail_failures);
+}
+
+AuditService::Slot& AuditService::Slot::operator=(Slot&& other) noexcept {
+  reg = std::move(other.reg);
+  history_head = other.history_head;
+  live = other.live;
+  copy_counter(counters.total, other.counters.total);
+  copy_counter(counters.passed, other.counters.passed);
+  copy_counter(counters.tail_failures, other.counters.tail_failures);
+  return *this;
+}
+
+AuditService::AuditService(AuditService&& other) noexcept
+    : options_(other.options_),
+      slots_(std::move(other.slots_)),
+      free_(std::move(other.free_)),
+      index_(std::move(other.index_)),
+      ordered_ids_(std::move(other.ordered_ids_)),
+      order_dirty_(other.order_dirty_) {
+  copy_counter(agg_total_, other.agg_total_);
+  copy_counter(agg_passed_, other.agg_passed_);
+  copy_counter(agg_epoch_, other.agg_epoch_);
+}
+
+AuditService& AuditService::operator=(AuditService&& other) noexcept {
+  options_ = other.options_;
+  slots_ = std::move(other.slots_);
+  free_ = std::move(other.free_);
+  index_ = std::move(other.index_);
+  ordered_ids_ = std::move(other.ordered_ids_);
+  order_dirty_ = other.order_dirty_;
+  copy_counter(agg_total_, other.agg_total_);
+  copy_counter(agg_passed_, other.agg_passed_);
+  copy_counter(agg_epoch_, other.agg_epoch_);
+  return *this;
+}
 
 AuditService::AuditService(AuditScheme& scheme, VerifierDevice& verifier,
                            FileRecord file, std::uint32_t challenge_size) {
@@ -17,10 +72,20 @@ std::uint64_t AuditService::add(AuditScheme& scheme, VerifierDevice& verifier,
   if (challenge_size == 0) {
     throw InvalidArgument("AuditService: challenge_size must be >= 1");
   }
-  if (registry_.count(file.file_id) != 0) {
+  const std::uint32_t slot_idx =
+      free_.empty() ? static_cast<std::uint32_t>(slots_.size()) : free_.back();
+  // Single hash probe for the duplicate check and the insert.
+  const auto [it, inserted] = index_.try_emplace(file.file_id, slot_idx);
+  if (!inserted) {
     throw InvalidArgument("AuditService: file id already registered");
   }
-  Registration reg;
+  if (free_.empty()) {
+    slots_.emplace_back();
+  } else {
+    free_.pop_back();
+  }
+  Slot& slot = slots_[slot_idx];
+  Registration& reg = slot.reg;
   reg.file_id = file.file_id;
   reg.label = label.empty()
                   ? scheme.name() + "/file-" + std::to_string(file.file_id)
@@ -29,56 +94,127 @@ std::uint64_t AuditService::add(AuditScheme& scheme, VerifierDevice& verifier,
   reg.verifier = &verifier;
   reg.file = file;
   reg.challenge_size = challenge_size;
-  registry_.emplace(file.file_id, std::move(reg));
+  reg.history.clear();
+  slot.counters.total.store(0, std::memory_order_relaxed);
+  slot.counters.passed.store(0, std::memory_order_relaxed);
+  slot.counters.tail_failures.store(0, std::memory_order_relaxed);
+  slot.history_head = 0;
+  slot.live = true;
+  order_dirty_ = true;
   return file.file_id;
 }
 
 void AuditService::remove(std::uint64_t file_id) {
-  if (registry_.erase(file_id) == 0) {
+  const auto it = index_.find(file_id);
+  if (it == index_.end()) {
     throw InvalidArgument("AuditService: unknown file id");
   }
+  Slot& slot = slots_[it->second];
+  // Registry mutation is quiescent by contract, so folding this
+  // registration's contribution out of the aggregate needs no ordering —
+  // the epoch bump still publishes the change to later snapshot readers.
+  agg_passed_.fetch_sub(slot.counters.passed.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  agg_total_.fetch_sub(slot.counters.total.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  agg_epoch_.fetch_add(1, std::memory_order_release);
+  slot.reg = Registration{};
+  slot.counters.total.store(0, std::memory_order_relaxed);
+  slot.counters.passed.store(0, std::memory_order_relaxed);
+  slot.counters.tail_failures.store(0, std::memory_order_relaxed);
+  slot.history_head = 0;
+  slot.live = false;
+  free_.push_back(it->second);
+  index_.erase(it);
+  order_dirty_ = true;
 }
 
 bool AuditService::has(std::uint64_t file_id) const {
-  return registry_.count(file_id) != 0;
+  return index_.find(file_id) != index_.end();
+}
+
+const std::vector<std::uint64_t>& AuditService::ordered_ids() const {
+  if (order_dirty_) {
+    ordered_ids_.clear();
+    ordered_ids_.reserve(index_.size());
+    for (const auto& [id, slot_idx] : index_) ordered_ids_.push_back(id);
+    std::sort(ordered_ids_.begin(), ordered_ids_.end());
+    order_dirty_ = false;
+  }
+  return ordered_ids_;
 }
 
 std::vector<std::uint64_t> AuditService::file_ids() const {
-  std::vector<std::uint64_t> ids;
-  ids.reserve(registry_.size());
-  for (const auto& [id, reg] : registry_) ids.push_back(id);
-  return ids;
+  return ordered_ids();
 }
 
-AuditService::Registration& AuditService::find(std::uint64_t file_id) {
-  const auto it = registry_.find(file_id);
-  if (it == registry_.end()) {
+AuditService::Slot& AuditService::find_slot(std::uint64_t file_id) {
+  const auto it = index_.find(file_id);
+  if (it == index_.end()) {
     throw InvalidArgument("AuditService: unknown file id");
   }
-  return it->second;
+  return slots_[it->second];
 }
 
-const AuditService::Registration& AuditService::find(
+const AuditService::Slot& AuditService::find_slot(
     std::uint64_t file_id) const {
-  const auto it = registry_.find(file_id);
-  if (it == registry_.end()) {
+  const auto it = index_.find(file_id);
+  if (it == index_.end()) {
     throw InvalidArgument("AuditService: unknown file id");
   }
-  return it->second;
+  return slots_[it->second];
 }
 
-const AuditService::Registration& AuditService::sole(const char* what) const {
-  if (registry_.size() != 1) {
+const AuditService::Slot& AuditService::sole(const char* what) const {
+  if (index_.size() != 1) {
     throw InvalidArgument(std::string("AuditService::") + what +
                           ": requires exactly one registration; pass a "
                           "file id");
   }
-  return registry_.begin()->second;
+  return slots_[index_.begin()->second];
 }
 
 const AuditService::Registration& AuditService::registration(
     std::uint64_t file_id) const {
-  return find(file_id);
+  return find_slot(file_id).reg;
+}
+
+std::uint32_t AuditService::slot_of(std::uint64_t file_id) const {
+  const auto it = index_.find(file_id);
+  if (it == index_.end()) {
+    throw InvalidArgument("AuditService: unknown file id");
+  }
+  return it->second;
+}
+
+const AuditReport& AuditService::append_entry(Slot& slot, Entry entry) {
+  Registration& reg = slot.reg;
+  const bool accepted = entry.report.accepted;
+  std::size_t pos;
+  if (options_.history_limit != 0 &&
+      reg.history.size() >= options_.history_limit) {
+    // Bounded ring: overwrite the oldest entry in place; history() rotates
+    // back to chronological order on read.
+    pos = slot.history_head;
+    reg.history[pos] = std::move(entry);
+    slot.history_head = (slot.history_head + 1) % options_.history_limit;
+  } else {
+    reg.history.push_back(std::move(entry));
+    pos = reg.history.size() - 1;
+  }
+  // Publish counters in the order the snapshot readers reverse: total
+  // (relaxed), passed (release), epoch (release). See the header.
+  slot.counters.total.fetch_add(1, std::memory_order_relaxed);
+  if (accepted) {
+    slot.counters.passed.fetch_add(1, std::memory_order_release);
+    slot.counters.tail_failures.store(0, std::memory_order_relaxed);
+  } else {
+    slot.counters.tail_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  agg_total_.fetch_add(1, std::memory_order_relaxed);
+  if (accepted) agg_passed_.fetch_add(1, std::memory_order_release);
+  agg_epoch_.fetch_add(1, std::memory_order_release);
+  return reg.history[pos].report;
 }
 
 const AuditReport& AuditService::run_once(const SimClock& clock,
@@ -88,28 +224,27 @@ const AuditReport& AuditService::run_once(const SimClock& clock,
 
 const AuditReport& AuditService::run_once(const Now& now,
                                           std::uint64_t file_id) {
-  Registration& reg = find(file_id);
+  Slot& slot = find_slot(file_id);
   Entry entry;
-  entry.report = reg.scheme->audit_once(reg.file, reg.challenge_size,
-                                        *reg.verifier);
+  entry.report = slot.reg.scheme->audit_once(
+      slot.reg.file, slot.reg.challenge_size, *slot.reg.verifier);
   entry.at = now();
-  reg.history.push_back(std::move(entry));
-  return reg.history.back().report;
+  return append_entry(slot, std::move(entry));
 }
 
 void AuditService::begin_once(const Now& now, std::uint64_t file_id,
                               Completion done) {
-  Registration& reg = find(file_id);
-  // `reg` is a map node: stable for the session's lifetime under the
+  Slot& slot = find_slot(file_id);
+  // Slot addresses are stable for the session's lifetime under the
   // no-add/remove-while-auditing contract.
-  reg.scheme->begin_audit(
-      reg.file, reg.challenge_size, *reg.verifier,
-      [&reg, now, done = std::move(done)](AuditReport&& report) {
+  slot.reg.scheme->begin_audit(
+      slot.reg.file, slot.reg.challenge_size, *slot.reg.verifier,
+      [this, &slot, now, done = std::move(done)](AuditReport&& report) {
         Entry entry;
         entry.report = std::move(report);
         entry.at = now();
-        reg.history.push_back(std::move(entry));
-        if (done) done(reg.history.back().report);
+        const AuditReport& recorded = append_entry(slot, std::move(entry));
+        if (done) done(recorded);
       });
 }
 
@@ -118,17 +253,89 @@ void AuditService::record(std::uint64_t file_id, Nanos at,
   Entry entry;
   entry.at = at;
   entry.report = std::move(report);
-  find(file_id).history.push_back(std::move(entry));
+  (void)append_entry(find_slot(file_id), std::move(entry));
 }
 
 const AuditReport& AuditService::run_once(const SimClock& clock) {
-  return run_once(clock, sole("run_once").file_id);
+  return run_once(clock, sole("run_once").reg.file_id);
 }
 
-unsigned AuditService::run_all(const SimClock& clock) {
-  unsigned passed = 0;
-  for (auto& [id, reg] : registry_) {
+std::uint64_t AuditService::run_all(const SimClock& clock) {
+  std::uint64_t passed = 0;
+  for (const std::uint64_t id : ordered_ids()) {
     if (run_once(clock, id).accepted) ++passed;
+  }
+  return passed;
+}
+
+std::uint64_t AuditService::run_batch(const Now& now,
+                                      const std::vector<std::uint64_t>& ids,
+                                      const BatchReportHook& on_report) {
+  std::uint64_t passed = 0;
+  std::size_t begin = 0;
+  while (begin < ids.size()) {
+    // Maximal consecutive run sharing one (scheme, verifier) pair: one
+    // device signature and one TPA signature check per group.
+    const Slot& lead = find_slot(ids[begin]);
+    std::size_t end = begin + 1;
+    while (end < ids.size()) {
+      const Slot& next = find_slot(ids[end]);
+      if (next.reg.scheme != lead.reg.scheme ||
+          next.reg.verifier != lead.reg.verifier) {
+        break;
+      }
+      ++end;
+    }
+    passed += run_group(now, ids, begin, end, on_report);
+    begin = end;
+  }
+  return passed;
+}
+
+std::uint64_t AuditService::run_group(const Now& now,
+                                      const std::vector<std::uint64_t>& ids,
+                                      std::size_t begin, std::size_t end,
+                                      const BatchReportHook& on_report) {
+  Slot& lead = find_slot(ids[begin]);
+  AuditScheme& scheme = *lead.reg.scheme;
+  VerifierDevice& verifier = *lead.reg.verifier;
+  std::uint64_t passed = 0;
+  try {
+    std::vector<FileRecord> files;
+    std::vector<AuditRequest> requests;
+    files.reserve(end - begin);
+    requests.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const Slot& slot = find_slot(ids[i]);
+      files.push_back(slot.reg.file);
+      requests.push_back(
+          scheme.make_request(slot.reg.file, slot.reg.challenge_size));
+    }
+    const BatchedTranscripts batch = verifier.run_audit_batch(requests);
+    std::vector<AuditReport> reports = scheme.verify_batch(files, batch);
+    for (std::size_t i = begin; i < end; ++i) {
+      Entry entry;
+      entry.report = std::move(reports[i - begin]);
+      entry.at = now();
+      const AuditReport& recorded =
+          append_entry(find_slot(ids[i]), std::move(entry));
+      if (recorded.accepted) ++passed;
+      if (on_report) on_report(ids[i], recorded);
+    }
+  } catch (const Error&) {
+    // A scheme/device error (key exhaustion, sentinel supply, transport)
+    // is this group's problem alone: record every member as aborted and
+    // let the remaining groups run — the engine's fault-isolation
+    // convention.
+    for (std::size_t i = begin; i < end; ++i) {
+      Entry entry;
+      entry.at = now();
+      entry.report.accepted = false;
+      entry.report.failures.push_back(AuditFailure::kAborted);
+      const AuditReport& recorded =
+          append_entry(find_slot(ids[i]), std::move(entry));
+      if (on_report) on_report(ids[i], recorded);
+    }
   }
   return passed;
 }
@@ -136,7 +343,7 @@ unsigned AuditService::run_all(const SimClock& clock) {
 void AuditService::schedule(EventQueue& queue, const SimClock& clock,
                             std::uint64_t file_id, Nanos start, Nanos interval,
                             unsigned count) {
-  (void)find(file_id);  // fail fast on unknown registrations
+  (void)find_slot(file_id);  // fail fast on unknown registrations
   for (unsigned i = 0; i < count; ++i) {
     queue.schedule_at(start + interval * static_cast<std::int64_t>(i),
                       [this, &clock, file_id] {
@@ -163,66 +370,79 @@ void AuditService::schedule(EventQueue& queue, const SimClock& clock,
 
 void AuditService::schedule(EventQueue& queue, const SimClock& clock,
                             Nanos start, Nanos interval, unsigned count) {
-  for (const auto& [id, reg] : registry_) {
+  for (const std::uint64_t id : ordered_ids()) {
     schedule(queue, clock, id, start, interval, count);
   }
 }
 
 const std::vector<AuditService::Entry>& AuditService::history(
     std::uint64_t file_id) const {
-  return find(file_id).history;
+  const Slot& slot = find_slot(file_id);
+  // Canonicalise a bounded ring to chronological order on read. History
+  // reads require quiescence (see the header contract), so the mutation is
+  // invisible to concurrent audits; amortised O(1) per recorded entry.
+  Slot& mut = const_cast<Slot&>(slot);
+  if (mut.history_head != 0) {
+    std::rotate(mut.reg.history.begin(),
+                mut.reg.history.begin() +
+                    static_cast<std::ptrdiff_t>(mut.history_head),
+                mut.reg.history.end());
+    mut.history_head = 0;
+  }
+  return slot.reg.history;
 }
 
 const std::vector<AuditService::Entry>& AuditService::history() const {
-  return sole("history").history;
+  return history(sole("history").reg.file_id);
 }
 
-AuditService::Compliance AuditService::compliance_of(const Registration& reg) {
+AuditService::Compliance AuditService::compliance_of(
+    const Counters& counters) {
   Compliance c;
-  c.total = static_cast<unsigned>(reg.history.size());
-  for (const Entry& e : reg.history) c.passed += e.report.accepted;
+  // passed (acquire) before total (relaxed): any observed pass increment
+  // synchronises with its release, making the matching total increment
+  // visible — so passed <= total for every interleaving.
+  c.passed = counters.passed.load(std::memory_order_acquire);
+  c.total = counters.total.load(std::memory_order_relaxed);
+  c.epoch = c.total;
   return c;
 }
 
 AuditService::Compliance AuditService::compliance(
     std::uint64_t file_id) const {
-  return compliance_of(find(file_id));
+  return compliance_of(find_slot(file_id).counters);
 }
 
 AuditService::Compliance AuditService::compliance() const {
   Compliance c;
-  for (const auto& [id, reg] : registry_) {
-    const Compliance r = compliance_of(reg);
-    c.total += r.total;
-    c.passed += r.passed;
-  }
+  // Epoch first (acquire): the record events it counts have fully
+  // published their passed/total increments by the time we read them.
+  c.epoch = agg_epoch_.load(std::memory_order_acquire);
+  c.passed = agg_passed_.load(std::memory_order_acquire);
+  c.total = agg_total_.load(std::memory_order_relaxed);
   return c;
 }
 
-unsigned AuditService::consecutive_failures_of(const Registration& reg) {
-  unsigned n = 0;
-  for (auto it = reg.history.rbegin(); it != reg.history.rend(); ++it) {
-    if (it->report.accepted) break;
-    ++n;
-  }
-  return n;
+std::uint64_t AuditService::consecutive_failures(
+    std::uint64_t file_id) const {
+  return find_slot(file_id).counters.tail_failures.load(
+      std::memory_order_relaxed);
 }
 
-unsigned AuditService::consecutive_failures(std::uint64_t file_id) const {
-  return consecutive_failures_of(find(file_id));
-}
-
-unsigned AuditService::consecutive_failures() const {
-  return consecutive_failures_of(sole("consecutive_failures"));
+std::uint64_t AuditService::consecutive_failures() const {
+  return sole("consecutive_failures")
+      .counters.tail_failures.load(std::memory_order_relaxed);
 }
 
 std::string AuditService::summary() const {
   std::ostringstream os;
-  for (const auto& [id, reg] : registry_) {
-    const Compliance c = compliance_of(reg);
-    os << reg.label << ": audits=" << c.total << " passed=" << c.passed
-       << " rate=" << c.rate()
-       << " consecutive_failures=" << consecutive_failures_of(reg) << '\n';
+  for (const std::uint64_t id : ordered_ids()) {
+    const Slot& slot = find_slot(id);
+    const Compliance c = compliance_of(slot.counters);
+    os << slot.reg.label << ": audits=" << c.total << " passed=" << c.passed
+       << " rate=" << c.rate() << " consecutive_failures="
+       << slot.counters.tail_failures.load(std::memory_order_relaxed)
+       << '\n';
   }
   return os.str();
 }

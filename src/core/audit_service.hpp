@@ -11,17 +11,39 @@
 // the API surface the sharded audit engine and the multicloud sweep
 // workloads build on.
 //
-// Concurrency contract: the service itself holds no locks. run_once /
-// record may be called concurrently for *distinct* file ids provided (a)
-// the registry is not mutated (add/remove) while audits run, (b) schemes
-// follow the AuditScheme thread-safety contract (scheme.hpp), and (c) a
+// ## Registry at scale
+//
+// Registrations live in a contiguous arena: a dense slot vector plus an
+// id -> slot hash index, so lookups are O(1) and a slot's address is stable
+// while the registry is unmutated (the engine's in-flight sessions hold
+// slot references across a sweep; add() may grow the arena, which the
+// no-mutation-during-audits contract already serialises against audits).
+// Removed slots go on a free list and are
+// reused; slot_of() exposes the dense handle so a partitioner can balance
+// shards even when file ids are clustered. Compliance is maintained as
+// compact per-registration counters at record time — compliance() is a
+// counter read, never a history walk — and the service-wide aggregate is a
+// set of monotone atomics read as an epoch-consistent snapshot (passed <=
+// total always holds, even for a reader racing an 8-shard sweep). History
+// is unbounded by default (the conformance suites' full-retention mode);
+// Options::history_limit turns each registration's history into a bounded
+// ring while the counters stay exact.
+//
+// Concurrency contract: run_once / run_batch / record may be called
+// concurrently for *distinct* file ids provided (a) the registry is not
+// mutated (add/remove) while audits run, (b) schemes follow the
+// AuditScheme thread-safety contract (scheme.hpp), and (c) a
 // VerifierDevice shared by concurrently-audited registrations is
 // externally serialised. core::ShardedAuditEngine enforces all three.
+// compliance() and compliance(file_id) are safe from any thread at any
+// time; history() reads require quiescence, like mutation.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -38,8 +60,12 @@ class AuditService {
   };
 
   struct Compliance {
-    unsigned total = 0;
-    unsigned passed = 0;
+    std::uint64_t total = 0;
+    std::uint64_t passed = 0;
+    /// Snapshot epoch: how many record events had been folded into the
+    /// aggregate when this snapshot was taken. Monotone under the
+    /// no-remove-during-sweeps contract, so two reads can be ordered.
+    std::uint64_t epoch = 0;
     double rate() const {
       return total == 0 ? 1.0 : static_cast<double>(passed) / total;
     }
@@ -48,7 +74,9 @@ class AuditService {
   };
 
   /// One audited target: which scheme judges it, which device runs the
-  /// timed phase, which file, and how many rounds per audit.
+  /// timed phase, which file, and how many rounds per audit. `history` is
+  /// ring storage when Options::history_limit is set — read it through
+  /// AuditService::history(), which canonicalises to chronological order.
   struct Registration {
     std::uint64_t file_id = 0;
     std::string label;  // defaults to "<scheme>/file-<id>"
@@ -59,7 +87,22 @@ class AuditService {
     std::vector<Entry> history;
   };
 
+  struct Options {
+    /// Per-registration history retention. 0 (default) keeps every entry —
+    /// the historical behaviour the conformance suite depends on. N > 0
+    /// keeps the most recent N entries in a bounded ring; compliance and
+    /// consecutive-failure counters stay exact regardless, so a
+    /// million-registration service does not grow without bound.
+    std::size_t history_limit = 0;
+  };
+
   AuditService() = default;
+  explicit AuditService(Options options) : options_(options) {}
+
+  /// Movable while audits are quiescent (the atomics are copied with
+  /// relaxed loads); fixtures build services and move them into place.
+  AuditService(AuditService&& other) noexcept;
+  AuditService& operator=(AuditService&& other) noexcept;
 
   /// Convenience: a service born with a single registration (the common
   /// one-file case, and the pre-registry constructor shape).
@@ -73,9 +116,14 @@ class AuditService {
                     std::string label = {});
   void remove(std::uint64_t file_id);
   bool has(std::uint64_t file_id) const;
-  std::size_t size() const { return registry_.size(); }
+  std::size_t size() const { return index_.size(); }
+  /// Ascending file ids (the deterministic sweep order).
   std::vector<std::uint64_t> file_ids() const;
   const Registration& registration(std::uint64_t file_id) const;
+  /// The registration's dense arena slot: assigned at add(), stable until
+  /// remove(), reused afterwards. Partitioners that shard on slot instead
+  /// of file id stay balanced even when ids are clustered.
+  std::uint32_t slot_of(std::uint64_t file_id) const;
 
   /// Timestamp source for history entries, sampled *after* an audit
   /// completes (the audit itself advances a virtual clock). The SimClock
@@ -101,7 +149,24 @@ class AuditService {
   /// Single-registration convenience (throws unless exactly one target).
   const AuditReport& run_once(const SimClock& clock);
   /// Audit every registration once; returns how many passed.
-  unsigned run_all(const SimClock& clock);
+  std::uint64_t run_all(const SimClock& clock);
+
+  /// Audit `ids` with batched signing and verification: the run is split
+  /// into maximal consecutive groups sharing one (scheme, verifier) pair,
+  /// and each group consumes ONE device signature
+  /// (VerifierDevice::run_audit_batch) and ONE TPA signature check
+  /// (AuditScheme::verify_batch) — the 10-100x lever on the per-audit
+  /// hot path, since WOTS chain hashing dominates a single MAC audit.
+  /// Every audit still runs its own timed rounds and is recorded into
+  /// history exactly as run_once would. A scheme/device error aborts only
+  /// the failing group (recorded as kAborted entries, mirroring the
+  /// engine's fault isolation); later groups still run. `on_report`, when
+  /// given, sees every recorded report. Returns how many audits passed.
+  using BatchReportHook =
+      std::function<void(std::uint64_t file_id, const AuditReport& report)>;
+  std::uint64_t run_batch(const Now& now,
+                          const std::vector<std::uint64_t>& ids,
+                          const BatchReportHook& on_report = {});
 
   /// Append an externally-judged entry to `file_id`'s history — how the
   /// sharded engine records kAborted results for audits whose scheme or
@@ -118,28 +183,83 @@ class AuditService {
                 Nanos interval, unsigned count);
 
   const std::vector<Entry>& history(std::uint64_t file_id) const;
+  /// O(1) counter reads (no history walk; exact even with a bounded ring).
   Compliance compliance(std::uint64_t file_id) const;
   /// Consecutive failures at the tail of the registration's history — the
   /// usual paging trigger for an operator.
-  unsigned consecutive_failures(std::uint64_t file_id) const;
+  std::uint64_t consecutive_failures(std::uint64_t file_id) const;
 
   /// Single-registration conveniences (throw unless exactly one target) —
-  /// except compliance(), which aggregates across the whole registry.
+  /// except compliance(), which aggregates across the whole registry as an
+  /// epoch-consistent atomic snapshot (safe to call while sweeps run;
+  /// passed <= total holds for every read).
   const std::vector<Entry>& history() const;
   Compliance compliance() const;
-  unsigned consecutive_failures() const;
+  std::uint64_t consecutive_failures() const;
 
   /// One line per registration: label, audits, pass rate, tail failures.
   std::string summary() const;
 
  private:
-  Registration& find(std::uint64_t file_id);
-  const Registration& find(std::uint64_t file_id) const;
-  const Registration& sole(const char* what) const;
-  static Compliance compliance_of(const Registration& reg);
-  static unsigned consecutive_failures_of(const Registration& reg);
+  /// Per-registration compact compliance counters, maintained at record
+  /// time. Atomics because aggregate/per-id compliance may be read while
+  /// shards record for distinct ids; each id's writers are serialised by
+  /// the concurrency contract. Writer order (total relaxed, then passed
+  /// release) pairs with the reader's (passed acquire, then total
+  /// relaxed), so passed <= total for any interleaving — the same
+  /// discipline ShardedAuditEngine's counters use.
+  struct Counters {
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> passed{0};
+    std::atomic<std::uint64_t> tail_failures{0};
+  };
 
-  std::map<std::uint64_t, Registration> registry_;
+  /// One arena cell: the registration plus its counters and ring cursor.
+  /// Movable only while audits are quiescent (vector growth happens in
+  /// add(), which the contract already serialises against audits).
+  struct Slot {
+    Registration reg;
+    Counters counters;
+    std::size_t history_head = 0;  // oldest ring entry when bounded
+    bool live = false;
+
+    Slot() = default;
+    Slot(Slot&& other) noexcept;
+    Slot& operator=(Slot&& other) noexcept;
+  };
+
+  Slot& find_slot(std::uint64_t file_id);
+  const Slot& find_slot(std::uint64_t file_id) const;
+  const std::vector<std::uint64_t>& ordered_ids() const;
+  const Slot& sole(const char* what) const;
+  /// Record `entry` into the slot: ring append + counters + aggregate
+  /// snapshot publication. Returns the recorded report.
+  const AuditReport& append_entry(Slot& slot, Entry entry);
+  /// Run one maximal (scheme, verifier) group of `ids[begin..end)` through
+  /// the batched sign/verify path; returns how many passed.
+  std::uint64_t run_group(const Now& now,
+                          const std::vector<std::uint64_t>& ids,
+                          std::size_t begin, std::size_t end,
+                          const BatchReportHook& on_report);
+  static Compliance compliance_of(const Counters& counters);
+
+  Options options_;
+  /// The arena: dense slots, tombstones recycled through free_.
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  /// Ascending-id iteration order, rebuilt lazily after add/remove so 1e6
+  /// adds cost one sort, not a per-add ordered insert.
+  mutable std::vector<std::uint64_t> ordered_ids_;
+  mutable bool order_dirty_ = false;
+
+  /// Service-wide aggregate, published per record event: total (relaxed),
+  /// then passed (release), then epoch (release). Readers reverse the
+  /// order with acquires, giving passed <= total and a monotone epoch
+  /// without locking or walking the registry.
+  std::atomic<std::uint64_t> agg_total_{0};
+  std::atomic<std::uint64_t> agg_passed_{0};
+  std::atomic<std::uint64_t> agg_epoch_{0};
 };
 
 }  // namespace geoproof::core

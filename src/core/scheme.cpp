@@ -186,8 +186,32 @@ bool AuditScheme::validate_challenge(
 
 AuditReport AuditScheme::verify(const FileRecord& file,
                                 const SignedTranscript& st) {
+  // Step 1: the device signature over the serialised transcript.
+  const bool signature_ok = crypto::merkle_verify(
+      config_.verifier_pk, st.transcript.serialize(), st.signature);
+  return judge(file, st.transcript, signature_ok);
+}
+
+std::vector<AuditReport> AuditScheme::verify_batch(
+    const std::vector<FileRecord>& files, const BatchedTranscripts& batch) {
+  if (files.size() != batch.transcripts.size()) {
+    throw InvalidArgument("verify_batch: files/transcripts size mismatch");
+  }
+  // Step 1 once for the whole run: the signature binds the batch encoding,
+  // so every member inherits its verdict.
+  const bool signature_ok = crypto::merkle_verify(
+      config_.verifier_pk, batch.signing_input(), batch.signature);
+  std::vector<AuditReport> reports;
+  reports.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    reports.push_back(judge(files[i], batch.transcripts[i], signature_ok));
+  }
+  return reports;
+}
+
+AuditReport AuditScheme::judge(const FileRecord& file,
+                               const AuditTranscript& t, bool signature_ok) {
   AuditReport report;
-  const AuditTranscript& t = st.transcript;
   report.bytes_exchanged = t.exchanged_bytes();
 
   // Nonce freshness: must be one we issued, still outstanding, and bound to
@@ -202,9 +226,7 @@ AuditReport AuditScheme::verify(const FileRecord& file,
   }
   if (!nonce_ok) report.failures.push_back(AuditFailure::kNonceMismatch);
 
-  // Step 1: the device signature over the serialised transcript.
-  if (!crypto::merkle_verify(config_.verifier_pk, t.serialize(),
-                             st.signature)) {
+  if (!signature_ok) {
     report.failures.push_back(AuditFailure::kSignature);
   }
 
@@ -254,11 +276,22 @@ AuditScheme::ChallengePlan MacAuditScheme::plan_challenge(
   return {};
 }
 
+const por::SegmentVerifier& MacAuditScheme::segment_verifier(
+    std::uint64_t file_id) const {
+  MutexLock lock(cache_mu_);
+  auto it = verifier_cache_.find(file_id);
+  if (it == verifier_cache_.end()) {
+    it = verifier_cache_
+             .try_emplace(file_id, por_, config().master_key, file_id)
+             .first;
+  }
+  return it->second;
+}
+
 unsigned MacAuditScheme::check_rounds(
     const FileRecord& file, const AuditTranscript& t,
     const std::vector<std::uint64_t>& /*payload*/) const {
-  const por::SegmentVerifier verifier(por_, config().master_key,
-                                      file.file_id);
+  const por::SegmentVerifier& verifier = segment_verifier(file.file_id);
   unsigned bad = 0;
   for (std::size_t j = 0; j < t.challenge.size(); ++j) {
     if (!verifier.verify(t.challenge[j], t.segments[j])) ++bad;

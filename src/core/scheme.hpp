@@ -161,7 +161,8 @@ class NonceLedger {
 /// bookkeeping is internally locked (NonceLedger), and each flavour locks
 /// its own mutable challenge state:
 ///
-///  - MacAuditScheme: stateless planning, nothing further to lock;
+///  - MacAuditScheme: stateless planning; the lazily-filled per-file
+///    SegmentVerifier cache is guarded (entries are immutable once built);
 ///  - SentinelAuditScheme: the per-file sentinel cursors are guarded, so
 ///    concurrent audits of distinct files spend disjoint sentinels;
 ///  - DynamicAuditScheme: the shared challenge Rng is guarded (sampling
@@ -210,6 +211,16 @@ class AuditScheme {
   /// reports kNonceMismatch.
   AuditReport verify(const FileRecord& file, const SignedTranscript& st);
 
+  /// Batched verification: ONE signature check over the batch's canonical
+  /// encoding (amortising the Merkle/WOTS chain hashing across the run
+  /// queue), then the usual per-transcript judgement — nonce freshness,
+  /// position, challenge sanity, per-round integrity, timing — exactly as
+  /// verify() applies it. files[i] pairs with batch.transcripts[i]; a bad
+  /// batch signature marks every report kSignature, mirroring the
+  /// single-audit contract that an unsigned transcript proves nothing.
+  std::vector<AuditReport> verify_batch(const std::vector<FileRecord>& files,
+                                        const BatchedTranscripts& batch);
+
   /// The async entry point: plan a k-round challenge, run the device's
   /// timed session on its channel, verify the signed transcript, deliver
   /// the report — all without blocking the pumping thread between rounds,
@@ -254,6 +265,11 @@ class AuditScheme {
       const std::vector<std::uint64_t>& payload) const = 0;
 
  private:
+  /// Everything verify() does after the signature check; shared with
+  /// verify_batch so single and batched audits are judged identically.
+  AuditReport judge(const FileRecord& file, const AuditTranscript& t,
+                    bool signature_ok);
+
   AuditorConfig config_;
   NonceLedger nonces_;
 };
@@ -290,7 +306,18 @@ class MacAuditScheme : public AuditScheme {
       const std::vector<std::uint64_t>& payload) const override;
 
  private:
+  /// The file's tag verifier, HKDF-derived once and cached: per-audit key
+  /// derivation (HKDF extract/expand plus the HMAC key-block schedule) was
+  /// the dominant non-signature cost of a MAC audit. Entries are immutable
+  /// after construction and map nodes are stable, so the returned
+  /// reference is safe to use outside the lock; the lock only covers the
+  /// lookup/insert race between shards.
+  const por::SegmentVerifier& segment_verifier(std::uint64_t file_id) const;
+
   por::PorParams por_;
+  mutable Mutex cache_mu_;
+  mutable std::map<std::uint64_t, por::SegmentVerifier> verifier_cache_
+      GEOPROOF_GUARDED_BY(cache_mu_);
 };
 
 /// The sentinel/Juels-Kaliski flavour (§IV): the TPA reveals the positions

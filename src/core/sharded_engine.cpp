@@ -64,6 +64,9 @@ ShardedAuditEngine::ShardedAuditEngine(AuditService& service, Options options)
   if (options_.shards == 0) {
     throw InvalidArgument("ShardedAuditEngine: shards must be >= 1");
   }
+  if (options_.batch_size == 0) {
+    throw InvalidArgument("ShardedAuditEngine: batch_size must be >= 1");
+  }
   if (options_.driver_source) {
     if (options_.max_in_flight == 0) {
       throw InvalidArgument("ShardedAuditEngine: max_in_flight must be >= 1");
@@ -167,8 +170,8 @@ void ShardedAuditEngine::validate_async_colocation() const {
   }
 }
 
-void ShardedAuditEngine::count_result(const AuditReport& report,
-                                      std::atomic<unsigned>& sweep_passed) {
+void ShardedAuditEngine::count_result(
+    const AuditReport& report, std::atomic<std::uint64_t>& sweep_passed) {
   audits_.fetch_add(1, std::memory_order_relaxed);
   if (report.failed(AuditFailure::kAborted)) {
     aborted_.fetch_add(1, std::memory_order_relaxed);
@@ -182,9 +185,9 @@ void ShardedAuditEngine::count_result(const AuditReport& report,
   }
 }
 
-void ShardedAuditEngine::record_aborted(std::uint64_t file_id,
-                                        std::size_t shard,
-                                        std::atomic<unsigned>& sweep_passed) {
+void ShardedAuditEngine::record_aborted(
+    std::uint64_t file_id, std::size_t shard,
+    std::atomic<std::uint64_t>& sweep_passed) {
   AuditReport aborted;
   aborted.accepted = false;
   aborted.failures.push_back(AuditFailure::kAborted);
@@ -192,8 +195,9 @@ void ShardedAuditEngine::record_aborted(std::uint64_t file_id,
   service_->record(file_id, clocks_[shard](), std::move(aborted));
 }
 
-void ShardedAuditEngine::audit_one(std::size_t shard, std::uint64_t file_id,
-                                   std::atomic<unsigned>& sweep_passed) {
+void ShardedAuditEngine::audit_one(
+    std::size_t shard, std::uint64_t file_id,
+    std::atomic<std::uint64_t>& sweep_passed) {
   const ShardClock& now = clocks_[shard];
   std::mutex& device_mu =
       *verifier_mu_.at(service_->registration(file_id).verifier);
@@ -216,12 +220,63 @@ void ShardedAuditEngine::audit_one(std::size_t shard, std::uint64_t file_id,
   }
 }
 
+void ShardedAuditEngine::audit_run(std::size_t shard,
+                                   const std::vector<std::uint64_t>& run,
+                                   std::atomic<std::uint64_t>& sweep_passed) {
+  const ShardClock& now = clocks_[shard];
+  const auto hook = [this, &sweep_passed](std::uint64_t /*file_id*/,
+                                          const AuditReport& report) {
+    count_result(report, sweep_passed);
+  };
+  // Split the run into maximal same-(scheme, verifier) groups: run_batch
+  // consumes one signing key per group, and the device mutex need only be
+  // held for the group actually using that device. Scheme/device faults
+  // are isolated inside run_batch (kAborted records reach the hook).
+  std::size_t begin = 0;
+  while (begin < run.size()) {
+    const AuditService::Registration& lead =
+        service_->registration(run[begin]);
+    std::size_t end = begin + 1;
+    while (end < run.size()) {
+      const AuditService::Registration& next =
+          service_->registration(run[end]);
+      if (next.scheme != lead.scheme || next.verifier != lead.verifier) break;
+      ++end;
+    }
+    const std::vector<std::uint64_t> group(
+        run.begin() + static_cast<std::ptrdiff_t>(begin),
+        run.begin() + static_cast<std::ptrdiff_t>(end));
+    std::mutex& device_mu = *verifier_mu_.at(lead.verifier);
+    std::scoped_lock lock(device_mu);
+    (void)service_->run_batch(now, group, hook);
+    begin = end;
+  }
+}
+
 void ShardedAuditEngine::worker(std::size_t shard,
                                 std::vector<ShardQueue>& queues,
-                                std::atomic<unsigned>& sweep_passed) {
-  // Drain the home queue first (front: preserves ascending-id order).
-  while (const auto id = queues[shard].pop_front()) {
-    audit_one(shard, *id, sweep_passed);
+                                std::atomic<std::uint64_t>& sweep_passed) {
+  // Drain the home queue first (front: preserves ascending-id order),
+  // in runs of batch_size when batched signing is enabled.
+  if (options_.batch_size > 1) {
+    std::vector<std::uint64_t> run;
+    run.reserve(options_.batch_size);
+    for (;;) {
+      run.clear();
+      while (run.size() < options_.batch_size) {
+        if (const auto id = queues[shard].pop_front()) {
+          run.push_back(*id);
+        } else {
+          break;
+        }
+      }
+      if (run.empty()) break;
+      audit_run(shard, run, sweep_passed);
+    }
+  } else {
+    while (const auto id = queues[shard].pop_front()) {
+      audit_one(shard, *id, sweep_passed);
+    }
   }
   if (!options_.work_stealing) return;
   // Then steal from the back of busy shards until every queue is empty.
@@ -241,9 +296,9 @@ void ShardedAuditEngine::worker(std::size_t shard,
   }
 }
 
-void ShardedAuditEngine::worker_async(std::size_t shard,
-                                      std::vector<ShardQueue>& queues,
-                                      std::atomic<unsigned>& sweep_passed) {
+void ShardedAuditEngine::worker_async(
+    std::size_t shard, std::vector<ShardQueue>& queues,
+    std::atomic<std::uint64_t>& sweep_passed) {
   // The shard holds up to max_in_flight audit sessions open at once and
   // pumps its driver between starts; sessions advance one challenge round
   // per completion, all on this thread. No stealing: this shard's
@@ -392,7 +447,7 @@ void ShardedAuditEngine::run_on_shards(
   dispatch_to_shards(job);
 }
 
-unsigned ShardedAuditEngine::sweep_once() {
+std::uint64_t ShardedAuditEngine::sweep_once() {
   if (async_mode()) {
     validate_async_colocation();
   } else {
@@ -404,7 +459,7 @@ unsigned ShardedAuditEngine::sweep_once() {
     queues[s].assign(plan[s]);
   }
 
-  std::atomic<unsigned> sweep_passed{0};
+  std::atomic<std::uint64_t> sweep_passed{0};
   dispatch_to_shards([this, &queues, &sweep_passed](std::size_t s) {
     if (async_mode()) {
       worker_async(s, queues, sweep_passed);
@@ -445,8 +500,9 @@ AuditService::Compliance ShardedAuditEngine::compliance_all() const {
   // Acquire-load passed before audits: every observed pass release-
   // published its preceding audits_ increment, so a mid-sweep read may
   // undercount passes but never reports passed > total.
-  c.passed = static_cast<unsigned>(passed_.load(std::memory_order_acquire));
-  c.total = static_cast<unsigned>(audits_.load(std::memory_order_relaxed));
+  c.passed = passed_.load(std::memory_order_acquire);
+  c.total = audits_.load(std::memory_order_relaxed);
+  c.epoch = c.total;
   return c;
 }
 

@@ -102,6 +102,15 @@ class ShardedAuditEngine {
     std::function<net::AsyncDriver*(std::size_t shard)> driver_source;
     /// Per-shard cap on concurrently open audit sessions (async mode).
     std::size_t max_in_flight = 16;
+    /// Blocking-mode run granularity: each worker drains its home queue in
+    /// runs of up to batch_size registrations and audits maximal
+    /// same-(scheme, verifier) subsequences through
+    /// AuditService::run_batch — one device signature and one TPA
+    /// signature check per group instead of per audit. 1 (default)
+    /// preserves the historical one-signature-per-audit behaviour bit for
+    /// bit. Stolen work always runs singly (a thief holds a foreign
+    /// device's mutex as briefly as possible); ignored in async mode.
+    std::size_t batch_size = 1;
     /// Reuse one set of parked worker jthreads across sweeps (spawned
     /// lazily on the first multi-shard dispatch, parked on a condition
     /// variable between dispatches). Off = the historical behaviour of
@@ -156,7 +165,7 @@ class ShardedAuditEngine {
   /// (default) the shards-1 worker jthreads are spawned once and reused
   /// across sweeps; with it off, each sweep respawns them (the historical
   /// behaviour, measurable in bench_sharded_engine's respawn rows).
-  unsigned sweep_once();
+  std::uint64_t sweep_once();
 
   /// Run `job(shard)` exactly once per shard, fanned across the engine's
   /// workers (shard 0 on the calling thread), and block until every shard
@@ -197,17 +206,22 @@ class ShardedAuditEngine {
   void refresh_verifier_mutexes();
   void validate_async_colocation() const;
   void worker(std::size_t shard, std::vector<ShardQueue>& queues,
-              std::atomic<unsigned>& sweep_passed);
+              std::atomic<std::uint64_t>& sweep_passed);
   void worker_async(std::size_t shard, std::vector<ShardQueue>& queues,
-                    std::atomic<unsigned>& sweep_passed);
+                    std::atomic<std::uint64_t>& sweep_passed);
   void audit_one(std::size_t shard, std::uint64_t file_id,
-                 std::atomic<unsigned>& sweep_passed);
+                 std::atomic<std::uint64_t>& sweep_passed);
+  /// Audit a run of registrations popped together (batch_size > 1): the
+  /// run is split into maximal same-(scheme, verifier) groups, each
+  /// audited under its device's mutex through AuditService::run_batch.
+  void audit_run(std::size_t shard, const std::vector<std::uint64_t>& run,
+                 std::atomic<std::uint64_t>& sweep_passed);
   void count_result(const AuditReport& report,
-                    std::atomic<unsigned>& sweep_passed);
+                    std::atomic<std::uint64_t>& sweep_passed);
   /// Record and count a kAborted entry for `file_id` (fault isolation:
   /// the one place the aborted-report shape is built).
   void record_aborted(std::uint64_t file_id, std::size_t shard,
-                      std::atomic<unsigned>& sweep_passed);
+                      std::atomic<std::uint64_t>& sweep_passed);
 
   AuditService* service_;
   Options options_;

@@ -148,4 +148,11 @@ SignedTranscript SignedTranscript::deserialize(BytesView data) {
   return st;
 }
 
+Bytes BatchedTranscripts::signing_input() const {
+  ByteWriter w;
+  w.u64(transcripts.size());
+  for (const AuditTranscript& t : transcripts) w.bytes(t.serialize());
+  return std::move(w).take();
+}
+
 }  // namespace geoproof::core

@@ -79,4 +79,22 @@ struct SignedTranscript {
   static SignedTranscript deserialize(BytesView data);
 };
 
+/// A run queue's worth of audits signed as one unit. The device runs every
+/// audit's timed rounds exactly as in the single-audit protocol, but signs
+/// one canonical encoding of the whole batch instead of each transcript —
+/// amortising the WOTS chain work across the run AND consuming one one-time
+/// key per batch instead of per audit (a device provisioned for 2^h
+/// signatures now serves 2^h batches). The TPA side mirror is
+/// AuditScheme::verify_batch: one signature check, then the usual
+/// per-transcript nonce/position/tag/timing judgement.
+struct BatchedTranscripts {
+  std::vector<AuditTranscript> transcripts;
+  crypto::MerkleSignature signature;
+
+  /// The signed message: count-prefixed, length-prefixed serialised
+  /// transcripts. Unambiguous (every field is length-prefixed), so no two
+  /// distinct batches share an encoding.
+  Bytes signing_input() const;
+};
+
 }  // namespace geoproof::core

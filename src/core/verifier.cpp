@@ -34,11 +34,20 @@ struct VerifierDevice::Session {
   AuditTranscript t;
   std::size_t next_round = 0;
   Millis round_start{0};
+  /// Sign the finished transcript (single-audit protocol). Batch members
+  /// leave this false: the batch is signed as one unit after every
+  /// member's rounds have run.
+  bool sign = true;
   AuditCallback done;
 };
 
 void VerifierDevice::begin_audit(const AuditRequest& request,
                                  AuditCallback done) {
+  begin_session(request, /*sign=*/true, std::move(done));
+}
+
+void VerifierDevice::begin_session(const AuditRequest& request, bool sign,
+                                   AuditCallback done) {
   if (!done) throw InvalidArgument("begin_audit: null callback");
   if (request.k == 0) {
     throw ProtocolError("run_audit: request with zero rounds");
@@ -48,6 +57,7 @@ void VerifierDevice::begin_audit(const AuditRequest& request,
   }
 
   auto session = std::make_shared<Session>();
+  session->sign = sign;
   session->done = std::move(done);
   AuditTranscript& t = session->t;
   t.file_id = request.file_id;
@@ -93,7 +103,9 @@ void VerifierDevice::step(const std::shared_ptr<Session>& session) {
       // Signing can fail (one-time key exhaustion, CryptoError); inside a
       // channel completion that must become a session error, not an
       // exception unwinding through whatever pumps the driver.
-      outcome.transcript.signature = signer_.sign(t.serialize());
+      if (session->sign) {
+        outcome.transcript.signature = signer_.sign(t.serialize());
+      }
       outcome.transcript.transcript = std::move(t);
     } catch (const std::exception& e) {
       outcome = AuditOutcome{};
@@ -104,7 +116,8 @@ void VerifierDevice::step(const std::shared_ptr<Session>& session) {
   });
 }
 
-SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
+VerifierDevice::AuditOutcome VerifierDevice::run_session(
+    const AuditRequest& request, bool sign) {
   if (adapter_ == nullptr && driver_ == nullptr) {
     // Refuse before issuing any request: starting the session and then
     // throwing would leave an in-flight completion holding a pointer to
@@ -114,8 +127,8 @@ SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
         "pump; use begin_audit (or pass a driver at construction)");
   }
   std::optional<AuditOutcome> outcome;
-  begin_audit(request,
-              [&outcome](AuditOutcome&& out) { outcome = std::move(out); });
+  begin_session(request, sign,
+                [&outcome](AuditOutcome&& out) { outcome = std::move(out); });
   while (!outcome && driver_ != nullptr) {
     if (driver_->pump() == 0 && driver_->idle()) {
       throw ProtocolError(
@@ -133,7 +146,27 @@ SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
     if (outcome->fault) std::rethrow_exception(outcome->fault);
     throw NetError("run_audit: " + outcome->error);
   }
-  return std::move(outcome->transcript);
+  return std::move(*outcome);
+}
+
+SignedTranscript VerifierDevice::run_audit(const AuditRequest& request) {
+  return std::move(run_session(request, /*sign=*/true).transcript);
+}
+
+BatchedTranscripts VerifierDevice::run_audit_batch(
+    const std::vector<AuditRequest>& requests) {
+  if (requests.empty()) {
+    throw InvalidArgument("run_audit_batch: empty batch");
+  }
+  BatchedTranscripts batch;
+  batch.transcripts.reserve(requests.size());
+  for (const AuditRequest& request : requests) {
+    batch.transcripts.push_back(
+        std::move(run_session(request, /*sign=*/false).transcript.transcript));
+  }
+  // One Merkle signature — and one one-time key — for the whole batch.
+  batch.signature = signer_.sign(batch.signing_input());
+  return batch;
 }
 
 SignedTranscript VerifierDevice::run_block_audit(

@@ -103,6 +103,15 @@ class VerifierDevice {
   /// pre-async behaviour.
   SignedTranscript run_audit(const AuditRequest& request);
 
+  /// Run a batch of audits back to back and sign the whole batch with ONE
+  /// Merkle signature over BatchedTranscripts::signing_input(). Each
+  /// request still gets its own timed rounds (the distance-bounding
+  /// physics are unchanged); only the signing is amortised — and only one
+  /// one-time key is consumed for the batch. Blocking, like run_audit; a
+  /// transport or signing failure anywhere in the batch throws and the
+  /// whole batch is abandoned (no partially-signed transcripts escape).
+  BatchedTranscripts run_audit_batch(const std::vector<AuditRequest>& requests);
+
   /// Deprecated pre-unification shape; forwards to run_audit.
   struct BlockAuditRequest {
     std::uint64_t file_id = 0;
@@ -113,6 +122,11 @@ class VerifierDevice {
 
  private:
   struct Session;
+  void begin_session(const AuditRequest& request, bool sign,
+                     AuditCallback done);
+  /// Run one session to completion on the blocking/pumped path and return
+  /// its outcome; shared by run_audit and run_audit_batch.
+  AuditOutcome run_session(const AuditRequest& request, bool sign);
   void step(const std::shared_ptr<Session>& session);
 
   Config config_;

@@ -6,10 +6,33 @@
 
 namespace geoproof::crypto {
 
+/// Expanded HMAC key schedule: the SHA-256 midstates left after absorbing
+/// the ipad/opad key blocks. Deriving these costs two compressions; a MAC
+/// computed from a prepared HmacKey resumes the midstates by copy instead,
+/// so callers MACing many messages under one key (segment-tag verification
+/// over an audit's challenge rounds) skip both key-block compressions per
+/// message. Immutable after construction, so one instance may be shared
+/// across threads freely.
+class HmacKey {
+ public:
+  /// Keys longer than the block size are hashed first, per the spec.
+  explicit HmacKey(BytesView key);
+
+  /// One-shot MAC resuming the precomputed midstates.
+  Digest mac(BytesView data) const;
+
+ private:
+  friend class HmacSha256;
+  Sha256 inner_state_;  // after absorbing key ^ ipad
+  Sha256 outer_state_;  // after absorbing key ^ opad
+};
+
 class HmacSha256 {
  public:
   /// Keys longer than the block size are hashed first, per the spec.
   explicit HmacSha256(BytesView key);
+  /// Resume a prepared key schedule (no compressions at construction).
+  explicit HmacSha256(const HmacKey& key);
 
   void update(BytesView data);
   Digest finalize();
@@ -19,8 +42,7 @@ class HmacSha256 {
   static Digest mac(BytesView key, BytesView data);
 
  private:
-  std::array<std::uint8_t, 64> ipad_key_;
-  std::array<std::uint8_t, 64> opad_key_;
+  HmacKey key_;
   Sha256 inner_;
 };
 

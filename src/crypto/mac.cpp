@@ -18,6 +18,7 @@ SegmentMac::SegmentMac(Bytes key, TagParams params)
       key_.size() != 24 && key_.size() != 32) {
     throw InvalidArgument("SegmentMac: CMAC needs a 16/24/32-byte key");
   }
+  if (params_.alg == MacAlg::kHmacSha256) hmac_key_.emplace(key_);
 }
 
 Bytes SegmentMac::full_mac(BytesView segment, std::uint64_t index,
@@ -30,7 +31,7 @@ Bytes SegmentMac::full_mac(BytesView segment, std::uint64_t index,
   w.u64(file_id);
   switch (params_.alg) {
     case MacAlg::kHmacSha256: {
-      const Digest d = HmacSha256::mac(key_, w.data());
+      const Digest d = hmac_key_->mac(w.data());
       return Bytes(d.begin(), d.end());
     }
     case MacAlg::kAesCmac: {

@@ -101,6 +101,60 @@ TEST(FlagParser, RejectsBadValues) {
   EXPECT_EQ(parse(flags, {"--uint"}), Status::kError);  // missing value
 }
 
+// strtoull/strtoll happily skip leading whitespace and accept sign
+// characters ("--rounds= -1" would silently become 2^64 - 1). The parser
+// must accept exactly the bare decimal forms and nothing else.
+TEST(FlagParser, NumericValuesMustBeBareDecimals) {
+  struct Case {
+    const char* flag;  // which typed flag to feed
+    const char* value;
+    Status want;
+  };
+  const Case cases[] = {
+      // Unsigned: digits only.
+      {"uint", "0", Status::kOk},
+      {"uint", "42", Status::kOk},
+      {"uint", "18446744073709551615", Status::kOk},  // max, in range
+      {"uint", "18446744073709551616", Status::kError},  // overflow (ERANGE)
+      {"uint", "-1", Status::kError},   // strtoull would wrap to 2^64 - 1
+      {"uint", "+1", Status::kError},
+      {"uint", " 1", Status::kError},   // strtoull skips the blank
+      {"uint", "1 ", Status::kError},
+      {"uint", " -1", Status::kError},  // the ISSUE's motivating wrap
+      {"uint", "\t7", Status::kError},
+      {"uint", "0x10", Status::kError},
+      {"uint", "", Status::kError},
+      // Signed: a leading minus is fine; whitespace is not.
+      {"int", "-7", Status::kOk},
+      {"int", " -7", Status::kError},
+      {"int", "-7 ", Status::kError},
+      // Float: exponents are fine; whitespace is not.
+      {"float", "2.5e3", Status::kOk},
+      {"float", " 2.5", Status::kError},
+      {"float", "2.5 ", Status::kError},
+  };
+  for (const Case& c : cases) {
+    std::uint64_t u = 0;
+    std::int64_t i = 0;
+    double d = 0.0;
+    FlagParser flags("t", "test");
+    flags.add("uint", &u, "");
+    flags.add("int", &i, "");
+    flags.add("float", &d, "");
+    const std::string arg =
+        std::string("--") + c.flag + "=" + c.value;
+    EXPECT_EQ(parse(flags, {arg.c_str()}), c.want)
+        << "arg: " << arg << " error: " << flags.error();
+  }
+  // The wrap the whitespace check exists to stop: a raw strtoull of " -1"
+  // yields ULLONG_MAX, and a flag target must never see that value.
+  std::uint64_t u = 123;
+  FlagParser flags("t", "test");
+  flags.add("rounds", &u, "");
+  EXPECT_EQ(parse(flags, {"--rounds= -1"}), Status::kError);
+  EXPECT_EQ(u, 123u) << "rejected value must leave the target untouched";
+}
+
 TEST(FlagParser, UsageDocumentsFlagsAndDefaults) {
   std::uint64_t u = 8;
   std::string s = "x";
