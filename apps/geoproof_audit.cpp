@@ -5,8 +5,14 @@
 // calibrated delay model, and multilaterates a position fix. The JSON
 // audit report goes to stdout; logs go to stderr.
 //
-// Exit codes: 0 converged fix produced, 3 audit ran but no converged fix,
-// 2 flag error, 1 fatal.
+// With --track the CLI becomes a streaming monitor: --sweeps repeated
+// fleet measurements feed a track::TrackService and every sweep emits one
+// JSON track-update line (fix + error ellipse, change-point state,
+// relocation alarms, optional geo-fence verdict) to stdout.
+//
+// Exit codes: 0 converged fix produced (one-shot) / stream finished with
+// no alarm (--track), 3 audit ran but no converged fix, 4 stream raised a
+// relocation alarm, 2 flag error, 1 fatal.
 
 #include <cstdio>
 #include <exception>
@@ -17,6 +23,7 @@
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "daemon/auditor_client.hpp"
+#include "daemon/track_stream.hpp"
 
 namespace {
 
@@ -45,6 +52,14 @@ int run(int argc, char** argv) {
   std::uint64_t prover_port = 0;
   std::uint64_t rounds = 8;
   std::string log_level = "info";
+  bool track = false;
+  std::uint64_t sweeps = 10;
+  double interval_ms = 0.0;
+  std::uint64_t window = 4;
+  double alarm_km = 300.0;
+  double fence_lat = 0.0;
+  double fence_lon = 0.0;
+  double fence_radius_km = 0.0;
   FlagParser flags("geoproof-audit",
                    "GeoProof auditor: drive a vantage fleet to a position fix");
   flags.add("vantage", &vantage_specs, "vantage endpoint host:port (repeat)");
@@ -63,6 +78,19 @@ int run(int argc, char** argv) {
             "delay-model calibration slope (0 = physical bound only)");
   flags.add("cal-intercept-ms", &config.cal_intercept_ms,
             "delay-model calibration intercept");
+  flags.add("track", &track,
+            "streaming mode: repeated sweeps, one JSON line each");
+  flags.add("sweeps", &sweeps, "sweeps to run in --track mode");
+  flags.add("interval-ms", &interval_ms,
+            "pause between --track sweeps (0 = back to back)");
+  flags.add("window", &window,
+            "per-vantage RTT window in sweeps (--track mode)");
+  flags.add("alarm-km", &alarm_km,
+            "relocation-alarm displacement gate in km (--track mode)");
+  flags.add("fence-lat", &fence_lat, "geo-fence centre latitude");
+  flags.add("fence-lon", &fence_lon, "geo-fence centre longitude");
+  flags.add("fence-radius-km", &fence_radius_km,
+            "geo-fence radius (0 = no fence)");
   flags.add("log-level", &log_level, "debug|info|warn|error");
 
   switch (flags.parse(argc, argv)) {
@@ -92,6 +120,28 @@ int run(int argc, char** argv) {
   } catch (const std::exception& err) {
     std::fprintf(stderr, "geoproof-audit: %s\n", err.what());
     return 2;
+  }
+
+  if (track) {
+    daemon::TrackStreamConfig stream;
+    stream.auditor = config;
+    stream.sweeps = sweeps;
+    stream.interval_ms = interval_ms;
+    stream.track.window = static_cast<std::size_t>(window);
+    stream.track.changepoint.min_displacement = Kilometers{alarm_km};
+    if (fence_radius_km > 0.0) {
+      stream.fence = core::GeoFencePolicy{
+          net::GeoPoint{fence_lat, fence_lon}, Kilometers{fence_radius_km}};
+    }
+    daemon::TrackStreamer streamer(stream);
+    const daemon::TrackStreamResult result =
+        streamer.run([](const std::string& line) {
+          std::fputs(line.c_str(), stdout);
+          std::fputc('\n', stdout);
+          std::fflush(stdout);  // the harness tails the stream live
+        });
+    if (result.alarms > 0) return 4;
+    return result.fixes > 0 ? 0 : 3;
   }
 
   daemon::AuditorClient client(config);

@@ -29,4 +29,23 @@ Kilometers budget_relay_distance_bound(const LatencyPolicy& policy,
   return distance_covered(Millis{available.count() / 2.0}, internet_speed);
 }
 
+GeoFenceVerdict geo_fence_verdict(const GeoFencePolicy& fence,
+                                  const net::GeoPoint& fix,
+                                  Kilometers uncertainty) {
+  const double d = net::haversine(fence.center, fix).value;
+  const double u = std::max(0.0, uncertainty.value);
+  if (d + u <= fence.radius.value) return GeoFenceVerdict::kInside;
+  if (d - u > fence.radius.value) return GeoFenceVerdict::kViolated;
+  return GeoFenceVerdict::kIndeterminate;
+}
+
+const char* to_string(GeoFenceVerdict verdict) {
+  switch (verdict) {
+    case GeoFenceVerdict::kInside: return "inside";
+    case GeoFenceVerdict::kIndeterminate: return "indeterminate";
+    case GeoFenceVerdict::kViolated: return "violated";
+  }
+  return "unknown";
+}
+
 }  // namespace geoproof::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "common/units.hpp"
+#include "net/geo.hpp"
 #include "storage/disk_model.hpp"
 
 namespace geoproof::core {
@@ -54,5 +55,31 @@ Kilometers paper_relay_distance_bound(
 Kilometers budget_relay_distance_bound(
     const LatencyPolicy& policy, Millis lan_rtt, Millis remote_lookup,
     KmPerMs internet_speed = speeds::kInternetEffective);
+
+/// A contractual geographic fence: the provider's data must stay within
+/// `radius` of `center` — the geo-fencing decision the policy-enforcement
+/// follow-ups (D-GATE et al.) make from attestation, made here from
+/// multilateration fixes instead.
+struct GeoFencePolicy {
+  net::GeoPoint center{};
+  Kilometers radius{500.0};
+};
+
+/// Three-valued fence verdict for a fix carrying positional uncertainty.
+/// A fix is never a point: the honest statement compares the whole
+/// confidence region against the fence.
+enum class GeoFenceVerdict {
+  kInside,         // the entire confidence region is inside the fence
+  kIndeterminate,  // the region straddles the fence boundary
+  kViolated,       // the entire confidence region is outside the fence
+};
+
+/// `uncertainty` is the fix's confidence scale (error-ellipse semi-major
+/// axis, or the confidence-disk radius when no ellipse exists).
+GeoFenceVerdict geo_fence_verdict(const GeoFencePolicy& fence,
+                                  const net::GeoPoint& fix,
+                                  Kilometers uncertainty);
+
+const char* to_string(GeoFenceVerdict verdict);
 
 }  // namespace geoproof::core

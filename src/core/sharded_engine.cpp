@@ -171,7 +171,8 @@ void ShardedAuditEngine::validate_async_colocation() const {
 }
 
 void ShardedAuditEngine::count_result(
-    const AuditReport& report, std::atomic<std::uint64_t>& sweep_passed) {
+    std::size_t shard, std::uint64_t file_id, const AuditReport& report,
+    std::atomic<std::uint64_t>& sweep_passed) {
   audits_.fetch_add(1, std::memory_order_relaxed);
   if (report.failed(AuditFailure::kAborted)) {
     aborted_.fetch_add(1, std::memory_order_relaxed);
@@ -183,6 +184,7 @@ void ShardedAuditEngine::count_result(
     passed_.fetch_add(1, std::memory_order_release);
     sweep_passed.fetch_add(1, std::memory_order_relaxed);
   }
+  if (options_.report_hook) options_.report_hook(file_id, report, shard);
 }
 
 void ShardedAuditEngine::record_aborted(
@@ -191,7 +193,7 @@ void ShardedAuditEngine::record_aborted(
   AuditReport aborted;
   aborted.accepted = false;
   aborted.failures.push_back(AuditFailure::kAborted);
-  count_result(aborted, sweep_passed);
+  count_result(shard, file_id, aborted, sweep_passed);
   service_->record(file_id, clocks_[shard](), std::move(aborted));
 }
 
@@ -210,7 +212,7 @@ void ShardedAuditEngine::audit_one(
       std::scoped_lock lock(device_mu);
       report = &service_->run_once(now, file_id);
     }
-    count_result(*report, sweep_passed);
+    count_result(shard, file_id, *report, sweep_passed);
   } catch (const std::exception&) {
     // Fault isolation: a scheme/device error (sentinel or signing-key
     // exhaustion) is this registration's problem alone — record it and
@@ -224,9 +226,9 @@ void ShardedAuditEngine::audit_run(std::size_t shard,
                                    const std::vector<std::uint64_t>& run,
                                    std::atomic<std::uint64_t>& sweep_passed) {
   const ShardClock& now = clocks_[shard];
-  const auto hook = [this, &sweep_passed](std::uint64_t /*file_id*/,
-                                          const AuditReport& report) {
-    count_result(report, sweep_passed);
+  const auto hook = [this, shard, &sweep_passed](std::uint64_t file_id,
+                                                 const AuditReport& report) {
+    count_result(shard, file_id, report, sweep_passed);
   };
   // Split the run into maximal same-(scheme, verifier) groups: run_batch
   // consumes one signing key per group, and the device mutex need only be
@@ -325,10 +327,10 @@ void ShardedAuditEngine::worker_async(
     try {
       service_->begin_once(
           now, file_id,
-          [&, device](const AuditReport& report) {
+          [&, device, file_id](const AuditReport& report) {
             busy.erase(device);
             --in_flight;
-            count_result(report, sweep_passed);
+            count_result(shard, file_id, report, sweep_passed);
           });
     } catch (const std::exception&) {
       // Challenge planning failed (sentinel/signing-key exhaustion):

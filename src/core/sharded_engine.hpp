@@ -111,6 +111,16 @@ class ShardedAuditEngine {
     /// bit. Stolen work always runs singly (a thief holds a foreign
     /// device's mutex as briefly as possible); ignored in async mode.
     std::size_t batch_size = 1;
+    /// Sweep-output tap: called once per completed audit — including
+    /// engine-recorded kAborted entries — from the shard worker (or
+    /// thief) that ran it, before the sweep returns. This is how a
+    /// streaming consumer (track::TrackService) subscribes to sweep
+    /// output without polling histories. Called concurrently from many
+    /// worker threads: the callee must be thread-safe, and fast — it sits
+    /// on the audit hot path. Null (default) = no tap.
+    std::function<void(std::uint64_t file_id, const AuditReport& report,
+                       std::size_t shard)>
+        report_hook;
     /// Reuse one set of parked worker jthreads across sweeps (spawned
     /// lazily on the first multi-shard dispatch, parked on a condition
     /// variable between dispatches). Off = the historical behaviour of
@@ -216,7 +226,11 @@ class ShardedAuditEngine {
   /// audited under its device's mutex through AuditService::run_batch.
   void audit_run(std::size_t shard, const std::vector<std::uint64_t>& run,
                  std::atomic<std::uint64_t>& sweep_passed);
-  void count_result(const AuditReport& report,
+  /// Count into the engine aggregates and fan the report out to the
+  /// options' report_hook (if any). Runs on the worker that produced the
+  /// report.
+  void count_result(std::size_t shard, std::uint64_t file_id,
+                    const AuditReport& report,
                     std::atomic<std::uint64_t>& sweep_passed);
   /// Record and count a kAborted entry for `file_id` (fault isolation:
   /// the one place the aborted-report shape is built).

@@ -11,9 +11,7 @@
 
 namespace geoproof::daemon {
 
-namespace {
-
-locate::DelayModel calibrate(const AuditorConfig& config) {
+locate::DelayModel calibrate_model(const AuditorConfig& config) {
   if (config.cal_ms_per_km <= 0.0) return locate::DelayModel{};
   // The emulated world is linear by construction, so a synthetic ladder
   // of points on the declared line calibrates exactly (r2 = 1).
@@ -25,8 +23,6 @@ locate::DelayModel calibrate(const AuditorConfig& config) {
   }
   return locate::DelayModel::fit(points);
 }
-
-}  // namespace
 
 AuditorClient::AuditorClient(AuditorConfig config)
     : config_(std::move(config)) {}
@@ -108,7 +104,7 @@ FleetReport AuditorClient::run() {
   }
   channels.clear();  // loop-thread-only teardown, before the loop dies
 
-  const locate::DelayModel model = calibrate(config_);
+  const locate::DelayModel model = calibrate_model(config_);
   fleet.calibration = model.fit_stats();
 
   std::vector<locate::VantageRange> ranges;
@@ -239,6 +235,17 @@ std::string to_json(const AuditorConfig& config, const FleetReport& report) {
     w.kv("radius_km", report.estimate.radius_km.value);
     w.kv("mean_abs_residual_km", report.estimate.mean_abs_residual_km.value);
     w.kv("converged", report.estimate.converged);
+    w.key("ellipse");
+    if (report.estimate.ellipse.valid) {
+      w.begin_object();
+      w.kv("semi_major_km", report.estimate.ellipse.semi_major.value);
+      w.kv("semi_minor_km", report.estimate.ellipse.semi_minor.value);
+      w.kv("orientation_deg", report.estimate.ellipse.orientation_deg);
+      w.kv("area_km2", report.estimate.ellipse.area_km2());
+      w.end_object();
+    } else {
+      w.null();
+    }
     w.key("inliers");
     w.begin_array();
     for (const std::size_t idx : report.estimate.inliers) {

@@ -78,6 +78,12 @@ struct FleetReport {
 /// functional harness.
 std::string to_json(const AuditorConfig& config, const FleetReport& report);
 
+/// The auditor's delay-model calibration recipe: a best-line fit of the
+/// declared linear world (cal_ms_per_km / cal_intercept_ms), or the
+/// uncalibrated physical-bound model when no slope is declared. Shared by
+/// the one-shot client and the streaming tracker.
+locate::DelayModel calibrate_model(const AuditorConfig& config);
+
 class AuditorClient {
  public:
   explicit AuditorClient(AuditorConfig config);

@@ -85,6 +85,14 @@
 #include "locate/measurement.hpp"
 #include "locate/multilaterate.hpp"
 
+// Continuous position tracking: per-provider sliding-window tracks with
+// online re-solve and error ellipses (track::PositionTrack), CUSUM
+// relocation alarms (track::ChangePointDetector), and the thread-safe
+// streaming registry shard workers feed (track::TrackService).
+#include "track/changepoint.hpp"
+#include "track/position_track.hpp"
+#include "track/track_service.hpp"
+
 // Real-process daemons (apps/geoproofd, geoproof-vantage, geoproof-audit):
 // the prover/vantage serving cores, the auditor fan-out client, and the
 // control-protocol wire messages they exchange.
@@ -94,5 +102,6 @@
 #include "daemon/auditor_client.hpp"
 #include "daemon/prover_daemon.hpp"
 #include "daemon/signal.hpp"
+#include "daemon/track_stream.hpp"
 #include "daemon/vantage_daemon.hpp"
 #include "daemon/wire.hpp"

@@ -52,6 +52,61 @@ SampleStats SampleStats::of(std::span<const Millis> samples) {
   return s;
 }
 
+SampleWindow::SampleWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw InvalidArgument("SampleWindow: capacity must be >= 1");
+  }
+  ring_.resize(capacity_);
+}
+
+void SampleWindow::push(Millis sample) {
+  if (count_ == capacity_) {
+    // Evicting the oldest sample; it is the min candidate at the deque
+    // front iff front.seq matches. (Any other candidate of equal value is
+    // younger and stays — `>=` domination on push guarantees front.seq is
+    // the *oldest* holder of the minimum.)
+    const std::uint64_t evict_seq = next_seq_ - count_;
+    if (!minima_.empty() && minima_.front().second == evict_seq) {
+      minima_.pop_front();
+    }
+    ring_[head_] = sample;
+    head_ = (head_ + 1) % capacity_;
+  } else {
+    ring_[(head_ + count_) % capacity_] = sample;
+    ++count_;
+  }
+  // Dominated candidates (≥ the new sample, but older, so evicted no
+  // later) can never be the window minimum again.
+  while (!minima_.empty() && minima_.back().first >= sample.count()) {
+    minima_.pop_back();
+  }
+  minima_.emplace_back(sample.count(), next_seq_);
+  ++next_seq_;
+}
+
+Millis SampleWindow::min() const {
+  if (minima_.empty()) return Millis{0};
+  return Millis{minima_.front().first};
+}
+
+SampleStats SampleWindow::stats() const { return SampleStats::of(samples()); }
+
+std::vector<Millis> SampleWindow::samples() const {
+  std::vector<Millis> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void SampleWindow::clear() {
+  head_ = 0;
+  count_ = 0;
+  next_seq_ = 0;
+  minima_.clear();
+}
+
 Millis min_filtered(std::span<const Millis> samples) {
   Millis best{0};
   bool first = true;

@@ -15,8 +15,11 @@
 // quality gating and uncertainty estimates.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -48,6 +51,52 @@ struct SampleStats {
 
 /// Best-of-k min filter (0 on an empty set).
 Millis min_filtered(std::span<const Millis> samples);
+
+/// Bounded sliding window of RTT samples with an eviction-exact minimum.
+///
+/// The streaming counterpart of `min_filtered`: a track keeps the last
+/// `capacity` samples per vantage and re-reads the window minimum every
+/// sweep. A naive running-min silently keeps a stale floor after the
+/// sample that produced it ages out — fatal for relocation detection,
+/// where the whole point is that the old (smaller) RTTs must *leave* the
+/// window. A monotonic deque of (value, seq) candidates makes `min()`
+/// O(1) and exact under eviction: push pops dominated candidates from the
+/// back, eviction pops the front iff the front *is* the evicted sample.
+class SampleWindow {
+ public:
+  /// Throws InvalidArgument on capacity == 0.
+  explicit SampleWindow(std::size_t capacity);
+
+  /// Append a sample, evicting the oldest when the window is full.
+  void push(Millis sample);
+
+  /// Exact minimum of the current contents, O(1). Millis{0} on empty.
+  Millis min() const;
+
+  /// Order statistics over the current contents (recomputed, O(n log n)).
+  SampleStats stats() const;
+
+  /// Current contents, oldest first.
+  std::vector<Millis> samples() const;
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return count_ == 0; }
+  /// True once the window has wrapped at least once — every sample that
+  /// predates the last `capacity` pushes has been evicted.
+  bool full() const { return count_ == capacity_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Millis> ring_;
+  std::size_t head_ = 0;   // index of the oldest sample
+  std::size_t count_ = 0;
+  std::uint64_t next_seq_ = 0;  // seq of the *next* push
+  /// Min candidates: strictly increasing in value, increasing in seq.
+  std::deque<std::pair<double, std::uint64_t>> minima_;
+};
 
 /// What one vantage observed about one prover in one measurement round.
 struct VantageObservation {

@@ -88,7 +88,102 @@ BoundingBox coverage_box(std::span<const VantageRange> ranges,
   return box;
 }
 
+/// The refit's per-vantage weight floor: the active set's median sigma,
+/// never below 1 km. Shared by solve_refine and the covariance so the
+/// ellipse describes exactly the fit that produced the position.
+double refit_weight_floor(std::span<const VantageRange> ranges,
+                          const std::vector<std::size_t>& active) {
+  std::vector<double> sigmas;
+  sigmas.reserve(active.size());
+  for (const std::size_t i : active) sigmas.push_back(ranges[i].sigma.value);
+  return std::max(1.0, median(std::move(sigmas)));
+}
+
+/// Initial bearing from `from` to `to`, radians east of north.
+double bearing_rad(const GeoPoint& from, const GeoPoint& to) {
+  constexpr double kDeg = std::numbers::pi / 180.0;
+  const double lat1 = from.lat_deg * kDeg, lat2 = to.lat_deg * kDeg;
+  const double dlon = (to.lon_deg - from.lon_deg) * kDeg;
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  return std::atan2(y, x);
+}
+
+/// Covariance of the weighted-LS refit, linearised at `position` in the
+/// local east-north plane: each inlier constrains the fix along the unit
+/// bearing u_i from its vantage (∂range_i/∂p = u_i), so the Fisher
+/// information is F = Σ u_i u_iᵀ / w_i² and the covariance is s²·F⁻¹ with
+/// the residual scale s² = max(1, χ²/dof) — floored at 1 so a fit that is
+/// merely lucky cannot claim less uncertainty than the vantages' own
+/// sigmas. Eigen-decomposing C gives the semi-axes and orientation;
+/// `radius_cap` (the confidence disk) clamps both axes.
+ErrorEllipse refit_ellipse(std::span<const VantageRange> ranges,
+                           const std::vector<std::size_t>& active,
+                           const std::vector<double>& residuals,
+                           const GeoPoint& position, double axis_factor,
+                           double radius_cap) {
+  ErrorEllipse out;
+  if (active.size() < 3) return out;
+  const double floor_km = refit_weight_floor(ranges, active);
+
+  double fxx = 0.0, fxy = 0.0, fyy = 0.0, chi2 = 0.0;
+  std::size_t used = 0;
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const VantageRange& r = ranges[active[k]];
+    if (haversine(r.vantage.pos, position).value < 1e-6) continue;
+    const double w = std::max(r.sigma.value, floor_km);
+    const double theta = bearing_rad(r.vantage.pos, position);
+    const double ux = std::sin(theta);  // east
+    const double uy = std::cos(theta);  // north
+    fxx += ux * ux / (w * w);
+    fxy += ux * uy / (w * w);
+    fyy += uy * uy / (w * w);
+    const double z = residuals[k] / w;
+    chi2 += z * z;
+    ++used;
+  }
+  if (used < 3) return out;
+  const double det = fxx * fyy - fxy * fxy;
+  // Collinear bearings make F singular: the fix is unconstrained along one
+  // axis, so no finite ellipse exists. (trace² * epsilon is the usual
+  // relative-conditioning guard.)
+  const double trace = fxx + fyy;
+  if (det <= trace * trace * 1e-9) return out;
+
+  const double s2 =
+      std::max(1.0, chi2 / static_cast<double>(used > 2 ? used - 2 : 1));
+  // C = s² F⁻¹; eigenvalues of the symmetric 2x2 via the trace/det form.
+  const double cxx = s2 * fyy / det;
+  const double cyy = s2 * fxx / det;
+  const double cxy = -s2 * fxy / det;
+  const double mid = (cxx + cyy) / 2.0;
+  const double diff = std::hypot((cxx - cyy) / 2.0, cxy);
+  const double lam_max = mid + diff;
+  const double lam_min = std::max(0.0, mid - diff);
+  // Major-axis direction: eigenvector angle from the east axis, converted
+  // to a bearing east of north in [0, 180).
+  const double alpha = 0.5 * std::atan2(2.0 * cxy, cxx - cyy);
+  double bearing_deg = 90.0 - alpha * 180.0 / std::numbers::pi;
+  bearing_deg = std::fmod(bearing_deg, 180.0);
+  if (bearing_deg < 0.0) bearing_deg += 180.0;
+
+  // The same confidence multiplier as the disk, so "ellipse vs disk" is an
+  // apples-to-apples comparison of shapes at one coverage level.
+  out.semi_major =
+      Kilometers{std::min(axis_factor * std::sqrt(lam_max), radius_cap)};
+  out.semi_minor = Kilometers{
+      std::min(axis_factor * std::sqrt(lam_min), out.semi_major.value)};
+  out.orientation_deg = bearing_deg;
+  out.valid = true;
+  return out;
+}
+
 }  // namespace
+
+double ErrorEllipse::area_km2() const {
+  return std::numbers::pi * semi_major.value * semi_minor.value;
+}
 
 GeoPoint Multilaterator::grid_search(
     std::span<const VantageRange> ranges,
@@ -210,10 +305,7 @@ GeoPoint Multilaterator::solve_refine(
   // Weights are floored at the active set's median sigma: a vantage that
   // *claims* near-zero uncertainty (the obvious play for dominating a
   // weighted fit) gets no more say than the majority's typical confidence.
-  std::vector<double> sigmas;
-  sigmas.reserve(active.size());
-  for (const std::size_t i : active) sigmas.push_back(ranges[i].sigma.value);
-  const double weight_floor = std::max(1.0, median(std::move(sigmas)));
+  const double weight_floor = refit_weight_floor(ranges, active);
   return grid_search(ranges, active, [&](const GeoPoint& p) {
     double cost = 0.0;
     for (const std::size_t i : active) {
@@ -315,6 +407,8 @@ PositionEstimate Multilaterator::estimate(
   out.radius_km = Kilometers{std::max(
       options_.min_radius.value,
       options_.radius_factor * std::max(max_res, max_sigma))};
+  out.ellipse = refit_ellipse(ranges, active, residuals, position,
+                              options_.radius_factor, out.radius_km.value);
 
   // Converged = a majority-consistent inlier set whose residuals are all
   // within their own trim thresholds (no suspect left standing because the

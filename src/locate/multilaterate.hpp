@@ -37,6 +37,27 @@ struct VantageRange {
   Kilometers sigma{0.0};
 };
 
+/// Error ellipse of the weighted-LS refit, from the 2x2 covariance of the
+/// fit in the local east-north tangent plane at the estimate. The
+/// confidence *disk* (radius_km) is sized by the worst inlier residual —
+/// deliberately conservative; the ellipse is the statistically efficient
+/// refinement: the per-axis uncertainty of the refit given the inliers'
+/// geometry and weights, which shrinks ~1/sqrt(n) with fleet size and is
+/// anisotropic when the vantage bearings are. Semi-axes are clamped to the
+/// disk, so ellipse ⊆ disk always holds and the disk stays the outer
+/// bound downstream policy can rely on.
+struct ErrorEllipse {
+  Kilometers semi_major{0.0};
+  Kilometers semi_minor{0.0};
+  /// Bearing of the semi-major axis, degrees east of north, in [0, 180).
+  double orientation_deg = 0.0;
+  /// False when the inlier geometry cannot support a covariance (fewer
+  /// than 3 usable inliers, or a degenerate — collinear-bearing — fit).
+  bool valid = false;
+
+  double area_km2() const;
+};
+
 /// The solver's answer. Indices in `inliers`/`outliers` refer to the input
 /// span's order.
 struct PositionEstimate {
@@ -45,6 +66,8 @@ struct PositionEstimate {
   /// `position`. Grows with residual spread, so inconsistent measurements
   /// (a relayed prover) honestly report a loose fix.
   Kilometers radius_km{0.0};
+  /// Residual-geometry error ellipse of the refit (see ErrorEllipse).
+  ErrorEllipse ellipse{};
   std::vector<std::size_t> inliers;
   std::vector<std::size_t> outliers;
   Kilometers mean_abs_residual_km{0.0};

@@ -1,0 +1,114 @@
+#include "track/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace geoproof::track {
+
+using net::GeoPoint;
+using net::haversine;
+
+namespace {
+
+/// Incremental position mean with `count` prior samples, longitude
+/// unwrapped around the accumulator so a reference near the antimeridian
+/// averages correctly.
+GeoPoint fold_mean(const GeoPoint& mean, std::size_t count,
+                   const GeoPoint& next) {
+  const double n = static_cast<double>(count + 1);
+  const double lon =
+      mean.lon_deg + std::remainder(next.lon_deg - mean.lon_deg, 360.0);
+  GeoPoint out{mean.lat_deg + (next.lat_deg - mean.lat_deg) / n,
+               mean.lon_deg + (lon - mean.lon_deg) / n};
+  out.lon_deg = std::remainder(out.lon_deg, 360.0);
+  if (out.lon_deg == 180.0) out.lon_deg = -180.0;
+  return out;
+}
+
+}  // namespace
+
+ChangePointDetector::ChangePointDetector(ChangePointOptions options)
+    : options_(options) {
+  if (options_.threshold <= 0.0) {
+    throw InvalidArgument("ChangePointDetector: threshold must be > 0");
+  }
+  if (options_.drift < 0.0) {
+    throw InvalidArgument("ChangePointDetector: drift must be >= 0");
+  }
+  options_.warmup = std::max(1u, options_.warmup);
+  options_.rearm_after = std::max(1u, options_.rearm_after);
+}
+
+std::optional<RelocationAlarm> ChangePointDetector::update(
+    std::uint64_t sweep, const GeoPoint& fix, Kilometers scale) {
+  const double scale_km =
+      std::max(scale.value, options_.min_scale.value);
+
+  switch (state_) {
+    case TrackState::kWarmup: {
+      reference_ = warmup_seen_ == 0 ? fix
+                                     : fold_mean(reference_, warmup_seen_, fix);
+      ++warmup_seen_;
+      if (warmup_seen_ >= options_.warmup) state_ = TrackState::kArmed;
+      return std::nullopt;
+    }
+
+    case TrackState::kArmed: {
+      const double d = haversine(reference_, fix).value;
+      const double z = d / scale_km;
+      score_ = std::max(0.0, score_ + z - options_.drift);
+      if (score_ >= options_.threshold &&
+          d >= options_.min_displacement.value) {
+        RelocationAlarm alarm;
+        alarm.at_sweep = sweep;
+        alarm.reference = reference_;
+        alarm.fix = fix;
+        alarm.displacement = Kilometers{d};
+        alarm.score = score_;
+        ++alarms_;
+        state_ = TrackState::kAlarmed;
+        settle_ = fix;
+        settle_streak_ = 1;
+        return alarm;
+      }
+      return std::nullopt;
+    }
+
+    case TrackState::kAlarmed: {
+      // Settle on the post-move position: consecutive fixes that agree
+      // with the candidate (within the per-sweep drift allowance) extend
+      // the streak; a fix that disagrees becomes the new candidate (the
+      // provider is still moving).
+      const double d = haversine(settle_, fix).value;
+      if (d / scale_km <= options_.drift) {
+        settle_ = fold_mean(settle_, settle_streak_, fix);
+        ++settle_streak_;
+      } else {
+        settle_ = fix;
+        settle_streak_ = 1;
+      }
+      if (settle_streak_ >= options_.rearm_after) {
+        reference_ = settle_;
+        state_ = TrackState::kArmed;
+        score_ = 0.0;
+        settle_streak_ = 0;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+void ChangePointDetector::reset() {
+  state_ = TrackState::kWarmup;
+  reference_ = GeoPoint{};
+  score_ = 0.0;
+  warmup_seen_ = 0;
+  settle_ = GeoPoint{};
+  settle_streak_ = 0;
+  alarms_ = 0;
+}
+
+}  // namespace geoproof::track

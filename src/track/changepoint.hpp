@@ -1,0 +1,108 @@
+// Change-point detection over a position-fix stream: the alarm that turns
+// "where is the prover *now*" into "has the prover *moved*".
+//
+// The detector runs a one-sided CUSUM over displacement from a reference
+// position, normalised by the fix's own uncertainty (the refit error
+// ellipse's semi-major axis, floored): z = d / max(scale, min_scale),
+// score = max(0, score + z - drift). Honest jitter keeps d within the
+// ellipse, so z hovers near or below the drift term and the score decays
+// to zero; a datacenter-scale relocation pushes z far above drift and the
+// score crosses the threshold within a sweep or two of the fix moving.
+//
+// Two hysteresis gates keep honest tracks quiet:
+//  - min_displacement: however high the normalised score, no alarm fires
+//    unless the raw displacement is datacenter-scale — a tiny ellipse must
+//    not turn metres of drift into an alarm;
+//  - warmup: the reference is the mean of the first `warmup` fixes, so a
+//    noisy first solve doesn't become the anchor everything is measured
+//    against.
+//
+// After an alarm the detector re-arms itself: once `rearm_after`
+// consecutive fixes agree with the post-move position, that position
+// becomes the new reference and monitoring resumes (a provider that moves
+// twice raises two alarms).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.hpp"
+#include "net/geo.hpp"
+
+namespace geoproof::track {
+
+struct ChangePointOptions {
+  /// Raw-displacement alarm gate: drift below this never alarms, whatever
+  /// the normalised score says. Default is datacenter scale — far above
+  /// honest solver jitter, far below an inter-region migration.
+  Kilometers min_displacement{300.0};
+  /// CUSUM drift term, in scale units: the per-sweep normalised
+  /// displacement honest tracking is allowed "for free".
+  double drift = 1.0;
+  /// Alarm when the accumulated score reaches this.
+  double threshold = 4.0;
+  /// Floor of the ellipse normalisation: a very confident fleet (tiny
+  /// ellipse) must not turn kilometre jitter into huge z-scores.
+  Kilometers min_scale{25.0};
+  /// Fixes establishing the reference before monitoring arms.
+  unsigned warmup = 2;
+  /// Consecutive post-alarm fixes that must agree with the new position
+  /// before monitoring re-arms against it.
+  unsigned rearm_after = 3;
+};
+
+enum class TrackState {
+  kWarmup,   // accumulating the reference position
+  kArmed,    // monitoring displacement from the reference
+  kAlarmed,  // relocation detected; settling on the new position
+};
+
+/// One detected relocation.
+struct RelocationAlarm {
+  std::uint64_t at_sweep = 0;
+  /// Where the track was anchored when the move was detected.
+  net::GeoPoint reference{};
+  /// The fix that fired the alarm.
+  net::GeoPoint fix{};
+  Kilometers displacement{0.0};
+  /// CUSUM score at the moment of the alarm.
+  double score = 0.0;
+};
+
+class ChangePointDetector {
+ public:
+  ChangePointDetector() = default;
+  explicit ChangePointDetector(ChangePointOptions options);
+
+  /// Feed the next fix in sweep order. `scale` is the fix's 1-sigma-ish
+  /// positional uncertainty (ellipse semi-major, or the confidence radius
+  /// when no ellipse exists). Returns the alarm iff this fix raised one —
+  /// exactly once per relocation event.
+  std::optional<RelocationAlarm> update(std::uint64_t sweep,
+                                        const net::GeoPoint& fix,
+                                        Kilometers scale);
+
+  TrackState state() const { return state_; }
+  double score() const { return score_; }
+  /// The position displacement is measured against (meaningful once out
+  /// of warmup).
+  const net::GeoPoint& reference() const { return reference_; }
+  std::uint64_t alarms_raised() const { return alarms_; }
+  const ChangePointOptions& options() const { return options_; }
+
+  /// Forget everything (fresh warmup).
+  void reset();
+
+ private:
+  ChangePointOptions options_{};
+  TrackState state_ = TrackState::kWarmup;
+  net::GeoPoint reference_{};
+  double score_ = 0.0;
+  unsigned warmup_seen_ = 0;
+  /// Post-alarm settling: candidate new reference + agreement streak.
+  net::GeoPoint settle_{};
+  unsigned settle_streak_ = 0;
+  std::uint64_t alarms_ = 0;
+};
+
+}  // namespace geoproof::track

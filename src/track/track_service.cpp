@@ -1,0 +1,195 @@
+#include "track/track_service.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace geoproof::track {
+
+TrackService::TrackService(Options options) : options_(options) {
+  if (options_.sla_pass_rate < 0.0 || options_.sla_pass_rate > 1.0) {
+    throw InvalidArgument("TrackService: sla_pass_rate must be in [0, 1]");
+  }
+}
+
+std::uint64_t TrackService::add(std::string name, locate::DelayModel model,
+                                std::optional<core::GeoFencePolicy> fence) {
+  const std::uint64_t id = next_id_++;
+  auto slot = std::make_unique<Slot>(std::move(name), std::move(model),
+                                     options_.track, fence);
+  std::size_t pos;
+  if (!free_.empty()) {
+    pos = free_.back();
+    free_.pop_back();
+    slots_[pos] = std::move(slot);
+  } else {
+    pos = slots_.size();
+    slots_.push_back(std::move(slot));
+  }
+  index_.emplace(id, pos);
+  return id;
+}
+
+void TrackService::remove(std::uint64_t provider_id) {
+  const auto it = index_.find(provider_id);
+  if (it == index_.end()) {
+    throw InvalidArgument("TrackService: unknown provider id");
+  }
+  slots_[it->second].reset();
+  free_.push_back(it->second);
+  index_.erase(it);
+}
+
+bool TrackService::has(std::uint64_t provider_id) const {
+  return index_.count(provider_id) != 0;
+}
+
+std::vector<std::uint64_t> TrackService::provider_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(index_.size());
+  for (const auto& [id, pos] : index_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TrackService::Slot& TrackService::find_slot(std::uint64_t provider_id) {
+  const auto it = index_.find(provider_id);
+  if (it == index_.end()) {
+    throw InvalidArgument("TrackService: unknown provider id");
+  }
+  return *slots_[it->second];
+}
+
+const TrackService::Slot& TrackService::find_slot(
+    std::uint64_t provider_id) const {
+  const auto it = index_.find(provider_id);
+  if (it == index_.end()) {
+    throw InvalidArgument("TrackService: unknown provider id");
+  }
+  return *slots_[it->second];
+}
+
+void TrackService::record(std::uint64_t provider_id,
+                          const locate::VantageObservation& obs) {
+  Slot& slot = find_slot(provider_id);
+  {
+    MutexLock lock(slot.mu);
+    slot.track.ingest(obs);
+  }
+  if (obs.completed) {
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+std::vector<TrackService::ProviderAlarm> TrackService::commit_sweep(
+    std::uint64_t sweep) {
+  std::vector<ProviderAlarm> raised;
+  for (const std::uint64_t id : provider_ids()) {
+    Slot& slot = find_slot(id);
+    std::optional<RelocationAlarm> alarm;
+    bool fixed = false;
+    {
+      MutexLock lock(slot.mu);
+      const std::uint64_t before = slot.track.fixes_solved();
+      alarm = slot.track.commit_sweep(sweep);
+      fixed = slot.track.fixes_solved() > before;
+    }
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    if (fixed) fixes_.fetch_add(1, std::memory_order_relaxed);
+    if (alarm) {
+      alarms_.fetch_add(1, std::memory_order_relaxed);
+      raised.push_back(ProviderAlarm{id, slot.name, *alarm});
+    }
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  return raised;
+}
+
+TrackService::Report TrackService::report(std::uint64_t provider_id) const {
+  const Slot& slot = find_slot(provider_id);
+  Report out;
+  out.provider_id = provider_id;
+  out.name = slot.name;
+  {
+    MutexLock lock(slot.mu);
+    const PositionTrack& track = slot.track;
+    out.state = track.detector().state();
+    out.fix = track.last_fix();
+    out.score = track.detector().score();
+    out.alarms = track.detector().alarms_raised();
+    out.history_length = track.history().size();
+    out.vantages = track.vantage_count();
+    out.sweeps = track.sweeps_committed();
+    out.fixes = track.fixes_solved();
+  }
+  // Audit-stream SLA from the tap's atomics (epoch-style ordering: passed
+  // first with acquire, so passed <= audits for any racing reader).
+  out.audits_passed = slot.audits_passed.load(std::memory_order_acquire);
+  out.audits = std::max(out.audits_passed,
+                        slot.audits.load(std::memory_order_relaxed));
+  out.sla_met =
+      out.audits == 0 ||
+      static_cast<double>(out.audits_passed) >=
+          options_.sla_pass_rate * static_cast<double>(out.audits);
+  if (slot.fence && out.fix) {
+    const locate::PositionEstimate& est = out.fix->estimate;
+    const Kilometers uncertainty =
+        est.ellipse.valid ? est.ellipse.semi_major : est.radius_km;
+    out.fence =
+        core::geo_fence_verdict(*slot.fence, est.position, uncertainty);
+  }
+  return out;
+}
+
+TrackService::Stats TrackService::stats() const {
+  Stats s;
+  // Epoch first (acquire): every event it counts has published its
+  // counter increments by the time we read them (mirrors
+  // AuditService::compliance()).
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  s.providers = index_.size();
+  s.observations = observations_.load(std::memory_order_relaxed);
+  s.sweeps = sweeps_.load(std::memory_order_relaxed);
+  s.fixes = fixes_.load(std::memory_order_relaxed);
+  s.alarms = alarms_.load(std::memory_order_relaxed);
+  s.audits_passed = audits_passed_.load(std::memory_order_acquire);
+  s.audits =
+      std::max(s.audits_passed, audits_.load(std::memory_order_relaxed));
+  return s;
+}
+
+std::function<void(std::uint64_t, const core::AuditReport&, std::size_t)>
+TrackService::audit_hook(ProviderOf provider_of) {
+  if (!provider_of) {
+    throw InvalidArgument("TrackService: audit_hook needs a provider map");
+  }
+  return [this, provider_of = std::move(provider_of)](
+             std::uint64_t file_id, const core::AuditReport& report,
+             std::size_t /*shard*/) {
+    const std::optional<std::uint64_t> id = provider_of(file_id);
+    if (!id) return;
+    // Tap path: atomics only — shard workers must never contend on a
+    // track mutex from the audit hot path. Publish audits last (release)
+    // so passed <= audits holds for any racing reader.
+    Slot& slot = find_slot(*id);
+    if (report.accepted) {
+      slot.audits_passed.fetch_add(1, std::memory_order_relaxed);
+      audits_passed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.audits.fetch_add(1, std::memory_order_release);
+    audits_.fetch_add(1, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+  };
+}
+
+const char* to_string(TrackState state) {
+  switch (state) {
+    case TrackState::kWarmup: return "warmup";
+    case TrackState::kArmed: return "armed";
+    case TrackState::kAlarmed: return "alarmed";
+  }
+  return "unknown";
+}
+
+}  // namespace geoproof::track

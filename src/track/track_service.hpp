@@ -1,0 +1,197 @@
+// The tracking registry: many providers' PositionTracks behind one
+// thread-safe streaming facade — the continuous-monitoring layer the
+// ROADMAP's "verify where an instance *stays*" item asks for.
+//
+// ## Shape
+//
+// Providers register like AuditService targets: a dense arena of slots
+// (stable addresses, O(1) id lookup, freed slots reused) keyed by a
+// service-assigned provider id. Each slot owns one PositionTrack behind
+// its own mutex, so the streaming surface scales with provider count:
+// concurrent ingests for distinct providers never contend.
+//
+// ## Ingest thread-safety contract
+//
+// record() and the audit_hook() tap are safe from any thread, including
+// ShardedAuditEngine shard workers mid-sweep — per-slot mutexes serialise
+// same-provider observations, per-slot atomics count audit compliance,
+// and service-wide aggregates are monotone atomics published with the
+// same release/acquire epoch-snapshot discipline as AuditService's
+// compliance counters (stats() is safe to call while an 8-shard sweep is
+// writing; alarms <= fixes <= expected monotone ordering holds for any
+// racing reader). commit_sweep() may run concurrently with record() and
+// report(); what it must NOT overlap is another commit_sweep() for the
+// same sweep stream (sweep numbering is the caller's).
+//
+// Registry mutation (add/remove) requires quiescence — no concurrent
+// record/commit/report — exactly like AuditService::add/remove during an
+// engine sweep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "core/policy.hpp"
+#include "core/scheme.hpp"
+#include "locate/delay_model.hpp"
+#include "locate/measurement.hpp"
+#include "track/position_track.hpp"
+
+namespace geoproof::track {
+
+class TrackService {
+ public:
+  struct Options {
+    /// Per-provider track configuration (window, solver, change-point).
+    TrackOptions track{};
+    /// Audit-stream pass rate a provider must sustain for sla_met.
+    double sla_pass_rate = 0.99;
+  };
+
+  /// Service-wide monotone counters, read as an epoch-consistent snapshot
+  /// (safe while shard workers are mid-sweep).
+  struct Stats {
+    std::uint64_t providers = 0;
+    std::uint64_t observations = 0;  // windowed vantage observations
+    std::uint64_t sweeps = 0;        // per-provider sweep commits
+    std::uint64_t fixes = 0;         // successful re-solves
+    std::uint64_t alarms = 0;        // relocation alarms raised
+    std::uint64_t audits = 0;        // audit reports seen via the tap
+    std::uint64_t audits_passed = 0;
+    /// Snapshot epoch: events folded in when this snapshot was taken.
+    std::uint64_t epoch = 0;
+  };
+
+  /// Queryable per-provider state: the streaming analogue of the one-shot
+  /// FleetReport.
+  struct Report {
+    std::uint64_t provider_id = 0;
+    std::string name;
+    TrackState state = TrackState::kWarmup;
+    /// Latest fix (position + ellipse + disk), if any solve succeeded.
+    std::optional<TrackFix> fix;
+    double score = 0.0;  // current CUSUM score
+    std::uint64_t alarms = 0;
+    std::size_t history_length = 0;
+    std::size_t vantages = 0;
+    std::uint64_t sweeps = 0;
+    std::uint64_t fixes = 0;
+    /// Audit-stream SLA (counted via audit_hook; audits == 0 => met).
+    std::uint64_t audits = 0;
+    std::uint64_t audits_passed = 0;
+    bool sla_met = true;
+    /// Geo-fence verdict at the latest fix; nullopt when the provider has
+    /// no fence bound or no fix yet.
+    std::optional<core::GeoFenceVerdict> fence;
+  };
+
+  /// One provider's alarm from a commit_sweep() pass.
+  struct ProviderAlarm {
+    std::uint64_t provider_id = 0;
+    std::string name;
+    RelocationAlarm alarm;
+  };
+
+  TrackService() : TrackService(Options{}) {}
+  explicit TrackService(Options options);
+
+  TrackService(const TrackService&) = delete;
+  TrackService& operator=(const TrackService&) = delete;
+
+  // ── Registry (quiescent only) ────────────────────────────────────────
+
+  /// Register a provider; returns its id. The delay model converts that
+  /// provider's windowed RTTs to distances; `fence` optionally binds a
+  /// geo-fence its reports are judged against.
+  std::uint64_t add(std::string name, locate::DelayModel model,
+                    std::optional<core::GeoFencePolicy> fence = std::nullopt);
+  void remove(std::uint64_t provider_id);
+  bool has(std::uint64_t provider_id) const;
+  std::size_t size() const { return index_.size(); }
+  /// Ascending provider ids (deterministic iteration order).
+  std::vector<std::uint64_t> provider_ids() const;
+
+  // ── Streaming (thread-safe) ──────────────────────────────────────────
+
+  /// Feed one vantage observation of `provider_id`'s current sweep.
+  /// Callable concurrently from shard workers; same-provider calls are
+  /// serialised on the slot mutex. Throws InvalidArgument on unknown id.
+  void record(std::uint64_t provider_id,
+              const locate::VantageObservation& obs);
+
+  /// Close sweep `sweep` for every provider: re-solve each track from its
+  /// windows and collect the relocation alarms raised. Safe to overlap
+  /// record()/report() calls; do not run two commit_sweep() concurrently.
+  std::vector<ProviderAlarm> commit_sweep(std::uint64_t sweep);
+
+  /// Per-provider report; safe concurrently with streaming writes.
+  Report report(std::uint64_t provider_id) const;
+
+  Stats stats() const;
+
+  // ── Engine subscription ──────────────────────────────────────────────
+
+  /// file id -> owning provider id (nullopt = not a tracked provider's
+  /// file). Must be safe to call from shard workers.
+  using ProviderOf =
+      std::function<std::optional<std::uint64_t>(std::uint64_t file_id)>;
+
+  /// Build a ShardedAuditEngine::Options::report_hook that folds the
+  /// engine's sweep output into per-provider audit-compliance counters.
+  /// The returned callable is thread-safe (slot atomics only) and must
+  /// not outlive this service.
+  std::function<void(std::uint64_t, const core::AuditReport&, std::size_t)>
+  audit_hook(ProviderOf provider_of);
+
+ private:
+  struct Slot {
+    Slot(std::string provider_name, locate::DelayModel model,
+         const TrackOptions& track_options,
+         std::optional<core::GeoFencePolicy> fence_policy)
+        : name(std::move(provider_name)),
+          fence(fence_policy),
+          track(std::move(model), track_options) {}
+
+    std::string name;
+    std::optional<core::GeoFencePolicy> fence;
+    mutable Mutex mu;
+    PositionTrack track GEOPROOF_GUARDED_BY(mu);
+    /// Audit-stream counters, written by the engine tap from shard
+    /// workers — atomics so the tap never takes the track mutex.
+    std::atomic<std::uint64_t> audits{0};
+    std::atomic<std::uint64_t> audits_passed{0};
+  };
+
+  Slot& find_slot(std::uint64_t provider_id);
+  const Slot& find_slot(std::uint64_t provider_id) const;
+
+  Options options_;
+  std::uint64_t next_id_ = 1;
+  /// Dense arena: stable slot addresses while the registry is unmutated;
+  /// freed slots reused (PR 8's AuditService registry shape).
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<std::size_t> free_;
+
+  // Service-wide aggregates (see Stats). Writers publish counter first,
+  // epoch last (release); stats() reads epoch first (acquire).
+  std::atomic<std::uint64_t> observations_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> fixes_{0};
+  std::atomic<std::uint64_t> alarms_{0};
+  std::atomic<std::uint64_t> audits_{0};
+  std::atomic<std::uint64_t> audits_passed_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+const char* to_string(TrackState state);
+
+}  // namespace geoproof::track

@@ -163,12 +163,20 @@ class Harness:
         match = daemon.wait_for_line(r"FILE id=(\d+) segments=(\d+)")
         return daemon, port, int(match.group(1)), int(match.group(2))
 
-    def spawn_vantage(self, name, extra_oneway_ms=0.0, lie_rtt_ms=0.0):
-        """Start geoproof-vantage at city `name`; returns (daemon, port)."""
+    def spawn_vantage(self, name, extra_oneway_ms=0.0, lie_rtt_ms=0.0,
+                      port=0):
+        """Start geoproof-vantage at city `name`; returns (daemon, port).
+
+        `port=0` lets the kernel choose; a pinned port lets a test kill a
+        vantage and respawn its replacement at the same endpoint mid-run
+        (how the track-stream test emulates a prover relocation: the fleet
+        keeps its addresses, the emulated delays change).
+        """
         lat, lon = CITIES[name]
         daemon = self.spawn(f"vantage-{name}", [
             binary("geoproof-vantage"),
             f"--name={name}", f"--lat={lat}", f"--lon={lon}",
+            f"--port={port}",
             f"--extra-oneway-ms={extra_oneway_ms}",
             f"--lie-rtt-ms={lie_rtt_ms}",
         ])

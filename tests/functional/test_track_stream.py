@@ -1,0 +1,157 @@
+"""Streaming tracking through the full spawned pipeline.
+
+Runs geoproof-audit --track against a live fleet and reads the JSON
+track-update stream while it is being produced. The relocation scenario
+is the ISSUE acceptance case: mid-stream, every vantage is killed and
+respawned at the *same* port with delays that encode the prover at Perth
+instead of Brisbane (the fleet keeps its addresses; the prover "moved"
+~3600 km), and the stream must raise a relocation alarm within the
+window-turnover + CUSUM budget and exit 4.
+"""
+
+import json
+
+import framework
+
+RTT_MS_PER_KM = 0.05
+# The fleet must geographically bracket BOTH prover sites: the solver
+# searches the vantages' bounding box (plus margin), so a fleet clustered
+# on the east coast could never place a fix at Perth.
+FLEET = ["sydney", "melbourne", "townsville", "adelaide", "perth"]
+BRISBANE = framework.CITIES["brisbane"]
+PERTH = framework.CITIES["perth"]
+
+
+def _oneway_ms(city, truth):
+    return (RTT_MS_PER_KM / 2.0) * framework.haversine_km(
+        framework.CITIES[city], truth)
+
+
+def _spawn_fleet(harness, truth, ports=None):
+    """Spawn the fleet with delays encoding the prover at `truth`; pin to
+    `ports` when respawning a relocated world."""
+    out = []
+    for i, city in enumerate(FLEET):
+        _, port = harness.spawn_vantage(
+            city, extra_oneway_ms=_oneway_ms(city, truth),
+            port=ports[i] if ports else 0)
+        out.append(port)
+    return out
+
+
+def _track_argv(ports, prover_port, file_id, n_segments, sweeps,
+                extra_args=()):
+    argv = [framework.binary("geoproof-audit"), "--track",
+            f"--sweeps={sweeps}", "--interval-ms=400", "--rounds=4",
+            "--prover-host=127.0.0.1", f"--prover-port={prover_port}",
+            f"--file-id={file_id}", f"--n-segments={n_segments}",
+            f"--cal-ms-per-km={RTT_MS_PER_KM}", "--cal-intercept-ms=0"]
+    argv += [f"--vantage=127.0.0.1:{port}" for port in ports]
+    argv += list(extra_args)
+    return argv
+
+
+def _updates(auditor):
+    """Parse every track-update line seen so far."""
+    lines = []
+    with auditor._cond:
+        lines = list(auditor.stdout_lines)
+    return [json.loads(line) for line in lines if line.startswith("{")]
+
+
+def test_honest_stream_stays_quiet_inside_fence():
+    with framework.Harness() as harness:
+        _, prover_port, file_id, n_segments = harness.spawn_prover()
+        ports = _spawn_fleet(harness, BRISBANE)
+        auditor = framework.Daemon("track-audit", _track_argv(
+            ports, prover_port, file_id, n_segments, sweeps=8,
+            extra_args=[f"--fence-lat={BRISBANE[0]}",
+                        f"--fence-lon={BRISBANE[1]}",
+                        "--fence-radius-km=500"]))
+        try:
+            rc = auditor.proc.wait(timeout=300)
+        finally:
+            auditor.kill()
+        assert rc == 0, "\n".join(auditor.stderr_lines)
+
+        updates = _updates(auditor)
+        assert [u["sweep"] for u in updates] == list(range(1, 9))
+        for u in updates:
+            assert u["type"] == "track-update"
+            assert u["alarm"] is None, u
+            assert u["alarms"] == 0, u
+        # Once armed (warmup is 2 fixes) every sweep has a fenced fix with
+        # an ellipse genuinely inside its confidence disk.
+        armed = [u for u in updates if u["state"] == "armed"]
+        assert len(armed) >= 5, updates
+        for u in armed:
+            fix = u["fix"]
+            assert fix is not None and fix["converged"], u
+            error_km = framework.haversine_km((fix["lat"], fix["lon"]),
+                                              BRISBANE)
+            assert error_km < 300.0, f"fix {error_km:.1f} km off Brisbane"
+            ellipse = fix["ellipse"]
+            if ellipse is not None:
+                disk = 3.14159265 * fix["radius_km"] ** 2
+                assert ellipse["area_km2"] <= disk * 1.0001, u
+                assert ellipse["semi_major_km"] >= ellipse["semi_minor_km"]
+            assert u["fence"] == "inside", u
+
+        harness.shutdown_all_clean()
+
+
+def test_relocation_mid_stream_alarms_and_exits_4():
+    with framework.Harness() as harness:
+        prover, prover_port, file_id, n_segments = harness.spawn_prover()
+        ports = _spawn_fleet(harness, BRISBANE)
+        old_vantages = list(harness.daemons[1:])
+
+        auditor = framework.Daemon("track-audit", _track_argv(
+            ports, prover_port, file_id, n_segments, sweeps=24))
+        try:
+            # Let the track settle at Brisbane, then relocate: the old
+            # fleet dies (the prover's site went away) and an identically
+            # addressed fleet comes up whose delays encode Perth.
+            auditor.wait_for_line(r'"sweep":6[,}]', timeout=120)
+            for vantage in old_vantages:
+                vantage.kill()
+            _spawn_fleet(harness, PERTH, ports=ports)
+
+            auditor.wait_for_line(r'"alarm":\{', timeout=240)
+            rc = auditor.proc.wait(timeout=240)
+        finally:
+            auditor.kill()
+        assert rc == 4, "\n".join(auditor.stderr_lines)
+
+        updates = _updates(auditor)
+        alarmed = [u for u in updates if u["alarm"] is not None]
+        assert len(alarmed) == 1, alarmed
+        alarm = alarmed[0]
+        # Pre-move sweeps were quiet; detection fits the five-sweep budget
+        # after the relocated fleet was reachable (sweep 7 at the
+        # earliest; the window must fully turn over first).
+        assert alarm["sweep"] > 6
+        assert alarm["sweep"] <= 7 + 5 + 4, alarm
+        assert alarm["alarm"]["displacement_km"] >= 500.0, alarm
+        # The stream converges on Perth after the alarm.
+        last_fix = updates[-1]["fix"]
+        assert last_fix is not None
+        error_km = framework.haversine_km(
+            (last_fix["lat"], last_fix["lon"]), PERTH)
+        assert error_km < 400.0, f"post-move fix {error_km:.1f} km off Perth"
+
+        # Only the replacement fleet and the prover are still alive; they
+        # must shut down cleanly (the killed originals are exempt).
+        prover.terminate()
+        for daemon in harness.daemons[1 + len(old_vantages):]:
+            daemon.terminate()
+        prover.wait_clean()
+        for daemon in harness.daemons[1 + len(old_vantages):]:
+            daemon.wait_clean()
+
+
+if __name__ == "__main__":
+    framework.main([
+        test_honest_stream_stays_quiet_inside_fence,
+        test_relocation_mid_stream_alarms_and_exits_4,
+    ])

@@ -1,0 +1,154 @@
+// Regression tests for the weighted-LS refit error ellipse: on honest
+// geometry the ellipse must be a genuine refinement of the confidence
+// disk (semi-axes ≤ radius, so ellipse ⊆ disk), shrink with fleet size,
+// and degrade to invalid — never to a bogus tight ellipse — when the
+// bearing geometry cannot support a 2D covariance.
+#include "locate/multilaterate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geoloc/schemes.hpp"
+#include "net/geo.hpp"
+
+namespace geoproof::locate {
+namespace {
+
+using net::GeoPoint;
+using net::haversine;
+
+std::vector<VantageRange> honest_ranges(const GeoPoint& center,
+                                        const GeoPoint& truth,
+                                        unsigned vantages, Kilometers spread,
+                                        Rng* noise = nullptr,
+                                        double noise_km = 0.0) {
+  std::vector<VantageRange> ranges;
+  for (const geoloc::Landmark& lm :
+       geoloc::spiral_landmarks(center, spread, vantages)) {
+    VantageRange r;
+    r.vantage = lm;
+    double d = haversine(lm.pos, truth).value;
+    if (noise != nullptr) d += noise_km * (2.0 * noise->next_double() - 1.0);
+    r.distance = Kilometers{std::max(0.0, d)};
+    r.sigma = Kilometers{10.0};
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+TEST(ErrorEllipse, ContainedInDiskOnHonestGeometry) {
+  // The headline regression: across randomised honest geometries (exact
+  // and noisy), the ellipse is valid and both semi-axes sit within the
+  // confidence radius — the disk stays the outer bound downstream policy
+  // relies on, the ellipse the tighter statistical statement.
+  Rng rng(0xe111b5e1);
+  const Multilaterator solver;
+  for (unsigned trial = 0; trial < 12; ++trial) {
+    const GeoPoint center{-35.0 + 20.0 * rng.next_double(),
+                          115.0 + 30.0 * rng.next_double()};
+    const GeoPoint truth = net::destination(
+        center, 360.0 * rng.next_double(),
+        Kilometers{900.0 * rng.next_double()});
+    const unsigned vantages = 7 + static_cast<unsigned>(rng.next_below(14));
+    const double noise_km = (trial % 2 == 0) ? 0.0 : 15.0;
+    const auto ranges = honest_ranges(center, truth, vantages,
+                                      Kilometers{1600.0}, &rng, noise_km);
+    const PositionEstimate est = solver.estimate(ranges);
+    ASSERT_TRUE(est.converged) << "trial " << trial;
+    ASSERT_TRUE(est.ellipse.valid) << "trial " << trial;
+    EXPECT_LE(est.ellipse.semi_major.value, est.radius_km.value)
+        << "trial " << trial;
+    EXPECT_LE(est.ellipse.semi_minor.value, est.ellipse.semi_major.value)
+        << "trial " << trial;
+    EXPECT_GT(est.ellipse.semi_minor.value, 0.0) << "trial " << trial;
+    EXPECT_GE(est.ellipse.orientation_deg, 0.0) << "trial " << trial;
+    EXPECT_LT(est.ellipse.orientation_deg, 180.0) << "trial " << trial;
+    // Area refinement: ellipse area ≤ disk area, and materially so — the
+    // covariance shrinks ~1/sqrt(n) while the worst-residual disk cannot.
+    const double disk_area =
+        std::numbers::pi * est.radius_km.value * est.radius_km.value;
+    EXPECT_LE(est.ellipse.area_km2(), disk_area) << "trial " << trial;
+  }
+}
+
+TEST(ErrorEllipse, ShrinksWithFleetSize) {
+  // More honest vantages → more Fisher information → smaller ellipse.
+  // The disk (worst residual / max sigma) has no such law, which is the
+  // point of carrying the ellipse at all.
+  const GeoPoint center{-33.9, 151.2};
+  const GeoPoint truth{-34.4, 150.5};
+  const Multilaterator solver;
+  Rng rng(0xe111b5e2);
+  const auto area_with = [&](unsigned vantages) {
+    const auto ranges = honest_ranges(center, truth, vantages,
+                                      Kilometers{1500.0}, &rng, 12.0);
+    const PositionEstimate est = solver.estimate(ranges);
+    EXPECT_TRUE(est.ellipse.valid) << vantages << " vantages";
+    return est.ellipse.area_km2();
+  };
+  const double small_fleet = area_with(6);
+  const double big_fleet = area_with(48);
+  EXPECT_LT(big_fleet, small_fleet);
+}
+
+TEST(ErrorEllipse, CollinearBearingsSaturateTheUnmeasuredAxis) {
+  // Vantages all due north of the prover constrain only the north-south
+  // axis. The ellipse must never fabricate confidence on the axis the
+  // geometry never measured: the east-west semi-axis has to saturate at
+  // the disk clamp (semi_major == radius) while north-south stays tight —
+  // and the major axis must point east-west (orientation near 90°).
+  const GeoPoint truth{-40.0, 145.0};
+  std::vector<VantageRange> ranges;
+  for (unsigned k = 0; k < 5; ++k) {
+    VantageRange r;
+    r.vantage.name = "north-" + std::to_string(k);
+    r.vantage.pos = GeoPoint{-38.0 + 0.5 * k, 145.0};
+    r.distance = haversine(r.vantage.pos, truth);
+    r.sigma = Kilometers{10.0};
+    ranges.push_back(r);
+  }
+  const Multilaterator solver;
+  const PositionEstimate est = solver.estimate(ranges);
+  if (est.ellipse.valid) {
+    EXPECT_GT(est.ellipse.semi_major.value, 0.99 * est.radius_km.value);
+    EXPECT_LT(est.ellipse.semi_minor.value, 0.5 * est.radius_km.value);
+    EXPECT_NEAR(est.ellipse.orientation_deg, 90.0, 20.0);
+  } else {
+    // An exactly-on-meridian fit makes the Fisher matrix singular; the
+    // guard must report invalid, never a tiny fabricated ellipse.
+    EXPECT_DOUBLE_EQ(est.ellipse.area_km2(), 0.0);
+  }
+}
+
+TEST(ErrorEllipse, AnisotropicGeometryOrientsTheMajorAxis) {
+  // An east-west line of vantages measures east-west distances well and
+  // north-south poorly (bearings near ±90°): the major axis must come out
+  // close to north-south (bearing near 0/180). A slight off-axis vantage
+  // keeps the Fisher matrix invertible.
+  const GeoPoint truth{-40.0, 145.0};
+  std::vector<VantageRange> ranges;
+  for (int k = -2; k <= 2; ++k) {
+    VantageRange r;
+    r.vantage.name = "ew-" + std::to_string(k + 2);
+    r.vantage.pos = GeoPoint{-40.0, 145.0 + 4.0 * k};
+    if (k == 0) r.vantage.pos = GeoPoint{-38.5, 145.2};  // break collinearity
+    r.distance = haversine(r.vantage.pos, truth);
+    r.sigma = Kilometers{10.0};
+    ranges.push_back(r);
+  }
+  const Multilaterator solver;
+  const PositionEstimate est = solver.estimate(ranges);
+  ASSERT_TRUE(est.ellipse.valid);
+  EXPECT_GT(est.ellipse.semi_major.value, est.ellipse.semi_minor.value);
+  // Bearing of the weakly-constrained (north-south) axis: within 25° of 0
+  // or 180.
+  const double b = est.ellipse.orientation_deg;
+  EXPECT_TRUE(b < 25.0 || b > 155.0) << "orientation " << b;
+}
+
+}  // namespace
+}  // namespace geoproof::locate

@@ -1,0 +1,126 @@
+// SampleWindow: the streaming min-filter must stay *eviction-exact* — the
+// minimum reported after any push sequence equals the true minimum of the
+// samples currently in the window, including (especially) right after the
+// sample that held the minimum ages out. A stale floor here would let a
+// relocated prover keep its old, smaller RTTs forever.
+#include "locate/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace geoproof::locate {
+namespace {
+
+TEST(SampleWindow, BasicFillAndStats) {
+  SampleWindow w(4);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.min().count(), 0.0);
+
+  w.push(Millis{30.0});
+  w.push(Millis{10.0});
+  w.push(Millis{20.0});
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_FALSE(w.full());
+  EXPECT_DOUBLE_EQ(w.min().count(), 10.0);
+
+  const SampleStats s = w.stats();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min.count(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max.count(), 30.0);
+  EXPECT_DOUBLE_EQ(s.median.count(), 20.0);
+
+  const std::vector<Millis> samples = w.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples.front().count(), 30.0);  // oldest first
+  EXPECT_DOUBLE_EQ(samples.back().count(), 20.0);
+}
+
+TEST(SampleWindow, EvictingTheCurrentMinimumRaisesTheMin) {
+  // The regression this class exists for: the window min was 5, the
+  // sample holding it ages out, and the min must *rise* to the true
+  // minimum of what remains — not stick at 5.
+  SampleWindow w(3);
+  w.push(Millis{5.0});   // the minimum
+  w.push(Millis{40.0});
+  w.push(Millis{50.0});
+  EXPECT_DOUBLE_EQ(w.min().count(), 5.0);
+
+  w.push(Millis{60.0});  // evicts the 5.0
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.min().count(), 40.0);
+
+  w.push(Millis{45.0});  // evicts the 40.0
+  EXPECT_DOUBLE_EQ(w.min().count(), 45.0);
+}
+
+TEST(SampleWindow, RelocationShape) {
+  // The streaming scenario end to end: a provider at RTT floor ~20 ms
+  // relocates to ~80 ms. The window min must converge to the new floor in
+  // exactly `capacity` pushes — the old floor's residency bounds the
+  // detection lag.
+  SampleWindow w(4);
+  for (int i = 0; i < 8; ++i) w.push(Millis{20.0 + (i % 3)});
+  EXPECT_DOUBLE_EQ(w.min().count(), 20.0);
+
+  const double far[] = {81.0, 80.0, 82.0, 80.5};
+  w.push(Millis{far[0]});
+  EXPECT_LT(w.min().count(), 80.0);  // old floor still resident
+  w.push(Millis{far[1]});
+  w.push(Millis{far[2]});
+  w.push(Millis{far[3]});
+  // Four pushes = full turnover: every pre-relocation sample evicted.
+  EXPECT_DOUBLE_EQ(w.min().count(), 80.0);
+}
+
+TEST(SampleWindow, DuplicateMinimumsSurviveEvictionOfTheOldest) {
+  // Two samples share the minimum value; evicting the older one must keep
+  // the min (the younger holder is still resident).
+  SampleWindow w(3);
+  w.push(Millis{7.0});
+  w.push(Millis{7.0});
+  w.push(Millis{9.0});
+  w.push(Millis{8.0});  // evicts the first 7.0
+  EXPECT_DOUBLE_EQ(w.min().count(), 7.0);
+  w.push(Millis{8.5});  // evicts the second 7.0
+  EXPECT_DOUBLE_EQ(w.min().count(), 8.0);
+}
+
+TEST(SampleWindow, MatchesBruteForceUnderRandomTraffic) {
+  // Exactness property: after every push, min() equals min over a
+  // brute-force copy of the window contents.
+  Rng rng(0x5a3b1e01);
+  SampleWindow w(8);
+  std::vector<double> shadow;
+  for (unsigned i = 0; i < 2000; ++i) {
+    const double v = 1.0 + 99.0 * rng.next_double();
+    w.push(Millis{v});
+    shadow.push_back(v);
+    if (shadow.size() > 8) shadow.erase(shadow.begin());
+    const double expect = *std::min_element(shadow.begin(), shadow.end());
+    ASSERT_DOUBLE_EQ(w.min().count(), expect) << "push " << i;
+    ASSERT_EQ(w.size(), shadow.size()) << "push " << i;
+  }
+}
+
+TEST(SampleWindow, ClearAndValidation) {
+  EXPECT_THROW(SampleWindow{0}, InvalidArgument);
+
+  SampleWindow w(2);
+  w.push(Millis{3.0});
+  w.push(Millis{4.0});
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.min().count(), 0.0);
+  w.push(Millis{11.0});
+  EXPECT_DOUBLE_EQ(w.min().count(), 11.0);
+  EXPECT_EQ(w.stats().count, 1u);
+}
+
+}  // namespace
+}  // namespace geoproof::locate

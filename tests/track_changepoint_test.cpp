@@ -1,0 +1,315 @@
+// Property suite for the tracking subsystem's relocation detection: the
+// CUSUM detector alone (warmup, displacement gate, single-shot alarms,
+// re-arm hysteresis) and the full PositionTrack pipeline driven by a
+// simulated honest fleet — ≥200 honest sweeps must stay silent with every
+// ellipse inside its disk, and a datacenter-scale relocation must alarm
+// within the ISSUE's five-sweep budget.
+#include "track/changepoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <optional>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "geoloc/schemes.hpp"
+#include "locate/delay_model.hpp"
+#include "locate/measurement.hpp"
+#include "net/geo.hpp"
+#include "track/position_track.hpp"
+
+namespace geoproof::track {
+namespace {
+
+using net::GeoPoint;
+using net::destination;
+using net::haversine;
+
+// ── ChangePointDetector unit properties ───────────────────────────────
+
+TEST(ChangePointDetector, WarmupAveragesTheReference) {
+  ChangePointOptions opts;
+  opts.warmup = 3;
+  ChangePointDetector det(opts);
+  const GeoPoint a{-30.0, 150.0};
+  const GeoPoint b{-30.0, 150.2};
+  const GeoPoint c{-30.2, 150.1};
+  EXPECT_EQ(det.state(), TrackState::kWarmup);
+  EXPECT_FALSE(det.update(1, a, Kilometers{25.0}).has_value());
+  EXPECT_FALSE(det.update(2, b, Kilometers{25.0}).has_value());
+  EXPECT_EQ(det.state(), TrackState::kWarmup);
+  EXPECT_FALSE(det.update(3, c, Kilometers{25.0}).has_value());
+  EXPECT_EQ(det.state(), TrackState::kArmed);
+  // The reference is the fold of all three fixes, not the last one: it
+  // must sit within the triangle's circumscribing scale of each corner.
+  for (const GeoPoint& p : {a, b, c}) {
+    EXPECT_LT(haversine(det.reference(), p).value, 25.0);
+  }
+}
+
+TEST(ChangePointDetector, DisplacementGateBeatsTheScore) {
+  // A tiny scale turns 100 km of drift into a huge normalised score, but
+  // the raw displacement is below datacenter scale: no alarm, ever.
+  ChangePointOptions opts;
+  opts.min_displacement = Kilometers{300.0};
+  opts.min_scale = Kilometers{1.0};
+  ChangePointDetector det(opts);
+  const GeoPoint home{-27.5, 153.0};
+  det.update(1, home, Kilometers{1.0});
+  det.update(2, home, Kilometers{1.0});
+  ASSERT_EQ(det.state(), TrackState::kArmed);
+  const GeoPoint nearby = destination(home, 90.0, Kilometers{100.0});
+  for (std::uint64_t sweep = 3; sweep < 25; ++sweep) {
+    EXPECT_FALSE(det.update(sweep, nearby, Kilometers{1.0}).has_value())
+        << "sweep " << sweep;
+  }
+  EXPECT_EQ(det.alarms_raised(), 0u);
+  EXPECT_EQ(det.state(), TrackState::kArmed);
+  EXPECT_GT(det.score(), det.options().threshold);  // gated, not quiet
+}
+
+TEST(ChangePointDetector, AlarmsOncePerMoveAndRearms) {
+  ChangePointDetector det;  // defaults: warmup 2, rearm_after 3
+  const Kilometers scale{25.0};
+  const GeoPoint site_a{-27.5, 153.0};
+  det.update(1, site_a, scale);
+  det.update(2, site_a, scale);
+  ASSERT_EQ(det.state(), TrackState::kArmed);
+
+  const GeoPoint site_b = destination(site_a, 45.0, Kilometers{1000.0});
+  const auto alarm = det.update(3, site_b, scale);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->at_sweep, 3u);
+  EXPECT_NEAR(alarm->displacement.value, 1000.0, 20.0);
+  EXPECT_NEAR(haversine(alarm->reference, site_a).value, 0.0, 1.0);
+  EXPECT_EQ(det.state(), TrackState::kAlarmed);
+
+  // Settling at the new site: no repeat alarms, then re-armed against B.
+  EXPECT_FALSE(det.update(4, site_b, scale).has_value());
+  EXPECT_FALSE(det.update(5, site_b, scale).has_value());
+  EXPECT_FALSE(det.update(6, site_b, scale).has_value());
+  EXPECT_EQ(det.state(), TrackState::kArmed);
+  EXPECT_DOUBLE_EQ(det.score(), 0.0);
+  EXPECT_LT(haversine(det.reference(), site_b).value, 25.0);
+
+  // A second relocation against the new reference raises a second alarm.
+  const GeoPoint site_c = destination(site_b, 200.0, Kilometers{800.0});
+  const auto second = det.update(7, site_c, scale);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(det.alarms_raised(), 2u);
+
+  det.reset();
+  EXPECT_EQ(det.state(), TrackState::kWarmup);
+  EXPECT_EQ(det.alarms_raised(), 0u);
+  EXPECT_DOUBLE_EQ(det.score(), 0.0);
+}
+
+TEST(ChangePointDetector, HonestJitterStaysQuietForThreeHundredSweeps) {
+  // Fix jitter bounded well inside the fix's own uncertainty must never
+  // accumulate to an alarm — the drift term exists precisely to absorb it.
+  Rng rng(0x7ac4);
+  ChangePointDetector det;
+  const GeoPoint home{-27.5, 153.0};
+  const Kilometers scale{30.0};
+  for (std::uint64_t sweep = 1; sweep <= 300; ++sweep) {
+    const GeoPoint fix =
+        destination(home, 360.0 * rng.next_double(),
+                    Kilometers{0.4 * scale.value * rng.next_double()});
+    ASSERT_FALSE(det.update(sweep, fix, scale).has_value())
+        << "sweep " << sweep;
+    EXPECT_LT(det.score(), det.options().threshold) << "sweep " << sweep;
+  }
+  EXPECT_EQ(det.alarms_raised(), 0u);
+  EXPECT_EQ(det.state(), TrackState::kArmed);
+}
+
+// ── PositionTrack end-to-end simulation ───────────────────────────────
+//
+// An honest world: a fleet of vantages around a centre, a prover at a
+// true position, RTTs generated by the exact linear law the track's delay
+// model was calibrated with plus non-negative queueing jitter. Each sweep
+// every vantage contributes one min-filtered observation.
+
+constexpr double kInterceptMs = 4.0;
+constexpr double kMsPerKm = 0.015;
+
+locate::DelayModel exact_model() {
+  std::vector<locate::CalibrationPoint> pts;
+  for (int i = 0; i <= 8; ++i) {
+    const double d = 250.0 * i;
+    pts.push_back({Kilometers{d}, Millis{kInterceptMs + kMsPerKm * d}});
+  }
+  return locate::DelayModel::fit(pts);
+}
+
+locate::VantageObservation observe(const geoloc::Landmark& vantage,
+                                   const GeoPoint& prover, Rng& rng,
+                                   double jitter_ms = 0.8) {
+  const double base =
+      kInterceptMs + kMsPerKm * haversine(vantage.pos, prover).value;
+  std::vector<Millis> samples;
+  for (unsigned round = 0; round < 8; ++round) {
+    samples.push_back(Millis{base + jitter_ms * rng.next_double()});
+  }
+  locate::VantageObservation obs;
+  obs.vantage = vantage;
+  obs.stats = locate::SampleStats::of(samples);
+  obs.reported_rtt = locate::min_filtered(samples);
+  obs.completed = true;
+  return obs;
+}
+
+void run_sweep(PositionTrack& track, std::uint64_t sweep,
+               const std::vector<geoloc::Landmark>& fleet,
+               const GeoPoint& prover, Rng& rng,
+               std::vector<std::optional<RelocationAlarm>>* alarms = nullptr) {
+  for (const geoloc::Landmark& v : fleet) {
+    track.ingest(observe(v, prover, rng));
+  }
+  auto alarm = track.commit_sweep(sweep);
+  if (alarms != nullptr) alarms->push_back(std::move(alarm));
+}
+
+TEST(PositionTrack, HonestProviderIsQuietForTwoHundredSweeps) {
+  // The headline acceptance property: ≥200 sweeps of an honest stationary
+  // provider raise zero relocation alarms, solve a fix nearly every sweep,
+  // and every fix's ellipse is a genuine subset of its confidence disk.
+  Rng rng(0x57a7e);
+  const GeoPoint center{-27.5, 153.0};
+  const GeoPoint truth = destination(center, 130.0, Kilometers{220.0});
+  const auto fleet =
+      geoloc::spiral_landmarks(center, Kilometers{1500.0}, 9);
+  PositionTrack track(exact_model());
+
+  for (std::uint64_t sweep = 1; sweep <= 210; ++sweep) {
+    std::vector<std::optional<RelocationAlarm>> alarms;
+    run_sweep(track, sweep, fleet, truth, rng, &alarms);
+    ASSERT_FALSE(alarms.back().has_value()) << "sweep " << sweep;
+    ASSERT_TRUE(track.last_fix().has_value()) << "sweep " << sweep;
+    const locate::PositionEstimate& est = track.last_fix()->estimate;
+    EXPECT_LT(haversine(est.position, truth).value, est.radius_km.value + 60.0)
+        << "sweep " << sweep;
+    if (est.ellipse.valid) {
+      const double disk =
+          std::numbers::pi * est.radius_km.value * est.radius_km.value;
+      EXPECT_LE(est.ellipse.area_km2(), disk) << "sweep " << sweep;
+      EXPECT_LE(est.ellipse.semi_major.value, est.radius_km.value)
+          << "sweep " << sweep;
+    }
+  }
+  EXPECT_EQ(track.detector().alarms_raised(), 0u);
+  EXPECT_EQ(track.detector().state(), TrackState::kArmed);
+  EXPECT_EQ(track.sweeps_committed(), 210u);
+  EXPECT_EQ(track.fixes_solved(), 210u);
+  EXPECT_EQ(track.history().size(), track.options().history);
+}
+
+TEST(PositionTrack, DatacenterRelocationAlarmsWithinFiveSweeps) {
+  // A ≥500 km mid-stream relocation must raise an alarm within five
+  // sweeps of the move — the window turnover lag (default 4) plus the
+  // detector's one-sweep trigger must fit the ISSUE's budget.
+  Rng rng(0xd37ec7);
+  const GeoPoint center{-27.5, 153.0};
+  const GeoPoint home = destination(center, 80.0, Kilometers{180.0});
+  const GeoPoint away = destination(home, 250.0, Kilometers{800.0});
+  const auto fleet =
+      geoloc::spiral_landmarks(center, Kilometers{1500.0}, 9);
+  PositionTrack track(exact_model());
+
+  constexpr std::uint64_t kMoveSweep = 31;  // first sweep at the new site
+  std::optional<RelocationAlarm> fired;
+  for (std::uint64_t sweep = 1; sweep <= kMoveSweep + 8; ++sweep) {
+    const GeoPoint& where = sweep < kMoveSweep ? home : away;
+    std::vector<std::optional<RelocationAlarm>> alarms;
+    run_sweep(track, sweep, fleet, where, rng, &alarms);
+    if (sweep < kMoveSweep) {
+      ASSERT_FALSE(alarms.back().has_value()) << "pre-move sweep " << sweep;
+    }
+    if (alarms.back() && !fired) fired = alarms.back();
+  }
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_LE(fired->at_sweep, kMoveSweep + 5);
+  EXPECT_GE(fired->displacement.value,
+            track.options().changepoint.min_displacement.value);
+  EXPECT_EQ(track.detector().alarms_raised(), 1u);
+}
+
+TEST(PositionTrack, RearmsAndCatchesASecondRelocation) {
+  Rng rng(0x2e10c);
+  const GeoPoint center{-27.5, 153.0};
+  const GeoPoint site_a = destination(center, 80.0, Kilometers{180.0});
+  const GeoPoint site_b = destination(site_a, 250.0, Kilometers{900.0});
+  const GeoPoint site_c = destination(site_b, 10.0, Kilometers{700.0});
+  const auto fleet =
+      geoloc::spiral_landmarks(center, Kilometers{1600.0}, 9);
+  PositionTrack track(exact_model());
+
+  std::uint64_t sweep = 0;
+  const auto dwell = [&](const GeoPoint& where, std::uint64_t sweeps) {
+    std::uint64_t alarms = 0;
+    for (std::uint64_t k = 0; k < sweeps; ++k) {
+      std::vector<std::optional<RelocationAlarm>> out;
+      run_sweep(track, ++sweep, fleet, where, rng, &out);
+      if (out.back()) ++alarms;
+    }
+    return alarms;
+  };
+
+  EXPECT_EQ(dwell(site_a, 20), 0u);
+  EXPECT_EQ(dwell(site_b, 15), 1u);  // move 1: exactly one alarm
+  EXPECT_EQ(track.detector().state(), TrackState::kArmed);  // re-armed at B
+  EXPECT_LT(haversine(track.detector().reference(), site_b).value, 120.0);
+  EXPECT_EQ(dwell(site_c, 15), 1u);  // move 2: detected against B
+  EXPECT_EQ(track.detector().alarms_raised(), 2u);
+}
+
+TEST(PositionTrack, IncompleteObservationsAreCountedNotWindowed) {
+  Rng rng(0xbad0b5);
+  const GeoPoint center{-27.5, 153.0};
+  const auto fleet = geoloc::spiral_landmarks(center, Kilometers{900.0}, 4);
+  PositionTrack track(exact_model());
+
+  locate::VantageObservation failed;
+  failed.vantage = fleet[0];
+  failed.completed = false;
+  track.ingest(failed);
+  EXPECT_EQ(track.incomplete_observations(), 1u);
+  EXPECT_EQ(track.vantage_count(), 0u);
+
+  // Two live vantages are below min_vantages: committed but unsolved.
+  track.ingest(observe(fleet[1], center, rng));
+  track.ingest(observe(fleet[2], center, rng));
+  EXPECT_FALSE(track.commit_sweep(1).has_value());
+  EXPECT_EQ(track.sweeps_committed(), 1u);
+  EXPECT_EQ(track.fixes_solved(), 0u);
+  EXPECT_FALSE(track.last_fix().has_value());
+
+  // A third vantage crosses the threshold and the solve happens.
+  track.ingest(observe(fleet[1], center, rng));
+  track.ingest(observe(fleet[2], center, rng));
+  track.ingest(observe(fleet[3], center, rng));
+  EXPECT_FALSE(track.commit_sweep(2).has_value());
+  EXPECT_EQ(track.fixes_solved(), 1u);
+  ASSERT_TRUE(track.last_fix().has_value());
+  EXPECT_EQ(track.last_fix()->sweep, 2u);
+  EXPECT_EQ(track.last_fix()->vantages_used, 3u);
+}
+
+TEST(PositionTrack, ValidatesOptions) {
+  TrackOptions zero_window;
+  zero_window.window = 0;
+  EXPECT_THROW(PositionTrack(exact_model(), zero_window), InvalidArgument);
+  TrackOptions thin;
+  thin.min_vantages = 2;
+  EXPECT_THROW(PositionTrack(exact_model(), thin), InvalidArgument);
+  EXPECT_THROW(ChangePointDetector(ChangePointOptions{.threshold = 0.0}),
+               InvalidArgument);
+  EXPECT_THROW(ChangePointDetector(ChangePointOptions{.drift = -0.1}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geoproof::track

@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the GeoProof tree.
 
-Five rules, each enforcing a discipline the type system cannot:
+Six rules, each enforcing a discipline the type system cannot:
 
   clock      std::chrono::steady_clock / system_clock only in the clock
              abstraction and the explicitly real-time sites (net transport,
              engine pacing, wall-clock test deadlines). Everything else must
              go through common/clock.hpp so simulations stay deterministic.
+  raw-sleep  std::this_thread::sleep_for / sleep_until only in the
+             real-process daemons (delay emulation, stream pacing) and the
+             wall-clock tests/benches. Library code — including the
+             src/track streaming layer — must never block a thread on wall
+             time: simulated worlds advance via SimClock/EventQueue, and a
+             sleeping shard worker stalls a whole sweep.
   raw-close  ::close on file descriptors only inside the net Socket RAII
              wrapper; a stray close elsewhere double-closes or leaks.
   raw-rng    std::mt19937 / rand() / srand() only inside common/rng; all
@@ -87,6 +93,35 @@ RULES = [
         message=(
             "raw std::chrono clock outside the allowlist; take a "
             "geoproof::Clock (common/clock.hpp) so simulated time works"
+        ),
+    ),
+    Rule(
+        name="raw-sleep",
+        pattern=re.compile(
+            r"std::this_thread::sleep_(?:for|until)"
+            r"|(?<![A-Za-z0-9_:])this_thread::sleep_(?:for|until)"
+        ),
+        allowlist=frozenset(
+            {
+                # Real-process daemons: emulated one-way delay, prover I/O
+                # stalls, and track-stream sweep pacing are wall-clock by
+                # design (they model real machines, not simulated ones).
+                "src/daemon/prover_daemon.cpp",
+                "src/daemon/track_stream.cpp",
+                "src/daemon/vantage_daemon.cpp",
+                # Real-thread tests/benches/demos exercise wall-clock
+                # behaviour over live sockets.
+                "tests/core_tcp_integration_test.cpp",
+                "tests/net_async_test.cpp",
+                "tests/net_tcp_test.cpp",
+                "bench/bench_async_net.cpp",
+                "examples/tcp_geoproof.cpp",
+            }
+        ),
+        message=(
+            "thread sleep outside the real-time allowlist; library code "
+            "must advance time through SimClock/EventQueue, not block the "
+            "thread on the wall"
         ),
     ),
     Rule(

@@ -77,6 +77,42 @@ class ClockRuleTest(unittest.TestCase):
         self.assertEqual(geoproof_lint.check_patterns(root), [])
 
 
+class RawSleepRuleTest(unittest.TestCase):
+    def test_flags_sleep_in_library_code(self):
+        root = make_tree(
+            {
+                "src/track/service.cpp":
+                    "std::this_thread::sleep_for(std::chrono::seconds(1));\n",
+                "src/core/engine.cpp":
+                    "this_thread::sleep_until(deadline);\n",
+            }
+        )
+        violations = geoproof_lint.check_patterns(root)
+        self.assertEqual(rules_hit(violations), ["raw-sleep"])
+        self.assertEqual(len(violations), 2)
+
+    def test_daemon_pacing_is_allowlisted(self):
+        root = make_tree(
+            {
+                "src/daemon/track_stream.cpp":
+                    "std::this_thread::sleep_for(interval);\n",
+                "src/daemon/vantage_daemon.cpp":
+                    "std::this_thread::sleep_for(delay);\n",
+            }
+        )
+        self.assertEqual(geoproof_lint.check_patterns(root), [])
+
+    def test_comment_and_lookalike_are_clean(self):
+        root = make_tree(
+            {
+                "src/track/service.cpp":
+                    "// never sleep_for in shard workers\n"
+                    "clock.sleep_for(tick); sim::this_thread::sleep_for(t);\n",
+            }
+        )
+        self.assertEqual(geoproof_lint.check_patterns(root), [])
+
+
 class RawCloseRuleTest(unittest.TestCase):
     def test_flags_global_close(self):
         root = make_tree({"src/core/engine.cpp": "void f(int fd) { ::close(fd); }\n"})
