@@ -8,7 +8,12 @@
 // With --track the CLI becomes a streaming monitor: --sweeps repeated
 // fleet measurements feed a track::TrackService and every sweep emits one
 // JSON track-update line (fix + error ellipse, change-point state,
-// relocation alarms, optional geo-fence verdict) to stdout.
+// relocation alarms, optional geo-fence verdict) to stdout. --metrics-port
+// (valid with --track only: one-shot stdout is a single JSON document)
+// serves /metrics + /statusz mid-stream and announces the bound port
+// first, on its own stdout line:
+//
+//   METRICS port=<m>
 //
 // Exit codes: 0 converged fix produced (one-shot) / stream finished with
 // no alarm (--track), 3 audit ran but no converged fix, 4 stream raised a
@@ -16,6 +21,7 @@
 
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +30,9 @@
 #include "common/log.hpp"
 #include "daemon/auditor_client.hpp"
 #include "daemon/track_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -91,7 +100,12 @@ int run(int argc, char** argv) {
   flags.add("fence-lon", &fence_lon, "geo-fence centre longitude");
   flags.add("fence-radius-km", &fence_radius_km,
             "geo-fence radius (0 = no fence)");
-  flags.add("log-level", &log_level, "debug|info|warn|error");
+  std::int64_t metrics_port = -1;
+  flags.add("metrics-port", &metrics_port,
+            "serve /metrics + /statusz on this port while streaming "
+            "(--track only; 0 = kernel-chosen, printed as METRICS port=N; "
+            "-1 = off)");
+  add_log_level_flag(flags, &log_level);
 
   switch (flags.parse(argc, argv)) {
     case FlagParser::ParseStatus::kHelp:
@@ -104,9 +118,22 @@ int run(int argc, char** argv) {
     case FlagParser::ParseStatus::kOk:
       break;
   }
-  log::Level level;
-  log::parse_level(log_level, level);
-  log::set_level(level);
+  std::string level_error;
+  if (!apply_log_level(log_level, level_error)) {
+    std::fprintf(stderr, "geoproof-audit: %s\n%s", level_error.c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (metrics_port > 65535) {
+    std::fprintf(stderr, "geoproof-audit: --metrics-port out of range\n");
+    return 2;
+  }
+  if (metrics_port >= 0 && !track) {
+    std::fprintf(stderr,
+                 "geoproof-audit: --metrics-port requires --track (one-shot "
+                 "stdout is a single JSON document)\n");
+    return 2;
+  }
 
   config.prover_port = static_cast<std::uint16_t>(prover_port);
   config.rounds = static_cast<std::uint32_t>(rounds);
@@ -133,6 +160,23 @@ int run(int argc, char** argv) {
       stream.fence = core::GeoFencePolicy{
           net::GeoPoint{fence_lat, fence_lon}, Kilometers{fence_radius_km}};
     }
+
+    // Spans before the server (teardown order: server first), so /statusz
+    // never reads a dead recorder.
+    obs::SpanRecorder span_recorder;
+    std::unique_ptr<obs::MetricsServer> metrics_server;
+    if (metrics_port >= 0) {
+      obs::Registry& registry = obs::Registry::process();
+      stream.auditor.metrics = &registry;
+      stream.spans = &span_recorder;
+      obs::MetricsServer::Options options;
+      options.port = static_cast<std::uint16_t>(metrics_port);
+      options.spans = &span_recorder;
+      metrics_server = std::make_unique<obs::MetricsServer>(registry, options);
+      std::printf("METRICS port=%u\n", metrics_server->port());
+      std::fflush(stdout);
+    }
+
     daemon::TrackStreamer streamer(stream);
     const daemon::TrackStreamResult result =
         streamer.run([](const std::string& line) {

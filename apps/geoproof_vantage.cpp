@@ -3,14 +3,16 @@
 // Serves the auditor's control protocol (daemon/wire.hpp) and runs timed
 // distance-bounding sweeps against a prover on request. Stdout handshake:
 //
-//   READY port=<p>
+//   READY port=<p> [metrics_port=<m>]
 //
 // --extra-oneway-ms emulates this vantage's geographic distance to the
 // prover (slept inside the timed window); --lie-rtt-ms turns the vantage
-// Byzantine. Exit codes: 0 clean shutdown, 2 flag error, 1 fatal.
+// Byzantine; --metrics-port serves /metrics + /statusz from the process
+// obs registry. Exit codes: 0 clean shutdown, 2 flag error, 1 fatal.
 
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 
 #include "common/flags.hpp"
@@ -18,6 +20,8 @@
 #include "daemon/signal.hpp"
 #include "daemon/vantage_daemon.hpp"
 #include "net/async.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_server.hpp"
 
 namespace {
 
@@ -37,7 +41,11 @@ int run(int argc, char** argv) {
             "emulated one-way path delay to the prover");
   flags.add("lie-rtt-ms", &config.lie_rtt_ms,
             "Byzantine mode: fabricate samples around this RTT");
-  flags.add("log-level", &log_level, "debug|info|warn|error");
+  std::int64_t metrics_port = -1;
+  flags.add("metrics-port", &metrics_port,
+            "serve /metrics + /statusz on this port (0 = kernel-chosen, "
+            "printed in READY; -1 = off)");
+  add_log_level_flag(flags, &log_level);
 
   switch (flags.parse(argc, argv)) {
     case FlagParser::ParseStatus::kHelp:
@@ -51,14 +59,40 @@ int run(int argc, char** argv) {
       break;
   }
   config.port = static_cast<std::uint16_t>(port);
-  log::Level level;
-  log::parse_level(log_level, level);
-  log::set_level(level);
+  std::string level_error;
+  if (!apply_log_level(log_level, level_error)) {
+    std::fprintf(stderr, "geoproof-vantage: %s\n%s", level_error.c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (metrics_port > 65535) {
+    std::fprintf(stderr, "geoproof-vantage: --metrics-port out of range\n");
+    return 2;
+  }
+  const std::string metrics_host = config.host;
 
   daemon::ShutdownSignal shutdown;
   daemon::VantageDaemon vantage(std::move(config));
 
-  std::printf("READY port=%u\n", vantage.port());
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  if (metrics_port >= 0) {
+    obs::Registry& registry = obs::Registry::process();
+    registry.add_snapshot("geoproof_vantage", [&vantage] {
+      return obs::Fields{{"sweeps_total", vantage.sweeps()},
+                         {"rounds_total", vantage.rounds()},
+                         {"violations_total", vantage.violations()}};
+    });
+    obs::MetricsServer::Options options;
+    options.host = metrics_host;
+    options.port = static_cast<std::uint16_t>(metrics_port);
+    metrics_server = std::make_unique<obs::MetricsServer>(registry, options);
+  }
+
+  std::printf("READY port=%u", vantage.port());
+  if (metrics_server != nullptr) {
+    std::printf(" metrics_port=%u", metrics_server->port());
+  }
+  std::printf("\n");
   std::fflush(stdout);
 
   net::EventLoop loop;

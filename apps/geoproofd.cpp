@@ -5,16 +5,19 @@
 // SIGTERM/SIGINT. Stdout carries the machine handshake for spawning
 // harnesses:
 //
-//   READY port=<p>
+//   READY port=<p> [metrics_port=<m>]
 //   FILE id=<id> segments=<n> segment_bytes=<b>
 //
-// Everything else is logfmt on stderr. Exit codes: 0 clean shutdown,
-// 2 flag error, 1 fatal.
+// --metrics-port serves GET /metrics (Prometheus text) and GET /statusz
+// (JSON) from the process obs registry; port 0 asks the kernel and the
+// chosen port rides the READY line. Everything else is logfmt on stderr.
+// Exit codes: 0 clean shutdown, 2 flag error, 1 fatal.
 
 #include <unistd.h>
 
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 
 #include "common/flags.hpp"
@@ -22,6 +25,8 @@
 #include "daemon/prover_daemon.hpp"
 #include "daemon/signal.hpp"
 #include "net/async.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_server.hpp"
 
 namespace {
 
@@ -39,7 +44,11 @@ int run(int argc, char** argv) {
   flags.add("seed", &config.seed, "file content + key seed");
   flags.add("stall-ms", &config.stall_ms,
             "adversarial stall added to every answer");
-  flags.add("log-level", &log_level, "debug|info|warn|error");
+  std::int64_t metrics_port = -1;
+  flags.add("metrics-port", &metrics_port,
+            "serve /metrics + /statusz on this port (0 = kernel-chosen, "
+            "printed in READY; -1 = off)");
+  add_log_level_flag(flags, &log_level);
 
   switch (flags.parse(argc, argv)) {
     case FlagParser::ParseStatus::kHelp:
@@ -53,14 +62,40 @@ int run(int argc, char** argv) {
       break;
   }
   config.port = static_cast<std::uint16_t>(port);
-  log::Level level;
-  log::parse_level(log_level, level);
-  log::set_level(level);
+  std::string level_error;
+  if (!apply_log_level(log_level, level_error)) {
+    std::fprintf(stderr, "geoproofd: %s\n%s", level_error.c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (metrics_port > 65535) {
+    std::fprintf(stderr, "geoproofd: --metrics-port out of range\n");
+    return 2;
+  }
+  const std::string metrics_host = config.host;
 
   daemon::ShutdownSignal shutdown;
   daemon::ProverDaemon prover(std::move(config));
 
-  std::printf("READY port=%u\n", prover.port());
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  if (metrics_port >= 0) {
+    obs::Registry& registry = obs::Registry::process();
+    registry.add_snapshot("geoproof_prover", [&prover] {
+      return obs::Fields{
+          {"requests_served_total", prover.requests_served()},
+          {"segments", prover.n_segments()}};
+    });
+    obs::MetricsServer::Options options;
+    options.host = metrics_host;
+    options.port = static_cast<std::uint16_t>(metrics_port);
+    metrics_server = std::make_unique<obs::MetricsServer>(registry, options);
+  }
+
+  std::printf("READY port=%u", prover.port());
+  if (metrics_server != nullptr) {
+    std::printf(" metrics_port=%u", metrics_server->port());
+  }
+  std::printf("\n");
   std::printf("FILE id=%llu segments=%llu segment_bytes=%zu\n",
               static_cast<unsigned long long>(prover.file_id()),
               static_cast<unsigned long long>(prover.n_segments()),

@@ -1,0 +1,114 @@
+// Observability overhead: the instruments' hot paths and the scrape's cold
+// path. Reported per row:
+//   BM_CounterInc          - one striped relaxed fetch_add (the audit-path
+//                            instrument; the acceptance budget is <= 20 ns)
+//   BM_CounterIncContended - 8 threads on ONE counter (stripes must keep
+//                            this near the uncontended cost)
+//   BM_HistogramRecord     - one record_ns (bucket + sum fetch_adds)
+//   BM_GaugeSet            - one relaxed store
+//   BM_RegistrySnapshot    - snapshot() of a populated histogram
+//   BM_ScrapeRender/N      - render_prometheus over N series (the
+//                            /metrics body at fleet scale, up to 1e4)
+//   BM_SpanRecord          - one Span copy into the ring
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using geoproof::obs::Counter;
+using geoproof::obs::Gauge;
+using geoproof::obs::Histogram;
+using geoproof::obs::Registry;
+using geoproof::obs::Span;
+using geoproof::obs::SpanRecorder;
+
+void BM_CounterInc(benchmark::State& state) {
+  static Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_CounterIncContended(benchmark::State& state) {
+  static Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncContended)->Threads(8);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  static Histogram histogram;
+  std::uint64_t ns = 1;
+  for (auto _ : state) {
+    histogram.record_ns(ns);
+    ns = (ns * 2862933555777941757ULL + 3037000493ULL) >> 24;  // vary buckets
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_GaugeSet(benchmark::State& state) {
+  static Gauge gauge;
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    gauge.set(++v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  Histogram histogram;
+  for (std::uint64_t ns = 1; ns < 1'000'000; ns *= 3) {
+    histogram.record_ns(ns);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+void BM_ScrapeRender(benchmark::State& state) {
+  Registry registry;
+  const auto series = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < series; ++i) {
+    registry
+        .counter("geoproof_audits_total", {{"file", std::to_string(i)}})
+        .inc(i);
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string body = registry.render_prometheus();
+    bytes = body.size();
+    benchmark::DoNotOptimize(body);
+  }
+  state.counters["body_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(series));
+}
+BENCHMARK(BM_ScrapeRender)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SpanRecord(benchmark::State& state) {
+  SpanRecorder recorder;
+  Span span;
+  span.kind = "audit";
+  span.total = geoproof::Nanos{1000};
+  for (auto _ : state) {
+    recorder.record(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

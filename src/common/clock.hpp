@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -15,6 +16,17 @@
 #include "common/units.hpp"
 
 namespace geoproof {
+
+/// Wall-clock monotone timestamp for instrumentation (obs histograms and
+/// span traces in real-process daemons). This is the one sanctioned
+/// steady_clock call site outside the allowlisted timing modules: all
+/// other code measures time through an injected clock (SimClock,
+/// AuditTimer, ShardClock) so simulated worlds stay deterministic —
+/// tools/geoproof_lint.py enforces that.
+inline Nanos steady_now() {
+  return std::chrono::duration_cast<Nanos>(
+      std::chrono::steady_clock::now().time_since_epoch());
+}
 
 /// Monotone virtual clock. Time only moves when a component charges latency.
 ///

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "common/log.hpp"
 
 namespace geoproof {
 
@@ -182,6 +183,21 @@ std::string FlagParser::usage() const {
   out << "  --help" << std::string(width - 2, ' ')
       << "print this message and exit\n";
   return out.str();
+}
+
+void add_log_level_flag(FlagParser& flags, std::string* dest) {
+  flags.add("log-level", dest, "debug|info|warn|error");
+}
+
+bool apply_log_level(const std::string& name, std::string& error) {
+  log::Level level;
+  if (!log::parse_level(name, level)) {
+    error = "--log-level: unknown level \"" + name +
+            "\" (expected debug|info|warn|error)";
+    return false;
+  }
+  log::set_level(level);
+  return true;
 }
 
 }  // namespace geoproof

@@ -65,4 +65,15 @@ class FlagParser {
   std::string error_;
 };
 
+/// Register the conventional `--log-level` flag into `*dest` (which must
+/// already hold the default, normally "info") — one help string and one
+/// spelling shared by every daemon instead of three hand-wired copies.
+void add_log_level_flag(FlagParser& flags, std::string* dest);
+
+/// Apply a parsed --log-level value to the process-wide log level.
+/// Returns false (without touching the level) on an unrecognised name,
+/// filling `error` — daemons treat that as a flag error and exit 2
+/// instead of silently defaulting to info.
+bool apply_log_level(const std::string& name, std::string& error);
+
 }  // namespace geoproof

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/errors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace geoproof::core {
 
@@ -64,6 +66,22 @@ AuditService& AuditService::operator=(AuditService&& other) noexcept {
 AuditService::AuditService(AuditScheme& scheme, VerifierDevice& verifier,
                            FileRecord file, std::uint32_t challenge_size) {
   add(scheme, verifier, file, challenge_size);
+}
+
+AuditService::~AuditService() {
+  if (metrics_ != nullptr) metrics_->remove_snapshot(metrics_snapshot_id_);
+}
+
+void AuditService::register_metrics(obs::Registry& registry) {
+  if (metrics_ != nullptr) metrics_->remove_snapshot(metrics_snapshot_id_);
+  metrics_ = &registry;
+  metrics_snapshot_id_ = registry.add_snapshot("geoproof_registry", [this] {
+    const Compliance c = compliance();
+    return obs::Fields{{"audits_total", c.total},
+                       {"passed_total", c.passed},
+                       {"epoch", c.epoch},
+                       {"registrations", size()}};
+  });
 }
 
 std::uint64_t AuditService::add(AuditScheme& scheme, VerifierDevice& verifier,
@@ -300,6 +318,11 @@ std::uint64_t AuditService::run_group(const Now& now,
   AuditScheme& scheme = *lead.reg.scheme;
   VerifierDevice& verifier = *lead.reg.verifier;
   std::uint64_t passed = 0;
+  // Span phases ride the caller's clock (no clock reads of our own): the
+  // group's timeline is challenge build -> bit-exchange rounds -> verify
+  // plus record. Zero-duration phases are fine under a virtual Now.
+  obs::SpanRecorder* const spans = spans_;
+  const Nanos t0 = spans != nullptr ? now() : Nanos{0};
   try {
     std::vector<FileRecord> files;
     std::vector<AuditRequest> requests;
@@ -311,7 +334,9 @@ std::uint64_t AuditService::run_group(const Now& now,
       requests.push_back(
           scheme.make_request(slot.reg.file, slot.reg.challenge_size));
     }
+    const Nanos t1 = spans != nullptr ? now() : Nanos{0};
     const BatchedTranscripts batch = verifier.run_audit_batch(requests);
+    const Nanos t2 = spans != nullptr ? now() : Nanos{0};
     std::vector<AuditReport> reports = scheme.verify_batch(files, batch);
     for (std::size_t i = begin; i < end; ++i) {
       Entry entry;
@@ -321,6 +346,19 @@ std::uint64_t AuditService::run_group(const Now& now,
           append_entry(find_slot(ids[i]), std::move(entry));
       if (recorded.accepted) ++passed;
       if (on_report) on_report(ids[i], recorded);
+    }
+    if (spans != nullptr) {
+      const Nanos t3 = now();
+      obs::Span span;
+      span.id = span_seq_.fetch_add(1, std::memory_order_relaxed);
+      span.kind = "batch";
+      span.ok = passed == end - begin;
+      span.start = t0;
+      span.set_phase(obs::Phase::kChallenge, t1 - t0);
+      span.set_phase(obs::Phase::kExchange, t2 - t1);
+      span.set_phase(obs::Phase::kVerify, t3 - t2);
+      span.total = t3 - t0;
+      spans->record(span);
     }
   } catch (const Error&) {
     // A scheme/device error (key exhaustion, sentinel supply, transport)
@@ -335,6 +373,15 @@ std::uint64_t AuditService::run_group(const Now& now,
       const AuditReport& recorded =
           append_entry(find_slot(ids[i]), std::move(entry));
       if (on_report) on_report(ids[i], recorded);
+    }
+    if (spans != nullptr) {
+      obs::Span span;
+      span.id = span_seq_.fetch_add(1, std::memory_order_relaxed);
+      span.kind = "batch";
+      span.ok = false;
+      span.start = t0;
+      span.total = now() - t0;
+      spans->record(span);
     }
   }
   return passed;

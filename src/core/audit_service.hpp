@@ -50,6 +50,11 @@
 #include "core/scheme.hpp"
 #include "core/verifier.hpp"
 
+namespace geoproof::obs {
+class Registry;
+class SpanRecorder;
+}  // namespace geoproof::obs
+
 namespace geoproof::core {
 
 class AuditService {
@@ -200,6 +205,21 @@ class AuditService {
   /// One line per registration: label, audits, pass rate, tail failures.
   std::string summary() const;
 
+  /// Export the service-wide compliance aggregate into `registry` as a
+  /// "geoproof_registry" snapshot (audits_total / passed_total / epoch) —
+  /// the million-registration compliance view on the scrape endpoint.
+  /// Call once the service sits at its final address (moving a service
+  /// with metrics registered is unsupported); the destructor deregisters.
+  void register_metrics(obs::Registry& registry);
+
+  /// Attach per-batch span tracing: run_batch records one "batch" span per
+  /// (scheme, verifier) group, with challenge-build / bit-exchange /
+  /// verify+record phases timed on the caller's Now clock. Null detaches.
+  /// The recorder must outlive the service or be detached first.
+  void set_span_recorder(obs::SpanRecorder* spans) { spans_ = spans; }
+
+  ~AuditService();
+
  private:
   /// Per-registration compact compliance counters, maintained at record
   /// time. Atomics because aggregate/per-id compliance may be read while
@@ -260,6 +280,13 @@ class AuditService {
   std::atomic<std::uint64_t> agg_total_{0};
   std::atomic<std::uint64_t> agg_passed_{0};
   std::atomic<std::uint64_t> agg_epoch_{0};
+
+  /// Observability hooks; deliberately NOT transferred by the move
+  /// operations (register after final placement — see register_metrics).
+  obs::Registry* metrics_ = nullptr;
+  std::uint64_t metrics_snapshot_id_ = 0;
+  obs::SpanRecorder* spans_ = nullptr;
+  std::atomic<std::uint64_t> span_seq_{0};
 };
 
 }  // namespace geoproof::core

@@ -9,6 +9,7 @@
 
 #include "common/errors.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace geoproof::core {
 
@@ -45,6 +46,9 @@ ShardedAuditEngine::ShardedAuditEngine(AuditService& service)
     : ShardedAuditEngine(service, Options{}) {}
 
 ShardedAuditEngine::~ShardedAuditEngine() {
+  // Deregister the stats snapshot first: a registry outliving this engine
+  // must never evaluate a callback into freed members mid-scrape.
+  if (metrics_ != nullptr) metrics_->remove_snapshot(metrics_snapshot_id_);
   {
     MutexLock lock(pool_mu_);
     pool_shutdown_ = true;
@@ -113,6 +117,20 @@ ShardedAuditEngine::ShardedAuditEngine(AuditService& service, Options options)
     }
     Rng rng = Rng::stream(options_.seed, s);
     shuffle(victims, rng);
+  }
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+    queue_depth_ = &metrics_->gauge(
+        "geoproof_engine_queue_depth", {},
+        "registrations still queued in the current sweep");
+    audit_latency_ = &metrics_->histogram(
+        "geoproof_engine_audit_seconds", {},
+        "per-audit latency on the shard's own clock (blocking mode)");
+    sweep_latency_ = &metrics_->histogram(
+        "geoproof_engine_sweep_seconds", {},
+        "whole-sweep latency on shard 0's clock");
+    metrics_snapshot_id_ = metrics_->add_snapshot(
+        "geoproof_engine", [this] { return stats().to_fields(); });
   }
 }
 
@@ -184,6 +202,7 @@ void ShardedAuditEngine::count_result(
     passed_.fetch_add(1, std::memory_order_release);
     sweep_passed.fetch_add(1, std::memory_order_relaxed);
   }
+  if (queue_depth_ != nullptr) queue_depth_->sub(1);
   if (options_.report_hook) options_.report_hook(file_id, report, shard);
 }
 
@@ -203,6 +222,7 @@ void ShardedAuditEngine::audit_one(
   const ShardClock& now = clocks_[shard];
   std::mutex& device_mu =
       *verifier_mu_.at(service_->registration(file_id).verifier);
+  const Nanos t0 = audit_latency_ != nullptr ? now() : Nanos{0};
   try {
     const AuditReport* report = nullptr;
     {
@@ -212,6 +232,7 @@ void ShardedAuditEngine::audit_one(
       std::scoped_lock lock(device_mu);
       report = &service_->run_once(now, file_id);
     }
+    if (audit_latency_ != nullptr) audit_latency_->record(now() - t0);
     count_result(shard, file_id, *report, sweep_passed);
   } catch (const std::exception&) {
     // Fault isolation: a scheme/device error (sentinel or signing-key
@@ -457,9 +478,16 @@ std::uint64_t ShardedAuditEngine::sweep_once() {
   }
   const std::vector<std::vector<std::uint64_t>> plan = shard_plan();
   std::vector<ShardQueue> queues(options_.shards);
+  std::size_t planned = 0;
   for (std::size_t s = 0; s < options_.shards; ++s) {
     queues[s].assign(plan[s]);
+    planned += plan[s].size();
   }
+  // Queue-depth gauge counts down through count_result as audits finish.
+  if (queue_depth_ != nullptr) {
+    queue_depth_->set(static_cast<std::int64_t>(planned));
+  }
+  const Nanos sweep_t0 = sweep_latency_ != nullptr ? clocks_[0]() : Nanos{0};
 
   std::atomic<std::uint64_t> sweep_passed{0};
   dispatch_to_shards([this, &queues, &sweep_passed](std::size_t s) {
@@ -470,6 +498,9 @@ std::uint64_t ShardedAuditEngine::sweep_once() {
     }
   });
   sweeps_.fetch_add(1, std::memory_order_relaxed);
+  if (sweep_latency_ != nullptr) {
+    sweep_latency_->record(clocks_[0]() - sweep_t0);
+  }
   return sweep_passed.load(std::memory_order_relaxed);
 }
 
@@ -518,14 +549,23 @@ ShardedAuditEngine::Stats ShardedAuditEngine::stats() const {
   return s;
 }
 
+obs::Fields ShardedAuditEngine::Stats::to_fields() const {
+  return {{"audits_total", audits},
+          {"passed_total", passed},
+          {"aborted_total", aborted},
+          {"steals_total", steals},
+          {"sweeps_total", sweeps}};
+}
+
 std::string ShardedAuditEngine::summary() const {
   const Stats s = stats();
   const AuditService::Compliance c = compliance_all();
   std::ostringstream os;
-  os << "shards=" << options_.shards << " audits=" << s.audits
-     << " passed=" << s.passed << " rate=" << c.rate()
-     << " aborted=" << s.aborted << " steals=" << s.steals
-     << " sweeps=" << s.sweeps;
+  os << "shards=" << options_.shards;
+  for (const obs::FieldValue& f : s.to_fields()) {
+    os << ' ' << f.name << '=' << f.value;
+  }
+  os << " rate=" << c.rate();
   return os.str();
 }
 

@@ -66,6 +66,13 @@
 #include "common/thread_annotations.hpp"
 #include "core/audit_service.hpp"
 #include "net/async.hpp"
+#include "obs/fields.hpp"
+
+namespace geoproof::obs {
+class Gauge;
+class Histogram;
+class Registry;
+}  // namespace geoproof::obs
 
 namespace geoproof::core {
 
@@ -128,6 +135,13 @@ class ShardedAuditEngine {
     /// bench_sharded_engine can measure the respawn-vs-parked delta.
     /// Irrelevant at 1 shard: everything runs on the caller.
     bool parked_workers = true;
+    /// Observability registry (not owned; must outlive the engine). When
+    /// set, the engine registers a stats snapshot plus a queued-work gauge
+    /// (geoproof_engine_queue_depth), a per-audit latency histogram
+    /// (geoproof_engine_audit_seconds, blocking mode, timed on the shard's
+    /// own clock) and a per-sweep histogram (geoproof_engine_sweep_seconds)
+    /// — and deregisters the snapshot on destruction. Null = no metrics.
+    obs::Registry* metrics = nullptr;
   };
 
   /// Monotone engine counters (atomically maintained; safe to read while
@@ -138,6 +152,10 @@ class ShardedAuditEngine {
     std::uint64_t aborted = 0;  // recorded as AuditFailure::kAborted
     std::uint64_t steals = 0;   // work items run on a foreign shard
     std::uint64_t sweeps = 0;
+
+    /// One field list feeding logfmt, the JSON writer and the obs
+    /// Registry snapshot (summary() renders through this too).
+    obs::Fields to_fields() const;
   };
 
   /// What one run_for() call achieved.
@@ -270,6 +288,15 @@ class ShardedAuditEngine {
   std::atomic<std::uint64_t> aborted_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> sweeps_{0};
+
+  /// Observability hooks (all null when Options::metrics is unset). The
+  /// registry owns the instruments; the engine only deregisters its
+  /// snapshot callback in the destructor.
+  obs::Registry* metrics_ = nullptr;
+  std::uint64_t metrics_snapshot_id_ = 0;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* audit_latency_ = nullptr;
+  obs::Histogram* sweep_latency_ = nullptr;
 };
 
 }  // namespace geoproof::core

@@ -1,8 +1,10 @@
 #include "core/verifier.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/errors.hpp"
+#include "obs/span.hpp"
 #include "por/params.hpp"
 
 namespace geoproof::core {
@@ -41,8 +43,45 @@ struct VerifierDevice::Session {
   AuditCallback done;
 };
 
+void VerifierDevice::set_span_recorder(obs::SpanRecorder* spans,
+                                       std::function<Nanos()> now) {
+  if (spans != nullptr && !now) {
+    throw InvalidArgument("set_span_recorder: recorder without a clock");
+  }
+  spans_ = spans;
+  span_now_ = std::move(now);
+}
+
 void VerifierDevice::begin_audit(const AuditRequest& request,
                                  AuditCallback done) {
+  if (spans_ != nullptr) {
+    // Wrap the completion: one "audit" span per session, stamped on the
+    // injected clock. Exchange time is the sum of the rounds the device
+    // actually measured; everything else in the session window counts as
+    // challenge handling (sampling, serialisation, signing).
+    obs::SpanRecorder* const spans = spans_;
+    const std::uint64_t id = span_seq_++;
+    const Nanos t0 = span_now_();
+    done = [spans, now = span_now_, id, t0, inner = std::move(done)](
+               AuditOutcome&& outcome) {
+      const Nanos total = now() - t0;
+      Millis exchange_ms{0.0};
+      for (const Millis rtt : outcome.transcript.transcript.rtts) {
+        exchange_ms += rtt;
+      }
+      const Nanos exchange = std::min(to_nanos(exchange_ms), total);
+      obs::Span span;
+      span.id = id;
+      span.kind = "audit";
+      span.ok = outcome.ok();
+      span.start = t0;
+      span.set_phase(obs::Phase::kExchange, exchange);
+      span.set_phase(obs::Phase::kChallenge, total - exchange);
+      span.total = total;
+      spans->record(span);
+      inner(std::move(outcome));
+    };
+  }
   begin_session(request, /*sign=*/true, std::move(done));
 }
 

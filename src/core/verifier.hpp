@@ -25,6 +25,10 @@
 #include "net/async.hpp"
 #include "net/channel.hpp"
 
+namespace geoproof::obs {
+class SpanRecorder;
+}  // namespace geoproof::obs
+
 namespace geoproof::core {
 
 class VerifierDevice {
@@ -112,6 +116,17 @@ class VerifierDevice {
   /// whole batch is abandoned (no partially-signed transcripts escape).
   BatchedTranscripts run_audit_batch(const std::vector<AuditRequest>& requests);
 
+  /// Attach span tracing to begin_audit sessions: each completed session
+  /// records one "audit" span stamped on `now` (the caller's clock — the
+  /// device never reads a clock of its own beyond its AuditTimer). The
+  /// bit-exchange phase is derived from the transcript's measured RTTs;
+  /// the remainder up to the session total is attributed to challenge
+  /// handling. Null recorder detaches. The recorder and clock must outlive
+  /// every session begun while attached. Sessions on one device are
+  /// single-threaded (see begin_audit), so this needs no locking.
+  void set_span_recorder(obs::SpanRecorder* spans,
+                         std::function<Nanos()> now);
+
   /// Deprecated pre-unification shape; forwards to run_audit.
   struct BlockAuditRequest {
     std::uint64_t file_id = 0;
@@ -138,6 +153,11 @@ class VerifierDevice {
   GpsDevice gps_;
   crypto::MerkleSigner signer_;
   Rng rng_;
+
+  /// Span tracing (null = off). Single-threaded with the session path.
+  obs::SpanRecorder* spans_ = nullptr;
+  std::function<Nanos()> span_now_;
+  std::uint64_t span_seq_ = 0;
 };
 
 }  // namespace geoproof::core

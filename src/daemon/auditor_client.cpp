@@ -8,6 +8,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
 
 namespace geoproof::daemon {
 
@@ -37,6 +38,22 @@ FleetReport AuditorClient::run() {
 
   FleetReport fleet;
   fleet.outcomes.resize(config_.vantages.size());
+
+  // Instrumentation (optional): the async-channel counters live here, not
+  // in net, because the client knows what a request *means* — one vantage
+  // sweep with a deadline on the loop's timer wheel.
+  obs::Counter* requests_total = nullptr;
+  obs::Counter* deadline_misses = nullptr;
+  obs::Counter* errors_total = nullptr;
+  obs::Gauge* inflight = nullptr;
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("geoproof_audit_sweeps_total").inc();
+    requests_total = &config_.metrics->counter("geoproof_async_requests_total");
+    deadline_misses =
+        &config_.metrics->counter("geoproof_async_deadline_misses_total");
+    errors_total = &config_.metrics->counter("geoproof_async_errors_total");
+    inflight = &config_.metrics->gauge("geoproof_async_inflight_requests");
+  }
 
   MeasureRequest request;
   request.prover_host = config_.prover_host;
@@ -70,14 +87,22 @@ FleetReport AuditorClient::run() {
       continue;
     }
     ++outstanding;
+    if (requests_total != nullptr) requests_total->inc();
+    if (inflight != nullptr) inflight->add(1);
     channels[i]->begin_request(
         encode(request),
-        [&outcome, &outstanding](net::AsyncResult&& result) {
+        [&outcome, &outstanding, inflight, deadline_misses,
+         errors_total](net::AsyncResult&& result) {
           --outstanding;
+          if (inflight != nullptr) inflight->sub(1);
           if (!result.ok()) {
-            outcome.error = result.status == net::AsyncStatus::kTimeout
-                                ? "sweep deadline expired"
-                                : result.error;
+            if (errors_total != nullptr) errors_total->inc();
+            if (result.status == net::AsyncStatus::kTimeout) {
+              if (deadline_misses != nullptr) deadline_misses->inc();
+              outcome.error = "sweep deadline expired";
+            } else {
+              outcome.error = result.error;
+            }
             return;
           }
           try {
@@ -124,6 +149,15 @@ FleetReport AuditorClient::run() {
     for (const double ms : outcome.report.rtt_ms) samples.push_back(Millis{ms});
     const auto stats = locate::SampleStats::of(samples);
     const Millis reported = locate::min_filtered(samples);
+
+    if (config_.metrics != nullptr) {
+      // Per-vantage RTT distribution: the samples the vantage measured,
+      // keyed by its self-reported name (stable across sweeps).
+      obs::Histogram& rtts = config_.metrics->histogram(
+          "geoproof_vantage_rtt_seconds",
+          {{"vantage", outcome.report.vantage_name}});
+      for (const Millis sample : samples) rtts.record(to_nanos(sample));
+    }
 
     outcome.distance = model.distance_for_rtt(reported);
     // Same uncertainty floor the simulated fleet uses: calibration

@@ -24,6 +24,10 @@
 #include "locate/measurement.hpp"
 #include "locate/multilaterate.hpp"
 
+namespace geoproof::obs {
+class Registry;
+}  // namespace geoproof::obs
+
 namespace geoproof::daemon {
 
 struct VantageEndpoint {
@@ -48,6 +52,11 @@ struct AuditorConfig {
   /// slope <= 0 leaves the model uncalibrated (physical bound only).
   double cal_ms_per_km = 0.0;
   double cal_intercept_ms = 0.0;
+  /// Optional instrumentation sink (null = off): sweep/request counters,
+  /// the in-flight request gauge, deadline misses, and per-vantage RTT
+  /// histograms (geoproof_vantage_rtt_seconds{vantage=...}). Must outlive
+  /// every run() that sees it.
+  obs::Registry* metrics = nullptr;
 };
 
 /// What one vantage contributed to the audit.

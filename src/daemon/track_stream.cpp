@@ -5,9 +5,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/errors.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace geoproof::daemon {
 
@@ -96,6 +99,12 @@ TrackStreamResult TrackStreamer::run(
   track::TrackService::Options service_options;
   service_options.track = config_.track;
   track::TrackService service(service_options);
+  if (config_.auditor.metrics != nullptr) {
+    service.register_metrics(*config_.auditor.metrics);
+  }
+  if (config_.spans != nullptr) {
+    service.set_span_recorder(config_.spans, [] { return steady_now(); });
+  }
   const std::uint64_t provider = service.add(
       config_.provider_name, calibrate_model(config_.auditor), config_.fence);
 

@@ -19,6 +19,10 @@
 #include "daemon/auditor_client.hpp"
 #include "track/track_service.hpp"
 
+namespace geoproof::obs {
+class SpanRecorder;
+}  // namespace geoproof::obs
+
 namespace geoproof::daemon {
 
 struct TrackStreamConfig {
@@ -35,6 +39,11 @@ struct TrackStreamConfig {
   /// Optional geo-fence the streamed reports are judged against.
   std::optional<core::GeoFencePolicy> fence;
   std::string provider_name = "prover";
+  /// Optional span recorder: every commit_sweep records one "commit" span
+  /// on the process steady clock. The track service's stats snapshot (and
+  /// the per-sweep AuditorClient counters) land in `auditor.metrics`.
+  /// Both must outlive run().
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct TrackStreamResult {

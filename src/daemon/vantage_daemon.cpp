@@ -97,8 +97,10 @@ SampleReport VantageDaemon::measure(const MeasureRequest& request) {
         throw ProtocolError("vantage: empty segment from prover");
       }
       report.rtt_ms.push_back(rtt.count());
+      rounds_.fetch_add(1, std::memory_order_relaxed);
       if (request.max_rtt_ms > 0.0 && rtt.count() > request.max_rtt_ms) {
         ++report.timing_violations;
+        violations_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     report.elapsed_ms = (timer.now() - sweep_start).count();

@@ -60,6 +60,14 @@ class VantageDaemon {
   std::uint64_t sweeps() const {
     return sweeps_.load(std::memory_order_relaxed);
   }
+  /// Timed rounds executed across all sweeps (any thread).
+  std::uint64_t rounds() const {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+  /// Per-round max-rtt violations flagged across all sweeps (any thread).
+  std::uint64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
 
   void stop();
 
@@ -73,6 +81,8 @@ class VantageDaemon {
 
   VantageConfig config_;
   std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> violations_{0};
   std::unique_ptr<net::TcpServer> server_;  // last member: stops first
 };
 

@@ -41,6 +41,14 @@
 #include "storage/block_store.hpp"
 #include "storage/disk_model.hpp"
 
+// Observability: the process-wide metrics registry, audit-span tracing,
+// and the /metrics + /statusz HTTP scrape endpoint (obs::Registry,
+// obs::SpanRecorder, obs::MetricsServer).
+#include "obs/fields.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/span.hpp"
+
 // Baselines the paper argues against
 #include "distbound/attacks.hpp"
 #include "distbound/brands_chaum.hpp"

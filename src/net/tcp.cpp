@@ -95,6 +95,23 @@ IoStatus drain_into(int fd, FrameAssembler& frames, std::string& error) {
   }
 }
 
+/// Drain everything a non-blocking socket has ready, raw, into `buf`
+/// (stream-mode sibling of drain_into — no framing).
+IoStatus drain_bytes(int fd, Bytes& buf, std::string& error) {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return IoStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+      error = std::string("recv failed: ") + std::strerror(errno);
+      return IoStatus::kError;
+    }
+    append(buf, BytesView(chunk, static_cast<std::size_t>(n)));
+  }
+}
+
 /// Flush out[out_off..] to a non-blocking socket; compacts when drained.
 IoStatus flush_buffer(int fd, Bytes& out, std::size_t& out_off,
                       std::string& error) {
@@ -209,8 +226,21 @@ TcpServer::TcpServer(RequestHandler handler)
     : TcpServer(std::move(handler), Options{}) {}
 
 TcpServer::TcpServer(RequestHandler handler, const Options& options)
-    : handler_(std::move(handler)) {
-  if (!handler_) throw InvalidArgument("TcpServer: null handler");
+    : TcpServer(std::move(handler), StreamHandler{}, options) {}
+
+TcpServer::TcpServer(StreamHandler handler)
+    : TcpServer(std::move(handler), Options{}) {}
+
+TcpServer::TcpServer(StreamHandler handler, const Options& options)
+    : TcpServer(RequestHandler{}, std::move(handler), options) {}
+
+TcpServer::TcpServer(RequestHandler request_handler,
+                     StreamHandler stream_handler, const Options& options)
+    : handler_(std::move(request_handler)),
+      stream_handler_(std::move(stream_handler)) {
+  if (!handler_ && !stream_handler_.on_input) {
+    throw InvalidArgument("TcpServer: null handler");
+  }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw NetError("TcpServer: socket() failed");
@@ -321,6 +351,17 @@ void TcpServer::on_conn_ready(int fd, bool readable, bool writable,
   if (writable && !flush_writes(fd, conn)) return;
   if (!readable) return;
 
+  if (stream_handler_.on_input) {
+    std::string drain_error;
+    const IoStatus status = drain_bytes(fd, conn.in, drain_error);
+    if (status == IoStatus::kError) {
+      close_conn(fd);
+      return;
+    }
+    on_conn_stream(fd, conn, status == IoStatus::kClosed);
+    return;
+  }
+
   std::string drain_error;
   const IoStatus status = drain_into(fd, conn.frames, drain_error);
   if (status == IoStatus::kError) {
@@ -328,7 +369,11 @@ void TcpServer::on_conn_ready(int fd, bool readable, bool writable,
     close_conn(fd);
     return;
   }
-  if (status == IoStatus::kClosed) conn.closing = true;
+  on_conn_frames(fd, conn, status == IoStatus::kClosed);
+}
+
+void TcpServer::on_conn_frames(int fd, Conn& conn, bool peer_closed) {
+  if (peer_closed) conn.closing = true;
 
   // Answer every fully-received request — including ones that arrived in
   // the same drain as an orderly EOF (a half-closing client still reads
@@ -349,6 +394,36 @@ void TcpServer::on_conn_ready(int fd, bool readable, bool writable,
     // flush_writes closes for us once a closing peer's buffer drains.
     flush_writes(fd, conn);
   } else if (conn.closing) {
+    close_conn(fd);
+  }
+}
+
+void TcpServer::on_conn_stream(int fd, Conn& conn, bool peer_closed) {
+  // conn.closing doubles as "response already queued" in stream mode —
+  // one request per connection, so further input is ignored and the
+  // connection dies once the response drains.
+  if (!conn.closing) {
+    if (conn.in.size() > kMaxStreamRequestBytes) {
+      close_conn(fd);
+      return;
+    }
+    std::optional<Bytes> response;
+    try {
+      response = stream_handler_.on_input(conn.in);
+    } catch (const Error&) {
+      close_conn(fd);
+      return;
+    }
+    if (response) {
+      conn.out = std::move(*response);
+      conn.out_off = 0;
+      conn.closing = true;  // write-then-close (HTTP/1.0)
+      conn.in.clear();
+    }
+  }
+  if (!conn.out.empty()) {
+    flush_writes(fd, conn);  // closes once drained (conn.closing is set)
+  } else if (conn.closing || peer_closed) {
     close_conn(fd);
   }
 }

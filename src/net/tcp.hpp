@@ -57,6 +57,24 @@ class FrameAssembler {
   std::deque<Bytes> frames_;   // completed payloads
 };
 
+/// Raw-byte connection handler for TcpServer's stream mode (no frame
+/// framing — how the /metrics HTTP endpoint rides the same server).
+/// `on_input` sees the connection's full accumulated input after every
+/// read and returns the complete response once it can parse a request
+/// (nullopt = keep reading). The server writes the response and closes
+/// the connection (HTTP/1.0 semantics); input is capped at
+/// kMaxStreamRequestBytes, beyond which the connection is dropped.
+/// Wrapped in a struct so the constructor overload set stays unambiguous
+/// against RequestHandler.
+struct StreamHandler {
+  std::function<std::optional<Bytes>(const Bytes& input)> on_input;
+};
+
+/// Stream-mode per-connection input cap: plenty for any scrape request
+/// line + headers, small enough that a misdirected frame client cannot
+/// balloon the buffer.
+inline constexpr std::size_t kMaxStreamRequestBytes = 64u * 1024;
+
 /// Multiplexing request/response server on 127.0.0.1 with an ephemeral
 /// port. A dedicated thread pumps an EventLoop: accepts are non-blocking
 /// and every connection progresses independently, so concurrent clients
@@ -65,6 +83,9 @@ class FrameAssembler {
 /// stream of frames answered in order by `handler`; a handler exception or
 /// malformed/oversized frame drops that connection only. Destruction stops
 /// the loop.
+///
+/// The StreamHandler constructors select stream mode instead: no framing,
+/// one request per connection, response-then-close (see StreamHandler).
 class TcpServer {
  public:
   /// Bind address. The default requests an ephemeral port on loopback:
@@ -81,6 +102,8 @@ class TcpServer {
 
   explicit TcpServer(RequestHandler handler);
   TcpServer(RequestHandler handler, const Options& options);
+  explicit TcpServer(StreamHandler handler);
+  TcpServer(StreamHandler handler, const Options& options);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -92,19 +115,27 @@ class TcpServer {
  private:
   struct Conn {
     Socket sock;
-    FrameAssembler frames;
+    FrameAssembler frames;  // frame mode only
+    Bytes in;               // stream mode only: raw accumulated input
     Bytes out;              // queued response bytes
     std::size_t out_off = 0;
     bool want_write = false;  // current epoll write interest (skip no-op MODs)
-    bool closing = false;     // peer sent EOF; close once `out` drains
+    bool closing = false;     // peer sent EOF (or stream response queued);
+                              // close once `out` drains
   };
+
+  TcpServer(RequestHandler request_handler, StreamHandler stream_handler,
+            const Options& options);
 
   void on_listener_ready();
   void on_conn_ready(int fd, bool readable, bool writable, bool error);
+  void on_conn_frames(int fd, Conn& conn, bool peer_closed);
+  void on_conn_stream(int fd, Conn& conn, bool peer_closed);
   void close_conn(int fd);
   bool flush_writes(int fd, Conn& conn);
 
   RequestHandler handler_;
+  StreamHandler stream_handler_;
   Socket listener_;
   std::uint16_t port_ = 0;
   EventLoop loop_;

@@ -1,0 +1,20 @@
+#include "obs/fields.hpp"
+
+namespace geoproof::obs {
+
+std::vector<log::Field> to_log_fields(const Fields& fields) {
+  std::vector<log::Field> out;
+  out.reserve(fields.size());
+  for (const FieldValue& f : fields) {
+    out.emplace_back(f.name, f.value);
+  }
+  return out;
+}
+
+void write_json_fields(JsonWriter& w, const Fields& fields) {
+  for (const FieldValue& f : fields) {
+    w.kv(f.name, f.value);
+  }
+}
+
+}  // namespace geoproof::obs

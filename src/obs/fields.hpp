@@ -1,0 +1,38 @@
+// One snapshot, three sinks: the Fields adapter a subsystem's Stats struct
+// renders itself into exactly once, so logfmt lines, the JSON writer and
+// the obs::Registry scrape all read the same field list instead of three
+// hand-maintained copies drifting apart.
+//
+//   obs::Fields f = engine.stats().to_fields();
+//   log::info("engine", "sweep done", obs::to_log_fields(f));   // logfmt
+//   obs::write_json_fields(w, f);                               // /statusz
+//   registry.add_snapshot("geoproof_engine", [&] { ... });      // /metrics
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace geoproof::obs {
+
+/// One named monotone value of a stats snapshot. Field names use the same
+/// lexicon as metric-name suffixes (`*_total` for counters, bare names for
+/// levels like `providers`), because add_snapshot() exports each field as
+/// `<prefix>_<name>`.
+struct FieldValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+using Fields = std::vector<FieldValue>;
+
+/// Render as logfmt fields (log::write's vector<Field> shape).
+std::vector<log::Field> to_log_fields(const Fields& fields);
+
+/// Emit every field as a key/value pair into the writer's open object.
+void write_json_fields(JsonWriter& w, const Fields& fields);
+
+}  // namespace geoproof::obs

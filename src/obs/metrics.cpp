@@ -1,0 +1,383 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/errors.hpp"
+
+namespace geoproof::obs {
+
+namespace {
+
+constexpr std::string_view kNamePrefix = "geoproof_";
+
+/// Canonical label text: sorted `k=v` pairs joined by 0x1e — both the map
+/// key ingredient and the uniqueness test for a label set.
+std::string canonical_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\x1e';
+  }
+  return out;
+}
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  return name + '\x1f' + canonical_labels(labels);
+}
+
+/// Prometheus label value escaping: backslash, double quote, newline.
+void append_escaped_label(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// `{k="v",...}` or empty; `extra` appends one more pair (histogram `le`).
+std::string render_labels(const Labels& labels, const char* extra_key = nullptr,
+                          const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped_label(out, v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped_label(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string le_boundary_seconds(std::size_t bucket) {
+  if (bucket + 1 == Histogram::kBuckets) return "+Inf";
+  return format_double(
+      static_cast<double>(Histogram::bucket_upper_ns(bucket)) * 1e-9);
+}
+
+const char* kind_name(bool is_counter, bool is_gauge) {
+  if (is_counter) return "counter";
+  if (is_gauge) return "gauge";
+  return "histogram";
+}
+
+void validate_name_or_throw(const std::string& name, const char* what) {
+  if (!valid_metric_name(name)) {
+    throw InvalidArgument(std::string("obs::Registry: ") + what + " \"" +
+                          name +
+                          "\" must match geoproof_[a-z0-9_]+ "
+                          "(units suffix _seconds/_bytes/_total)");
+  }
+}
+
+void validate_labels_or_throw(const Labels& labels) {
+  for (const auto& [k, v] : labels) {
+    if (k.empty()) {
+      throw InvalidArgument("obs::Registry: empty label key");
+    }
+    for (const char c : k) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_';
+      if (!ok) {
+        throw InvalidArgument("obs::Registry: label key \"" + k +
+                              "\" must match [a-z0-9_]+");
+      }
+    }
+    (void)v;  // any value; escaped at render time
+  }
+}
+
+}  // namespace
+
+bool valid_metric_name(std::string_view name) {
+  if (name.size() <= kNamePrefix.size()) return false;
+  if (name.substr(0, kNamePrefix.size()) != kNamePrefix) return false;
+  for (const char c : name.substr(kNamePrefix.size())) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::size_t this_thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_of(std::uint64_t ns) noexcept {
+  if (ns <= 1) return 0;
+  // ceil(log2(ns)): the smallest i with ns <= 2^i.
+  const auto b = static_cast<std::size_t>(std::bit_width(ns - 1));
+  return std::min(b, kBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_ns(std::size_t i) noexcept {
+  if (i + 1 >= kBuckets) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << i;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum_ns += other.sum_ns;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      if (i + 1 == kBuckets) {
+        // Overflow bucket has no finite boundary; report the last finite
+        // one (the estimate is a lower bound there).
+        return static_cast<double>(bucket_upper_ns(kBuckets - 2));
+      }
+      return static_cast<double>(bucket_upper_ns(i));
+    }
+  }
+  return static_cast<double>(bucket_upper_ns(kBuckets - 2));
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+Registry::Series& Registry::get_or_create(const std::string& name,
+                                          Labels&& labels, std::string&& help,
+                                          Kind kind) {
+  validate_name_or_throw(name, "metric name");
+  validate_labels_or_throw(labels);
+  std::sort(labels.begin(), labels.end());
+  const std::string key = series_key(name, labels);
+
+  MutexLock lock(mu_);
+  const auto it = series_.find(key);
+  if (it != series_.end()) {
+    if (it->second->kind != kind) {
+      throw InvalidArgument("obs::Registry: \"" + name +
+                            "\" already registered with a different kind");
+    }
+    return *it->second;
+  }
+  auto series = std::make_unique<Series>();
+  series->name = name;
+  series->labels = std::move(labels);
+  series->help = std::move(help);
+  series->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      series->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      series->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      series->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Series& ref = *series;
+  series_.emplace(key, std::move(series));
+  return ref;
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels,
+                           std::string help) {
+  return *get_or_create(name, std::move(labels), std::move(help),
+                        Kind::kCounter)
+              .counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels,
+                       std::string help) {
+  return *get_or_create(name, std::move(labels), std::move(help), Kind::kGauge)
+              .gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, Labels labels,
+                               std::string help) {
+  return *get_or_create(name, std::move(labels), std::move(help),
+                        Kind::kHistogram)
+              .histogram;
+}
+
+std::uint64_t Registry::add_snapshot(const std::string& prefix,
+                                     SnapshotFn fn) {
+  validate_name_or_throw(prefix, "snapshot prefix");
+  if (!fn) throw InvalidArgument("obs::Registry: null snapshot fn");
+  MutexLock lock(mu_);
+  const std::uint64_t id = next_snapshot_id_++;
+  snapshots_.push_back(SnapshotEntry{id, prefix, std::move(fn)});
+  return id;
+}
+
+void Registry::remove_snapshot(std::uint64_t id) {
+  MutexLock lock(mu_);
+  for (auto it = snapshots_.begin(); it != snapshots_.end(); ++it) {
+    if (it->id == id) {
+      snapshots_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t Registry::series_count() const {
+  MutexLock lock(mu_);
+  return series_.size() + snapshots_.size();
+}
+
+std::string Registry::render_prometheus() const {
+  MutexLock lock(mu_);
+  std::string out;
+  out.reserve(256 + series_.size() * 64);
+  std::string_view last_family;
+  for (const auto& [key, series] : series_) {
+    const Series& s = *series;
+    if (s.name != last_family) {
+      last_family = s.name;
+      if (!s.help.empty()) {
+        out += "# HELP " + s.name + ' ' + s.help + '\n';
+      }
+      out += "# TYPE " + s.name + ' ' +
+             kind_name(s.kind == Kind::kCounter, s.kind == Kind::kGauge) +
+             '\n';
+    }
+    switch (s.kind) {
+      case Kind::kCounter:
+        out += s.name + render_labels(s.labels) + ' ' +
+               std::to_string(s.counter->value()) + '\n';
+        break;
+      case Kind::kGauge:
+        out += s.name + render_labels(s.labels) + ' ' +
+               std::to_string(s.gauge->value()) + '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = s.histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          cumulative += snap.counts[i];
+          // Exposition wants cumulative buckets; skip interior zeros to
+          // keep 40-bucket series readable, but always emit +Inf.
+          if (snap.counts[i] == 0 && i + 1 != Histogram::kBuckets) continue;
+          out += s.name + "_bucket" +
+                 render_labels(s.labels, "le", le_boundary_seconds(i)) + ' ' +
+                 std::to_string(cumulative) + '\n';
+        }
+        out += s.name + "_sum" + render_labels(s.labels) + ' ' +
+               format_double(static_cast<double>(snap.sum_ns) * 1e-9) + '\n';
+        out += s.name + "_count" + render_labels(s.labels) + ' ' +
+               std::to_string(snap.count) + '\n';
+        break;
+      }
+    }
+  }
+  for (const SnapshotEntry& entry : snapshots_) {
+    const Fields fields = entry.fn();
+    for (const FieldValue& f : fields) {
+      const std::string name = entry.prefix + '_' + f.name;
+      out += "# TYPE " + name + " gauge\n";
+      out += name + ' ' + std::to_string(f.value) + '\n';
+    }
+  }
+  return out;
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  MutexLock lock(mu_);
+  w.begin_object();
+  w.key("series");
+  w.begin_array();
+  for (const auto& [key, series] : series_) {
+    const Series& s = *series;
+    w.begin_object();
+    w.kv("name", s.name);
+    if (!s.labels.empty()) {
+      w.key("labels");
+      w.begin_object();
+      for (const auto& [k, v] : s.labels) w.kv(k, v);
+      w.end_object();
+    }
+    w.kv("kind", kind_name(s.kind == Kind::kCounter, s.kind == Kind::kGauge));
+    switch (s.kind) {
+      case Kind::kCounter:
+        w.kv("value", s.counter->value());
+        break;
+      case Kind::kGauge:
+        w.kv("value", s.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = s.histogram->snapshot();
+        w.kv("count", snap.count);
+        w.kv("sum_seconds", static_cast<double>(snap.sum_ns) * 1e-9);
+        w.kv("p50_seconds", snap.quantile(0.5) * 1e-9);
+        w.kv("p99_seconds", snap.quantile(0.99) * 1e-9);
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("snapshots");
+  w.begin_object();
+  for (const SnapshotEntry& entry : snapshots_) {
+    const Fields fields = entry.fn();
+    for (const FieldValue& f : fields) {
+      w.kv(entry.prefix + '_' + f.name, f.value);
+    }
+  }
+  w.end_object();
+  w.end_object();
+}
+
+Registry& Registry::process() {
+  static Registry* const registry = new Registry();  // leaky: outlive atexit
+  return *registry;
+}
+
+}  // namespace geoproof::obs

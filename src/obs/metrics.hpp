@@ -1,0 +1,228 @@
+// The process-wide metrics registry: lock-free counters/gauges, log-bucketed
+// latency histograms, and the Prometheus/JSON renderers the MetricsServer
+// scrapes.
+//
+// ## Hot-path discipline
+//
+// Counter::inc() is the instrument that sits on audit hot paths (engine
+// shard workers at 1e6 registrations), so it is a single relaxed fetch_add
+// into a per-thread-striped cache-line-padded cell — no lock, no false
+// sharing between writer threads, ~5 ns. Histogram::record() is two relaxed
+// fetch_adds. The Registry's mutex guards only registration and rendering
+// (cold paths); the returned Counter&/Gauge&/Histogram& references are
+// stable for the registry's lifetime and are what instrumented code holds.
+//
+// ## Time discipline
+//
+// obs never reads a clock. Histograms take durations the *caller* measured
+// — through an injected ShardClock, an AuditTimer, or
+// geoproof::steady_now() (common/clock.hpp, the one lint-allowlisted
+// wall-clock site) — so simulated worlds stay deterministic and the lint
+// clock rule holds.
+//
+// ## Naming
+//
+// Registered names must match geoproof_[a-z0-9_]+ with the conventional
+// unit suffixes (_seconds, _bytes, _total); tools/geoproof_lint.py enforces
+// the shape at registration call sites and the Registry enforces it at
+// runtime (InvalidArgument on a bad name).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "common/units.hpp"
+#include "obs/fields.hpp"
+
+namespace geoproof::obs {
+
+/// Label set attached to a series (e.g. {{"vantage", "tokyo"}}). Sorted by
+/// key at registration; (name, labels) identifies a series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// geoproof_[a-z0-9_]+ — the registry rejects anything else.
+bool valid_metric_name(std::string_view name);
+
+/// Stripe index of the calling thread, assigned round-robin on first use.
+std::size_t this_thread_stripe() noexcept;
+
+/// Monotone counter, striped across cache-line-padded atomic cells so
+/// concurrent shard workers never contend on one line.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;  // power of two
+
+  void inc(std::uint64_t n = 1) noexcept {
+    cells_[this_thread_stripe() & (kStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all stripes. Monotone for any reader racing writers.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Instantaneous level (queue depth, in-flight sessions). One atomic: a
+/// gauge is read far more rarely than an engine counter is bumped, and
+/// set() from a single owner is the common shape.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t d) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed latency histogram: power-of-two bucket boundaries over the
+/// nanosecond..minutes range (bucket i holds values in (2^(i-1), 2^i] ns;
+/// the last bucket is the +Inf overflow). Recording is two relaxed
+/// fetch_adds; snapshots are mergeable (bucket-wise addition) so per-shard
+/// histograms can fold into a fleet view.
+class Histogram {
+ public:
+  /// 2^38 ns ≈ 275 s upper boundary before the overflow bucket — covers
+  /// ns-scale counter costs through multi-minute sweep stalls.
+  static constexpr std::size_t kBuckets = 40;
+
+  /// Mergeable point-in-time copy. Counts are monotone per bucket; a
+  /// snapshot racing writers may split one record across `counts` and
+  /// `sum_ns` (each is individually monotone), which is the standard
+  /// scrape-consistency contract.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+
+    void merge(const Snapshot& other);
+    /// Quantile estimate in nanoseconds: the upper boundary of the bucket
+    /// holding rank ceil(q * count). For in-range values the true quantile
+    /// t satisfies estimate/2 < t <= estimate (one log2 bucket of error).
+    double quantile(double q) const;
+  };
+
+  /// Bucket index for a nanosecond value; monotone in `ns`.
+  static std::size_t bucket_of(std::uint64_t ns) noexcept;
+  /// Upper boundary of bucket i in ns (last bucket: uint64 max = +Inf).
+  static std::uint64_t bucket_upper_ns(std::size_t i) noexcept;
+
+  void record(Nanos d) noexcept {
+    record_ns(d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count()));
+  }
+  void record_ns(std::uint64_t ns) noexcept {
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// The series registry. Registration is get-or-create: asking for an
+/// existing (name, labels) of the same kind returns the same instrument
+/// (how per-vantage histograms re-register cheaply every sweep); a kind
+/// mismatch throws InvalidArgument. Renderers and registration share one
+/// mutex; instrument updates through the returned references are lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {},
+                   std::string help = {});
+  Gauge& gauge(const std::string& name, Labels labels = {},
+               std::string help = {});
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       std::string help = {});
+
+  /// Callback-valued series: `fn` is evaluated at render time and each of
+  /// its fields is exported as an untyped gauge `<prefix>_<field>` — how a
+  /// Stats::to_fields() snapshot joins the scrape with zero hot-path cost.
+  /// `prefix` must be a valid metric name; `fn` must be thread-safe and
+  /// must not call back into this registry. Returns a handle for
+  /// remove_snapshot (instrumented subsystems deregister on destruction).
+  using SnapshotFn = std::function<Fields()>;
+  std::uint64_t add_snapshot(const std::string& prefix, SnapshotFn fn);
+  void remove_snapshot(std::uint64_t id);
+
+  /// Prometheus text exposition (version 0.0.4). Histogram boundaries and
+  /// sums are exported in seconds, per the `_seconds` naming convention.
+  std::string render_prometheus() const;
+
+  /// One JSON object ({"series": [...], "snapshots": {...}}) emitted into
+  /// `w` — the /statusz body builder.
+  void write_json(JsonWriter& w) const;
+
+  std::size_t series_count() const;
+
+  /// The conventional process-wide registry the daemons register into.
+  /// Library code always takes a Registry& so tests stay hermetic.
+  static Registry& process();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct SnapshotEntry {
+    std::uint64_t id = 0;
+    std::string prefix;
+    SnapshotFn fn;
+  };
+
+  Series& get_or_create(const std::string& name, Labels&& labels,
+                        std::string&& help, Kind kind)
+      GEOPROOF_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  /// Key = name + 0x1f + canonical label text: map order groups a family's
+  /// series together, which is exactly the exposition-format order.
+  std::map<std::string, std::unique_ptr<Series>> series_
+      GEOPROOF_GUARDED_BY(mu_);
+  std::vector<SnapshotEntry> snapshots_ GEOPROOF_GUARDED_BY(mu_);
+  std::uint64_t next_snapshot_id_ GEOPROOF_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace geoproof::obs

@@ -1,0 +1,108 @@
+#include "obs/metrics_server.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace geoproof::obs {
+
+namespace {
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, std::string body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + ' ' + reason +
+                    "\r\n"
+                    "Content-Type: " +
+                    content_type +
+                    "\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n"
+                    "\r\n";
+  out += body;
+  return out;
+}
+
+/// The head is complete once the blank line arrives (accept bare-LF
+/// clients too: `printf 'GET /metrics\n\n' | nc` should work).
+bool head_complete(std::string_view input) {
+  return input.find("\r\n\r\n") != std::string_view::npos ||
+         input.find("\n\n") != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string handle_http_scrape(const Registry& registry,
+                               const SpanRecorder* spans,
+                               std::string_view request) {
+  // Request line: METHOD SP PATH [SP VERSION]. Tolerate both CRLF and LF.
+  const std::size_t eol = request.find_first_of("\r\n");
+  const std::string_view line =
+      eol == std::string_view::npos ? request : request.substr(0, eol);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return http_response(400, "Bad Request", "text/plain",
+                         "malformed request line\n");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1);
+  const std::size_t sp2 = path.find(' ');
+  if (sp2 != std::string_view::npos) path = path.substr(0, sp2);
+  // Ignore any query string: scrapers sometimes append cache-busters.
+  const std::size_t q = path.find('?');
+  if (q != std::string_view::npos) path = path.substr(0, q);
+
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  if (path == "/metrics") {
+    return http_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         registry.render_prometheus());
+  }
+  if (path == "/statusz") {
+    JsonWriter w;
+    w.begin_object();
+    w.key("metrics");
+    registry.write_json(w);
+    if (spans != nullptr) {
+      w.key("spans");
+      spans->write_json(w);
+    }
+    w.end_object();
+    std::string body = std::move(w).str();
+    body += '\n';
+    return http_response(200, "OK", "application/json", std::move(body));
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "try /metrics or /statusz\n");
+}
+
+MetricsServer::MetricsServer(const Registry& registry, const Options& options)
+    : registry_(registry), spans_(options.spans) {
+  net::TcpServer::Options server_options;
+  server_options.host = options.host;
+  server_options.port = options.port;
+  net::StreamHandler handler;
+  handler.on_input = [this](const Bytes& input) -> std::optional<Bytes> {
+    if (!head_complete(std::string_view(
+            reinterpret_cast<const char*>(input.data()), input.size()))) {
+      return std::nullopt;
+    }
+    return handle(input);
+  };
+  server_ =
+      std::make_unique<net::TcpServer>(std::move(handler), server_options);
+}
+
+Bytes MetricsServer::handle(const Bytes& input) const {
+  const std::string response = handle_http_scrape(
+      registry_, spans_,
+      std::string_view(reinterpret_cast<const char*>(input.data()),
+                       input.size()));
+  return Bytes(response.begin(), response.end());
+}
+
+}  // namespace geoproof::obs

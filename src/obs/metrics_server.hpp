@@ -1,0 +1,58 @@
+// The scrape endpoint: a minimal HTTP/1.0 server answering
+// `GET /metrics` (Prometheus text exposition of an obs::Registry) and
+// `GET /statusz` (the same registry as one JSON object, plus optional
+// span traces), riding net::TcpServer's stream mode — no new I/O
+// machinery, same EventLoop/epoll plumbing as the audit wire protocol.
+//
+// Scope is deliberately tiny: GET only (405 otherwise), those two paths
+// (404 otherwise), one request per connection, response then close
+// (HTTP/1.0 semantics, exactly what `curl`/urllib and a Prometheus
+// scraper need).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace geoproof::obs {
+
+/// HTTP scrape server over one Registry. The registry (and optional span
+/// recorder) must outlive the server; both are read-only from the server
+/// thread and internally synchronised, so scrapes can race instrument
+/// updates freely.
+class MetricsServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = kernel-chosen; see port()
+    /// When set, /statusz gains a "spans" array of recent audit spans.
+    const SpanRecorder* spans = nullptr;
+  };
+
+  MetricsServer(const Registry& registry, const Options& options);
+  explicit MetricsServer(const Registry& registry)
+      : MetricsServer(registry, Options{}) {}
+
+  std::uint16_t port() const { return server_->port(); }
+  void stop() { server_->stop(); }
+
+ private:
+  Bytes handle(const Bytes& input) const;
+
+  const Registry& registry_;
+  const SpanRecorder* spans_;
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+/// The request router, exposed for in-process tests: takes the raw request
+/// text once a full head (terminated by a blank line) has arrived and
+/// returns the full HTTP response. Never throws.
+std::string handle_http_scrape(const Registry& registry,
+                               const SpanRecorder* spans,
+                               std::string_view request);
+
+}  // namespace geoproof::obs

@@ -1,0 +1,93 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace geoproof::obs {
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kChallenge: return "challenge";
+    case Phase::kExchange: return "exchange";
+    case Phase::kVerify: return "verify";
+    case Phase::kRefit: return "refit";
+    case Phase::kCommit: return "commit";
+  }
+  return "unknown";
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpanRecorder::record(const Span& span) {
+  MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_ % capacity_] = span;
+  }
+  ++next_;
+  ++recorded_;
+}
+
+std::vector<Span> SpanRecorder::snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Oldest entry sits at the overwrite cursor once the ring is full.
+    const std::size_t head = next_ % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t SpanRecorder::recorded() const {
+  MutexLock lock(mu_);
+  return recorded_;
+}
+
+void SpanRecorder::dump_logfmt(std::ostream& os) const {
+  for (const Span& s : snapshot()) {
+    os << "span kind=" << s.kind << " id=" << s.id << " ok=" << (s.ok ? 1 : 0)
+       << " start_ns=" << s.start.count();
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (s.phase[i].count() == 0) continue;
+      os << ' ' << phase_name(static_cast<Phase>(i))
+         << "_ns=" << s.phase[i].count();
+    }
+    os << " total_ns=" << s.total.count() << '\n';
+  }
+}
+
+void SpanRecorder::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (const Span& s : snapshot()) {
+    w.begin_object();
+    w.kv("kind", s.kind);
+    w.kv("id", s.id);
+    w.kv("ok", s.ok);
+    w.kv("start_ns", static_cast<std::int64_t>(s.start.count()));
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (s.phase[i].count() == 0) continue;
+      w.kv(std::string(phase_name(static_cast<Phase>(i))) + "_ns",
+           static_cast<std::int64_t>(s.phase[i].count()));
+    }
+    w.kv("total_ns", static_cast<std::int64_t>(s.total.count()));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string SpanRecorder::dump_json() const {
+  JsonWriter w;
+  write_json(w);
+  return std::move(w).str();
+}
+
+}  // namespace geoproof::obs

@@ -1,0 +1,96 @@
+// Per-audit span tracing: one Span per audit (or sweep commit), broken into
+// the protocol's phase timeline — challenge issue, bit-exchange RTT,
+// MAC/Merkle verify, solver refit, fix commit — held in a fixed-size ring
+// so a long-lived daemon keeps the most recent N audits without growing.
+//
+// Spans carry durations the *instrumented* code measured (through its own
+// injected clock); the recorder never reads a clock, same as the metrics
+// registry. Dump formats are logfmt (one line per span, the log.hpp
+// lexicon) and JSON (common/json), so traces flow to the same sinks as
+// everything else.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/units.hpp"
+
+namespace geoproof::obs {
+
+/// The audit phase timeline, in protocol order (ISSUE: challenge issue →
+/// bit-exchange RTT → MAC/Merkle verify → solver refit → fix commit). Not
+/// every span populates every phase: a verifier-device span has no refit or
+/// commit; a track-commit span has no challenge or exchange.
+enum class Phase : std::uint8_t {
+  kChallenge = 0,  ///< building + issuing the challenge set
+  kExchange = 1,   ///< bit-exchange round trips (sum of measured RTTs)
+  kVerify = 2,     ///< MAC / Merkle response verification
+  kRefit = 3,      ///< solver refit (geolocation re-solve)
+  kCommit = 4,     ///< fix commit into the position track
+};
+
+inline constexpr std::size_t kPhaseCount = 5;
+
+/// Phase name for logfmt keys and JSON fields ("challenge", "exchange", ...).
+const char* phase_name(Phase p) noexcept;
+
+/// One recorded audit span. `kind` must be a string literal (or otherwise
+/// outlive the recorder) — spans are copied into the ring by value and a
+/// ring of owning strings would put an allocation on the audit path.
+struct Span {
+  std::uint64_t id = 0;           ///< caller-chosen (audit seq, sweep index)
+  const char* kind = "";          ///< e.g. "audit", "batch", "commit"
+  bool ok = true;                 ///< false: aborted / fault / alarm
+  Nanos start{0};                 ///< caller-clock timestamp of span start
+  std::array<Nanos, kPhaseCount> phase{};  ///< per-phase durations (0 = n/a)
+  Nanos total{0};                 ///< whole-span duration
+
+  Nanos phase_at(Phase p) const { return phase[static_cast<std::size_t>(p)]; }
+  void set_phase(Phase p, Nanos d) { phase[static_cast<std::size_t>(p)] = d; }
+};
+
+/// Fixed-capacity ring of recent spans. record() is a short critical
+/// section (copy one Span under the mutex) — cheap enough for per-audit
+/// call sites, which run at sweep granularity, not the engine's per-segment
+/// hot path. Thread-safe throughout.
+class SpanRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit SpanRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(const Span& span);
+
+  /// Oldest-first copy of the retained spans.
+  std::vector<Span> snapshot() const;
+
+  /// Total spans ever recorded (>= snapshot().size() once the ring wraps).
+  std::uint64_t recorded() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// One logfmt line per span:
+  ///   span kind=audit id=42 ok=1 start_ns=... challenge_ns=... total_ns=...
+  /// Phases that were never timed (still zero) are omitted.
+  void dump_logfmt(std::ostream& os) const;
+
+  /// JSON array of span objects appended into an open writer position.
+  void write_json(JsonWriter& w) const;
+
+  /// Convenience: write_json into a fresh writer, return the text.
+  std::string dump_json() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<Span> ring_ GEOPROOF_GUARDED_BY(mu_);
+  std::size_t next_ GEOPROOF_GUARDED_BY(mu_) = 0;
+  std::uint64_t recorded_ GEOPROOF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace geoproof::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/errors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace geoproof::track {
 
@@ -10,6 +12,26 @@ TrackService::TrackService(Options options) : options_(options) {
   if (options_.sla_pass_rate < 0.0 || options_.sla_pass_rate > 1.0) {
     throw InvalidArgument("TrackService: sla_pass_rate must be in [0, 1]");
   }
+}
+
+TrackService::~TrackService() {
+  if (metrics_ != nullptr) metrics_->remove_snapshot(metrics_snapshot_id_);
+}
+
+void TrackService::register_metrics(obs::Registry& registry) {
+  if (metrics_ != nullptr) metrics_->remove_snapshot(metrics_snapshot_id_);
+  metrics_ = &registry;
+  metrics_snapshot_id_ = registry.add_snapshot(
+      "geoproof_track", [this] { return stats().to_fields(); });
+}
+
+void TrackService::set_span_recorder(obs::SpanRecorder* spans,
+                                     std::function<Nanos()> now) {
+  if (spans != nullptr && !now) {
+    throw InvalidArgument("TrackService: span recorder without a clock");
+  }
+  spans_ = spans;
+  span_now_ = std::move(now);
 }
 
 std::uint64_t TrackService::add(std::string name, locate::DelayModel model,
@@ -84,16 +106,23 @@ void TrackService::record(std::uint64_t provider_id,
 
 std::vector<TrackService::ProviderAlarm> TrackService::commit_sweep(
     std::uint64_t sweep) {
+  // Span phases on the caller-injected clock: the refit phase is the time
+  // spent inside the per-provider re-solves (under each slot mutex); the
+  // whole pass is the commit phase.
+  const Nanos t0 = spans_ != nullptr ? span_now_() : Nanos{0};
+  Nanos refit{0};
   std::vector<ProviderAlarm> raised;
   for (const std::uint64_t id : provider_ids()) {
     Slot& slot = find_slot(id);
     std::optional<RelocationAlarm> alarm;
     bool fixed = false;
     {
+      const Nanos r0 = spans_ != nullptr ? span_now_() : Nanos{0};
       MutexLock lock(slot.mu);
       const std::uint64_t before = slot.track.fixes_solved();
       alarm = slot.track.commit_sweep(sweep);
       fixed = slot.track.fixes_solved() > before;
+      if (spans_ != nullptr) refit += span_now_() - r0;
     }
     sweeps_.fetch_add(1, std::memory_order_relaxed);
     if (fixed) fixes_.fetch_add(1, std::memory_order_relaxed);
@@ -102,6 +131,18 @@ std::vector<TrackService::ProviderAlarm> TrackService::commit_sweep(
       raised.push_back(ProviderAlarm{id, slot.name, *alarm});
     }
     epoch_.fetch_add(1, std::memory_order_release);
+  }
+  if (spans_ != nullptr) {
+    const Nanos total = span_now_() - t0;
+    obs::Span span;
+    span.id = sweep;
+    span.kind = "commit";
+    span.ok = raised.empty();
+    span.start = t0;
+    span.set_phase(obs::Phase::kRefit, refit);
+    span.set_phase(obs::Phase::kCommit, total);
+    span.total = total;
+    spans_->record(span);
   }
   return raised;
 }
@@ -157,6 +198,17 @@ TrackService::Stats TrackService::stats() const {
   s.audits =
       std::max(s.audits_passed, audits_.load(std::memory_order_relaxed));
   return s;
+}
+
+obs::Fields TrackService::Stats::to_fields() const {
+  return obs::Fields{{"providers", providers},
+                     {"observations_total", observations},
+                     {"sweeps_total", sweeps},
+                     {"fixes_total", fixes},
+                     {"alarms_total", alarms},
+                     {"audits_total", audits},
+                     {"audits_passed_total", audits_passed},
+                     {"epoch", epoch}};
 }
 
 std::function<void(std::uint64_t, const core::AuditReport&, std::size_t)>

@@ -39,11 +39,18 @@
 #include <vector>
 
 #include "common/thread_annotations.hpp"
+#include "common/units.hpp"
 #include "core/policy.hpp"
 #include "core/scheme.hpp"
 #include "locate/delay_model.hpp"
 #include "locate/measurement.hpp"
+#include "obs/fields.hpp"
 #include "track/position_track.hpp"
+
+namespace geoproof::obs {
+class Registry;
+class SpanRecorder;
+}  // namespace geoproof::obs
 
 namespace geoproof::track {
 
@@ -68,6 +75,10 @@ class TrackService {
     std::uint64_t audits_passed = 0;
     /// Snapshot epoch: events folded in when this snapshot was taken.
     std::uint64_t epoch = 0;
+
+    /// One field list feeding logfmt, the JSON writer and the obs
+    /// Registry snapshot.
+    obs::Fields to_fields() const;
   };
 
   /// Queryable per-provider state: the streaming analogue of the one-shot
@@ -102,9 +113,22 @@ class TrackService {
 
   TrackService() : TrackService(Options{}) {}
   explicit TrackService(Options options);
+  ~TrackService();
 
   TrackService(const TrackService&) = delete;
   TrackService& operator=(const TrackService&) = delete;
+
+  /// Export stats() into `registry` as a "geoproof_track" snapshot (one
+  /// gauge per Stats field); the destructor deregisters. Quiescent only,
+  /// like registry mutation.
+  void register_metrics(obs::Registry& registry);
+
+  /// Attach span tracing: each commit_sweep() records one "commit" span
+  /// with the solver-refit phase (time inside the per-provider re-solves)
+  /// split out of the total commit time, stamped on `now`. Null detaches.
+  /// Quiescent only; recorder and clock must outlive the service or be
+  /// detached first.
+  void set_span_recorder(obs::SpanRecorder* spans, std::function<Nanos()> now);
 
   // ── Registry (quiescent only) ────────────────────────────────────────
 
@@ -190,6 +214,12 @@ class TrackService {
   std::atomic<std::uint64_t> audits_{0};
   std::atomic<std::uint64_t> audits_passed_{0};
   std::atomic<std::uint64_t> epoch_{0};
+
+  /// Observability hooks (set quiescently; see register_metrics).
+  obs::Registry* metrics_ = nullptr;
+  std::uint64_t metrics_snapshot_id_ = 0;
+  obs::SpanRecorder* spans_ = nullptr;
+  std::function<Nanos()> span_now_;
 };
 
 const char* to_string(TrackState state);

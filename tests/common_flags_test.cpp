@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
+
+#include "common/log.hpp"
 
 namespace geoproof {
 namespace {
@@ -153,6 +156,33 @@ TEST(FlagParser, NumericValuesMustBeBareDecimals) {
   flags.add("rounds", &u, "");
   EXPECT_EQ(parse(flags, {"--rounds= -1"}), Status::kError);
   EXPECT_EQ(u, 123u) << "rejected value must leave the target untouched";
+}
+
+TEST(LogLevelFlag, RegistersConventionalSpelling) {
+  std::string level = "info";
+  FlagParser flags("t", "test");
+  add_log_level_flag(flags, &level);
+  EXPECT_EQ(parse(flags, {"--log-level=debug"}), Status::kOk);
+  EXPECT_EQ(level, "debug");
+  EXPECT_NE(flags.usage().find("--log-level"), std::string::npos);
+}
+
+TEST(LogLevelFlag, ApplySetsTheProcessLevel) {
+  const log::Level before = log::level();
+  std::string error;
+  EXPECT_TRUE(apply_log_level("warn", error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(log::level(), log::Level::kWarn);
+  log::set_level(before);
+}
+
+TEST(LogLevelFlag, ApplyRejectsUnknownLevelWithoutTouchingIt) {
+  const log::Level before = log::level();
+  std::string error;
+  EXPECT_FALSE(apply_log_level("verbose", error));
+  EXPECT_NE(error.find("--log-level"), std::string::npos);
+  EXPECT_NE(error.find("verbose"), std::string::npos);
+  EXPECT_EQ(log::level(), before) << "a rejected level must not apply";
 }
 
 TEST(FlagParser, UsageDocumentsFlagsAndDefaults) {

@@ -1,0 +1,157 @@
+"""Live /metrics scraping across the spawned fleet.
+
+The observability ISSUE acceptance case: every daemon that takes
+--metrics-port must serve Prometheus text 0.0.4 while doing real work.
+The tracking auditor is scraped MID-SWEEP against a live fleet and must
+expose at least 12 distinct geoproof_* series whose counters are
+monotone between two scrapes; geoproofd round-trips a kernel-chosen
+metrics port through its READY handshake; and the flag-validation
+contract (unknown --log-level, --metrics-port without --track) fails
+startup with exit 2. Stdlib urllib only — the scraper plays Prometheus,
+not a project client.
+"""
+
+import json
+import subprocess
+import urllib.request
+
+import framework
+
+RTT_MS_PER_KM = 0.05
+FLEET = ["sydney", "melbourne", "townsville"]
+BRISBANE = framework.CITIES["brisbane"]
+
+
+def _scrape(port, path="/metrics"):
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        assert resp.status == 200, f"{url}: HTTP {resp.status}"
+        return resp.read().decode("utf-8")
+
+
+def _series(body):
+    """Prometheus text -> {sample name: summed value} (labels collapsed)."""
+    out = {}
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        name = name_and_labels.split("{")[0]
+        out[name] = out.get(name, 0.0) + float(value)
+    return out
+
+
+def _spawn_fleet(harness):
+    ports = []
+    for city in FLEET:
+        oneway = (RTT_MS_PER_KM / 2.0) * framework.haversine_km(
+            framework.CITIES[city], BRISBANE)
+        _, port = harness.spawn_vantage(city, extra_oneway_ms=oneway)
+        ports.append(port)
+    return ports
+
+
+def test_prover_metrics_port_round_trips_through_ready():
+    with framework.Harness() as harness:
+        daemon = harness.spawn("geoproofd", [
+            framework.binary("geoproofd"),
+            "--file-bytes=16384", "--seed=7", "--metrics-port=0",
+        ])
+        match = daemon.wait_for_line(r"READY port=(\d+) metrics_port=(\d+)")
+        metrics_port = int(match.group(2))
+        assert metrics_port != 0, "kernel-chosen port must be echoed back"
+
+        series = _series(_scrape(metrics_port))
+        assert series["geoproof_prover_segments"] > 0, series
+        assert series["geoproof_prover_requests_served_total"] == 0, series
+
+        statusz = json.loads(_scrape(metrics_port, "/statusz"))
+        snapshots = statusz["metrics"]["snapshots"]
+        assert snapshots["geoproof_prover_segments"] > 0, statusz
+
+        harness.shutdown_all_clean()
+
+
+def test_track_auditor_serves_live_series_mid_sweep():
+    with framework.Harness() as harness:
+        _, prover_port, file_id, n_segments = harness.spawn_prover()
+        ports = _spawn_fleet(harness)
+
+        argv = [framework.binary("geoproof-audit"), "--track",
+                "--sweeps=8", "--interval-ms=400", "--rounds=4",
+                "--metrics-port=0",
+                "--prover-host=127.0.0.1", f"--prover-port={prover_port}",
+                f"--file-id={file_id}", f"--n-segments={n_segments}",
+                f"--cal-ms-per-km={RTT_MS_PER_KM}", "--cal-intercept-ms=0"]
+        argv += [f"--vantage=127.0.0.1:{port}" for port in ports]
+        auditor = framework.Daemon("track-audit", argv)
+        try:
+            metrics_port = int(
+                auditor.wait_for_line(r"METRICS port=(\d+)").group(1))
+
+            # First scrape mid-stream: at least two sweeps have run, the
+            # remaining six keep the fleet live under the scraper.
+            auditor.wait_for_line(r'"sweep":2[,}]', timeout=120)
+            first = _series(_scrape(metrics_port))
+            names = sorted(n for n in first if n.startswith("geoproof_"))
+            assert len(names) >= 12, f"only {len(names)} series: {names}"
+            for expected in ("geoproof_audit_sweeps_total",
+                             "geoproof_async_requests_total",
+                             "geoproof_track_sweeps_total",
+                             "geoproof_track_fixes_total",
+                             "geoproof_vantage_rtt_seconds_count"):
+                assert expected in first, f"missing {expected} in {names}"
+            assert first["geoproof_audit_sweeps_total"] >= 2, first
+            # Three vantages answered every sweep so far.
+            assert first["geoproof_vantage_rtt_seconds_count"] > 0, first
+
+            # Second scrape a few sweeps later: counters are monotone and
+            # the sweep counter genuinely advanced.
+            auditor.wait_for_line(r'"sweep":5[,}]', timeout=120)
+            second = _series(_scrape(metrics_port))
+            for name in names:
+                if name.endswith("_total") or name.endswith("_count"):
+                    assert second[name] >= first[name], (
+                        f"{name} went backwards: {first[name]} -> "
+                        f"{second[name]}")
+            assert (second["geoproof_audit_sweeps_total"]
+                    > first["geoproof_audit_sweeps_total"]), (first, second)
+
+            # /statusz carries the span ring alongside the same registry:
+            # every committed sweep left a "commit" span.
+            statusz = json.loads(_scrape(metrics_port, "/statusz"))
+            assert any(span["kind"] == "commit"
+                       for span in statusz.get("spans", [])), statusz
+
+            rc = auditor.proc.wait(timeout=300)
+        finally:
+            auditor.kill()
+        assert rc == 0, "\n".join(auditor.stderr_lines)
+        harness.shutdown_all_clean()
+
+
+def test_metrics_port_without_track_is_rejected():
+    result = subprocess.run(
+        [framework.binary("geoproof-audit"), "--metrics-port=0"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode == 2, result.stderr
+    assert "--track" in result.stderr, result.stderr
+
+
+def test_unknown_log_level_fails_startup():
+    for name in ("geoproofd", "geoproof-vantage", "geoproof-audit"):
+        result = subprocess.run(
+            [framework.binary(name), "--log-level=verbose"],
+            capture_output=True, text=True, timeout=60)
+        assert result.returncode == 2, (name, result.stderr)
+        assert "--log-level" in result.stderr, (name, result.stderr)
+        assert "verbose" in result.stderr, (name, result.stderr)
+
+
+if __name__ == "__main__":
+    framework.main([
+        test_prover_metrics_port_round_trips_through_ready,
+        test_track_auditor_serves_live_series_mid_sweep,
+        test_metrics_port_without_track_is_rejected,
+        test_unknown_log_level_fails_startup,
+    ])

@@ -1,0 +1,124 @@
+// Randomized histogram correctness: bucket boundaries are exact and
+// monotone, snapshot merge is associative and commutative, and the
+// quantile estimate honours its one-log2-bucket error bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace geoproof::obs {
+namespace {
+
+TEST(HistogramProperty, BucketBoundariesAreExact) {
+  // Bucket i's upper boundary must land in bucket i; one past it in i+1.
+  for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    const std::uint64_t upper = Histogram::bucket_upper_ns(i);
+    EXPECT_EQ(Histogram::bucket_of(upper), i) << "boundary of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_of(upper + 1), std::min(i + 1,
+                                                        Histogram::kBuckets - 1))
+        << "first value past bucket " << i;
+  }
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+}
+
+TEST(HistogramProperty, BucketOfIsMonotone) {
+  Rng rng(0x0b5'1);
+  std::uint64_t prev_ns = 0;
+  std::size_t prev_bucket = Histogram::bucket_of(0);
+  for (int i = 0; i < 20'000; ++i) {
+    // Log-uniform samples so every decade of the range gets exercised.
+    const auto shift = static_cast<unsigned>(rng.next_in(0, 63));
+    const std::uint64_t ns = prev_ns + 1 + (rng.next_u64() >> shift);
+    const std::size_t bucket = Histogram::bucket_of(ns);
+    ASSERT_GE(bucket, prev_bucket)
+        << "bucket_of must be monotone: " << prev_ns << " -> " << ns;
+    prev_ns = ns;
+    prev_bucket = bucket;
+    if (prev_ns > (std::uint64_t{1} << 62)) {
+      prev_ns = 0;
+      prev_bucket = Histogram::bucket_of(0);
+    }
+  }
+}
+
+Histogram::Snapshot random_snapshot(Rng& rng) {
+  Histogram h;
+  const int n = static_cast<int>(rng.next_in(0, 200));
+  for (int i = 0; i < n; ++i) {
+    h.record_ns(rng.next_u64() >> static_cast<unsigned>(rng.next_in(0, 63)));
+  }
+  return h.snapshot();
+}
+
+bool equal(const Histogram::Snapshot& a, const Histogram::Snapshot& b) {
+  return a.counts == b.counts && a.count == b.count && a.sum_ns == b.sum_ns;
+}
+
+TEST(HistogramProperty, MergeIsAssociativeAndCommutative) {
+  Rng rng(0x0b5'2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Histogram::Snapshot a = random_snapshot(rng);
+    const Histogram::Snapshot b = random_snapshot(rng);
+    const Histogram::Snapshot c = random_snapshot(rng);
+
+    Histogram::Snapshot ab_c = a;  // (a + b) + c
+    ab_c.merge(b);
+    ab_c.merge(c);
+    Histogram::Snapshot bc = b;    // a + (b + c)
+    bc.merge(c);
+    Histogram::Snapshot a_bc = a;
+    a_bc.merge(bc);
+    EXPECT_TRUE(equal(ab_c, a_bc)) << "associativity, trial " << trial;
+
+    Histogram::Snapshot ba = b;    // b + a == a + b
+    ba.merge(a);
+    Histogram::Snapshot ab = a;
+    ab.merge(b);
+    EXPECT_TRUE(equal(ab, ba)) << "commutativity, trial " << trial;
+  }
+}
+
+TEST(HistogramProperty, QuantileHonoursTheLogBucketErrorBound) {
+  Rng rng(0x0b5'3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram h;
+    std::vector<std::uint64_t> values;
+    const int n = 1 + static_cast<int>(rng.next_in(0, 500));
+    for (int i = 0; i < n; ++i) {
+      // Keep values in the finite-bucket range so the bound applies.
+      const std::uint64_t ns =
+          rng.next_u64() % (Histogram::bucket_upper_ns(Histogram::kBuckets - 2));
+      values.push_back(ns);
+      h.record_ns(ns);
+    }
+    std::sort(values.begin(), values.end());
+    const Histogram::Snapshot snap = h.snapshot();
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      const auto rank = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::ceil(q * static_cast<double>(values.size()))));
+      const double truth =
+          static_cast<double>(values[static_cast<std::size_t>(rank - 1)]);
+      const double estimate = snap.quantile(q);
+      // The estimate is the upper boundary of the true value's bucket:
+      // truth <= estimate, and (for truth > 1) estimate < 2 * truth.
+      EXPECT_LE(truth, estimate) << "q=" << q << " trial " << trial;
+      if (truth > 1.0) {
+        EXPECT_LT(estimate, 2.0 * truth) << "q=" << q << " trial " << trial;
+      } else {
+        EXPECT_LE(estimate, 2.0) << "q=" << q << " trial " << trial;
+      }
+    }
+  }
+  EXPECT_EQ(Histogram::Snapshot{}.quantile(0.5), 0.0) << "empty snapshot";
+}
+
+}  // namespace
+}  // namespace geoproof::obs

@@ -1,0 +1,171 @@
+// Registry semantics: get-or-create identity, name/label validation, kind
+// safety, and both renderers (Prometheus text exposition + /statusz JSON).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/errors.hpp"
+
+namespace geoproof::obs {
+namespace {
+
+TEST(MetricName, AcceptsTheProjectShapeOnly) {
+  EXPECT_TRUE(valid_metric_name("geoproof_audits_total"));
+  EXPECT_TRUE(valid_metric_name("geoproof_vantage_rtt_seconds"));
+  EXPECT_TRUE(valid_metric_name("geoproof_x9"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("geoproof_"));          // empty tail
+  EXPECT_FALSE(valid_metric_name("audits_total"));       // no prefix
+  EXPECT_FALSE(valid_metric_name("geoproof_Audits"));    // upper case
+  EXPECT_FALSE(valid_metric_name("geoproof_rtt-ms"));    // dash
+  EXPECT_FALSE(valid_metric_name("geoproof_rtt ms"));    // space
+}
+
+TEST(Counter, SumsAcrossStripes) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 8);
+}
+
+TEST(Registry, GetOrCreateReturnsTheSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("geoproof_audits_total");
+  Counter& b = r.counter("geoproof_audits_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, LabelOrderDoesNotSplitASeries) {
+  Registry r;
+  Counter& a = r.counter("geoproof_audits_total",
+                         {{"shard", "0"}, {"kind", "mac"}});
+  Counter& b = r.counter("geoproof_audits_total",
+                         {{"kind", "mac"}, {"shard", "0"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(r.series_count(), 1u);
+}
+
+TEST(Registry, DistinctLabelsAreDistinctSeries) {
+  Registry r;
+  Counter& a = r.counter("geoproof_audits_total", {{"shard", "0"}});
+  Counter& b = r.counter("geoproof_audits_total", {{"shard", "1"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(r.series_count(), 2u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry r;
+  r.counter("geoproof_audits_total");
+  EXPECT_THROW(r.gauge("geoproof_audits_total"), InvalidArgument);
+  EXPECT_THROW(r.histogram("geoproof_audits_total"), InvalidArgument);
+}
+
+TEST(Registry, RejectsBadNamesAndLabelKeys) {
+  Registry r;
+  EXPECT_THROW(r.counter("audits_total"), InvalidArgument);
+  EXPECT_THROW(r.counter("geoproof_Bad"), InvalidArgument);
+  EXPECT_THROW(r.counter("geoproof_ok", {{"Shard", "0"}}), InvalidArgument);
+  EXPECT_THROW(r.counter("geoproof_ok", {{"", "0"}}), InvalidArgument);
+  // Label *values* are free-form (they get escaped on render).
+  EXPECT_NO_THROW(r.counter("geoproof_ok", {{"vantage", "Töwn \"x\"\n"}}));
+}
+
+TEST(Registry, PrometheusRendersCountersAndGauges) {
+  Registry r;
+  r.counter("geoproof_audits_total", {{"kind", "mac"}}, "audits run").inc(3);
+  r.gauge("geoproof_engine_queue_depth").set(7);
+  const std::string text = r.render_prometheus();
+  EXPECT_NE(text.find("# HELP geoproof_audits_total audits run"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE geoproof_audits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("geoproof_audits_total{kind=\"mac\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE geoproof_engine_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("geoproof_engine_queue_depth 7"), std::string::npos);
+}
+
+TEST(Registry, PrometheusEscapesLabelValues) {
+  Registry r;
+  r.counter("geoproof_audits_total", {{"vantage", "a\"b\\c\nd"}}).inc();
+  const std::string text = r.render_prometheus();
+  EXPECT_NE(text.find("vantage=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(Registry, PrometheusHistogramIsCumulativeInSeconds) {
+  Registry r;
+  Histogram& h = r.histogram("geoproof_audit_seconds");
+  h.record_ns(1'000);       // 1 us
+  h.record_ns(1'000'000);   // 1 ms
+  h.record_ns(1'000'000);   // 1 ms
+  const std::string text = r.render_prometheus();
+  EXPECT_NE(text.find("# TYPE geoproof_audit_seconds histogram"),
+            std::string::npos);
+  // Cumulative counts: every rendered bucket boundary >= 1ms must carry
+  // all three observations, and +Inf always renders.
+  EXPECT_NE(text.find("geoproof_audit_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("geoproof_audit_seconds_count 3"), std::string::npos);
+  // Sum is in seconds: 1us + 1ms + 1ms = 0.002001 s.
+  EXPECT_NE(text.find("geoproof_audit_seconds_sum 0.002001"),
+            std::string::npos);
+}
+
+TEST(Registry, SnapshotsRenderAsPrefixedGauges) {
+  Registry r;
+  const std::uint64_t id = r.add_snapshot("geoproof_track", [] {
+    return Fields{{"sweeps_total", 5}, {"alarms_total", 1}};
+  });
+  std::string text = r.render_prometheus();
+  EXPECT_NE(text.find("geoproof_track_sweeps_total 5"), std::string::npos);
+  EXPECT_NE(text.find("geoproof_track_alarms_total 1"), std::string::npos);
+  EXPECT_EQ(r.series_count(), 1u);
+
+  r.remove_snapshot(id);
+  text = r.render_prometheus();
+  EXPECT_EQ(text.find("geoproof_track_sweeps_total"), std::string::npos);
+  EXPECT_EQ(r.series_count(), 0u);
+}
+
+TEST(Registry, SnapshotValidation) {
+  Registry r;
+  EXPECT_THROW(r.add_snapshot("track", [] { return Fields{}; }),
+               InvalidArgument);
+  EXPECT_THROW(r.add_snapshot("geoproof_track", nullptr), InvalidArgument);
+  // Removing an unknown id is a no-op (double-deregister safe).
+  EXPECT_NO_THROW(r.remove_snapshot(12345));
+}
+
+TEST(Registry, WriteJsonCarriesSeriesAndSnapshots) {
+  Registry r;
+  r.counter("geoproof_audits_total").inc(2);
+  r.add_snapshot("geoproof_track",
+                 [] { return Fields{{"sweeps_total", 9}}; });
+  JsonWriter w;
+  r.write_json(w);
+  const std::string json = std::move(w).str();
+  EXPECT_NE(json.find("\"geoproof_audits_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"geoproof_track_sweeps_total\":9"),
+            std::string::npos);
+}
+
+TEST(Registry, ProcessRegistryIsOneInstance) {
+  EXPECT_EQ(&Registry::process(), &Registry::process());
+}
+
+}  // namespace
+}  // namespace geoproof::obs

@@ -1,0 +1,182 @@
+// The scrape endpoint, twice over: handle_http_scrape() request parsing
+// in-process, and MetricsServer serving GET /metrics + /statusz over a
+// real kernel socket — including the full instrumented stack (engine-style
+// counters, AuditService + TrackService stats snapshots) exceeding the
+// twelve-series floor the live-fleet acceptance asks for.
+#include "obs/metrics_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "core/audit_service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "track/track_service.hpp"
+
+namespace geoproof::obs {
+namespace {
+
+// ── handle_http_scrape (no sockets) ──────────────────────────────────────
+
+TEST(HttpScrape, ServesMetricsAsPrometheusText) {
+  Registry registry;
+  registry.counter("geoproof_audits_total").inc(5);
+  const std::string response =
+      handle_http_scrape(registry, nullptr, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("geoproof_audits_total 5"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpScrape, ServesStatuszWithSpans) {
+  Registry registry;
+  registry.counter("geoproof_audits_total").inc();
+  SpanRecorder spans;
+  Span span;
+  span.id = 3;
+  span.kind = "batch";
+  span.total = Nanos{99};
+  spans.record(span);
+  const std::string response =
+      handle_http_scrape(registry, &spans, "GET /statusz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(response.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(response.find("\"kind\":\"batch\""), std::string::npos);
+}
+
+TEST(HttpScrape, StatuszWithoutRecorderOmitsSpans) {
+  Registry registry;
+  const std::string response =
+      handle_http_scrape(registry, nullptr, "GET /statusz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(response.find("\"spans\""), std::string::npos);
+}
+
+TEST(HttpScrape, StripsQueryStringsAndToleratesBareLf) {
+  Registry registry;
+  EXPECT_NE(handle_http_scrape(registry, nullptr,
+                               "GET /metrics?format=prometheus HTTP/1.1\n\n")
+                .find("200 OK"),
+            std::string::npos);
+}
+
+TEST(HttpScrape, RejectsWhatItDoesNotServe) {
+  Registry registry;
+  EXPECT_NE(handle_http_scrape(registry, nullptr,
+                               "GET /nope HTTP/1.0\r\n\r\n")
+                .find("404"),
+            std::string::npos);
+  EXPECT_NE(handle_http_scrape(registry, nullptr,
+                               "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(handle_http_scrape(registry, nullptr, "garbage\r\n\r\n")
+                .find("400"),
+            std::string::npos);
+}
+
+// ── MetricsServer over a real socket ─────────────────────────────────────
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // server closes after one response (HTTP/1.0)
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsServer, ScrapesALiveRegistryOverTcp) {
+  Registry registry;
+  Counter& audits = registry.counter("geoproof_audits_total");
+  audits.inc(2);
+  MetricsServer server(registry, MetricsServer::Options{});
+  ASSERT_NE(server.port(), 0) << "port 0 must bind a kernel-chosen port";
+
+  std::string response = http_get(server.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("geoproof_audits_total 2"), std::string::npos);
+
+  // The scrape reads live state, not a bind-time copy.
+  audits.inc(3);
+  response = http_get(server.port(), "/metrics");
+  EXPECT_NE(response.find("geoproof_audits_total 5"), std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/nope").find("404"), std::string::npos);
+}
+
+// Count distinct geoproof_* series names in a /metrics body.
+std::set<std::string> series_names(const std::string& body) {
+  std::set<std::string> names;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) continue;
+    const std::string name = line.substr(0, name_end);
+    if (name.rfind("geoproof_", 0) == 0) names.insert(name);
+  }
+  return names;
+}
+
+TEST(MetricsServer, InstrumentedStackServesAtLeastTwelveSeries) {
+  Registry registry;
+
+  // The daemon-fleet instrument set, registered the way the daemons do it.
+  core::AuditService audit_service;
+  audit_service.register_metrics(registry);
+  track::TrackService track_service;
+  track_service.register_metrics(registry);
+  registry.gauge("geoproof_engine_queue_depth").set(0);
+  registry.histogram("geoproof_engine_audit_seconds").record_ns(1'000);
+  registry.histogram("geoproof_vantage_rtt_seconds", {{"vantage", "sydney"}})
+      .record_ns(2'000'000);
+  registry.counter("geoproof_async_requests_total").inc();
+  registry.counter("geoproof_async_deadline_misses_total");
+  registry.gauge("geoproof_async_inflight_requests").set(1);
+
+  MetricsServer server(registry, MetricsServer::Options{});
+  const std::string response = http_get(server.port(), "/metrics");
+  const std::set<std::string> names = series_names(response);
+  EXPECT_GE(names.size(), 12u) << response;
+  EXPECT_TRUE(names.count("geoproof_registry_audits_total")) << response;
+  EXPECT_TRUE(names.count("geoproof_track_sweeps_total")) << response;
+  EXPECT_TRUE(names.count("geoproof_vantage_rtt_seconds_count")) << response;
+
+  const std::string statusz = http_get(server.port(), "/statusz");
+  EXPECT_NE(statusz.find("\"geoproof_track_alarms_total\":0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace geoproof::obs

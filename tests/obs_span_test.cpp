@@ -1,0 +1,95 @@
+// SpanRecorder semantics: ring retention order, the logfmt dump's
+// zero-phase omission, and the JSON shape /statusz embeds.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace geoproof::obs {
+namespace {
+
+Span make_span(std::uint64_t id) {
+  Span span;
+  span.id = id;
+  span.kind = "audit";
+  span.start = Nanos{1'000};
+  span.set_phase(Phase::kChallenge, Nanos{10});
+  span.set_phase(Phase::kExchange, Nanos{20});
+  span.total = Nanos{30};
+  return span;
+}
+
+TEST(Span, PhaseNamesFollowTheProtocolTimeline) {
+  EXPECT_STREQ(phase_name(Phase::kChallenge), "challenge");
+  EXPECT_STREQ(phase_name(Phase::kExchange), "exchange");
+  EXPECT_STREQ(phase_name(Phase::kVerify), "verify");
+  EXPECT_STREQ(phase_name(Phase::kRefit), "refit");
+  EXPECT_STREQ(phase_name(Phase::kCommit), "commit");
+}
+
+TEST(SpanRecorder, RetainsInOrderUntilFull) {
+  SpanRecorder recorder(4);
+  for (std::uint64_t id = 1; id <= 3; ++id) recorder.record(make_span(id));
+  const std::vector<Span> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].id, 1u);
+  EXPECT_EQ(spans[2].id, 3u);
+  EXPECT_EQ(recorder.recorded(), 3u);
+}
+
+TEST(SpanRecorder, RingWrapKeepsTheMostRecentOldestFirst) {
+  SpanRecorder recorder(4);
+  for (std::uint64_t id = 1; id <= 10; ++id) recorder.record(make_span(id));
+  const std::vector<Span> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].id, 7u);
+  EXPECT_EQ(spans[1].id, 8u);
+  EXPECT_EQ(spans[2].id, 9u);
+  EXPECT_EQ(spans[3].id, 10u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+}
+
+TEST(SpanRecorder, ZeroCapacityClampsToOne) {
+  SpanRecorder recorder(0);
+  EXPECT_EQ(recorder.capacity(), 1u);
+  recorder.record(make_span(1));
+  recorder.record(make_span(2));
+  const std::vector<Span> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, 2u);
+}
+
+TEST(SpanRecorder, LogfmtOmitsUntimedPhases) {
+  SpanRecorder recorder;
+  Span span = make_span(42);
+  span.ok = false;
+  recorder.record(span);
+  std::ostringstream os;
+  recorder.dump_logfmt(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("span kind=audit id=42 ok=0"), std::string::npos);
+  EXPECT_NE(line.find("start_ns=1000"), std::string::npos);
+  EXPECT_NE(line.find("challenge_ns=10"), std::string::npos);
+  EXPECT_NE(line.find("exchange_ns=20"), std::string::npos);
+  EXPECT_NE(line.find("total_ns=30"), std::string::npos);
+  EXPECT_EQ(line.find("verify_ns"), std::string::npos);
+  EXPECT_EQ(line.find("refit_ns"), std::string::npos);
+  EXPECT_EQ(line.find("commit_ns"), std::string::npos);
+}
+
+TEST(SpanRecorder, JsonDumpIsAnArrayOfSpanObjects) {
+  SpanRecorder recorder;
+  recorder.record(make_span(7));
+  const std::string json = recorder.dump_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"kind\":\"audit\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"challenge_ns\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\":30"), std::string::npos);
+  EXPECT_EQ(json.find("refit_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geoproof::obs

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the GeoProof tree.
 
-Six rules, each enforcing a discipline the type system cannot:
+Seven rules, each enforcing a discipline the type system cannot:
 
   clock      std::chrono::steady_clock / system_clock only in the clock
              abstraction and the explicitly real-time sites (net transport,
@@ -21,6 +21,13 @@ Six rules, each enforcing a discipline the type system cannot:
              tests/CMakeLists.txt, or it silently never runs in CI.
   func-reg   every tests/functional/test_*.py must be registered in
              tests/functional/CMakeLists.txt, for the same reason.
+  metric-name  every literal metric name handed to obs::Registry
+             (.counter/.gauge/.histogram/.add_snapshot) must match
+             geoproof_[a-z0-9_]+(_seconds|_bytes|_total)? so the
+             /metrics namespace stays one greppable, unit-suffixed
+             family. The runtime validates charset; the lint also pins
+             the geoproof_ prefix, which the runtime cannot (tests
+             register foreign prefixes deliberately).
 
 The pattern rules also cover the daemon binaries under apps/ — spawned
 processes are where an unreplayable RNG or a stray wall-clock read hides
@@ -127,7 +134,15 @@ RULES = [
     Rule(
         name="raw-close",
         pattern=re.compile(r"(?<![A-Za-z0-9_])::close\s*\("),
-        allowlist=frozenset({"src/net/async.cpp"}),
+        allowlist=frozenset(
+            {
+                "src/net/async.cpp",
+                # Plays a foreign Prometheus scraper: raw POSIX client on
+                # purpose, so /metrics is proven reachable without our
+                # own socket wrapper in the loop.
+                "tests/obs_server_test.cpp",
+            }
+        ),
         message=(
             "raw ::close outside net::Socket; use the RAII Socket wrapper "
             "so descriptors cannot double-close or leak"
@@ -148,13 +163,15 @@ RULES = [
 ]
 
 
-def strip_comments_and_strings(text: str) -> str:
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
     """Blank out comments and string/char literals, preserving newlines.
 
     Replaced characters become spaces so line and column positions of the
     surviving code are unchanged. Handles //, /* */, "...", '...' with
     backslash escapes. Raw strings get the simple-delimiter treatment,
-    which covers every use in this tree.
+    which covers every use in this tree. With keep_strings=True only
+    comments are blanked and literals survive verbatim (the metric-name
+    rule reads the literal but must ignore prose in comments).
     """
     out = []
     i, n = 0, len(text)
@@ -176,17 +193,20 @@ def strip_comments_and_strings(text: str) -> str:
                 i += 2
         elif c in "\"'":
             quote = c
-            out.append(" ")
+            out.append(quote if keep_strings else " ")
             i += 1
             while i < n and text[i] != quote:
                 if text[i] == "\\" and i + 1 < n:
-                    out.append("  ")
+                    out.append(text[i : i + 2] if keep_strings else "  ")
                     i += 2
                 else:
-                    out.append("\n" if text[i] == "\n" else " ")
+                    if keep_strings:
+                        out.append(text[i])
+                    else:
+                        out.append("\n" if text[i] == "\n" else " ")
                     i += 1
             if i < n:
-                out.append(" ")
+                out.append(quote if keep_strings else " ")
                 i += 1
         else:
             out.append(c)
@@ -271,11 +291,60 @@ def check_functional_registration(root: Path) -> List[Violation]:
     return violations
 
 
+# Registration sites on an obs::Registry (or pointer to one) with a literal
+# first argument. \s crosses newlines, so clang-format's wrapped calls
+# (`registry.add_snapshot(\n    "geoproof_track", ...)`) still match;
+# non-literal names (histogram(name_, ...)) are the caller's contract with
+# the runtime validator and are out of scope here.
+METRIC_CALL_PATTERN = re.compile(
+    r'(?:\.|->)\s*(?:counter|gauge|histogram|add_snapshot)\s*\(\s*"([^"\n]*)"'
+)
+METRIC_NAME_PATTERN = re.compile(r"geoproof_[a-z0-9_]+(?:_seconds|_bytes|_total)?")
+METRIC_NAME_ALLOWLIST = frozenset(
+    {
+        # Exercises the runtime validator with deliberately bad names.
+        "tests/obs_metrics_test.cpp",
+    }
+)
+METRIC_NAME_MESSAGE = (
+    "metric name must match geoproof_[a-z0-9_]+(_seconds|_bytes|_total)? "
+    "so every series shares the greppable geoproof_ prefix and unit suffix"
+)
+
+
+def check_metric_names(root: Path) -> List[Violation]:
+    violations = []
+    for path in iter_cxx_files(root):
+        rel = path.relative_to(root).as_posix()
+        if rel in METRIC_NAME_ALLOWLIST:
+            continue
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue  # check_patterns already reports unreadable files
+        code = strip_comments_and_strings(text, keep_strings=True)
+        for match in METRIC_CALL_PATTERN.finditer(code):
+            name = match.group(1)
+            if METRIC_NAME_PATTERN.fullmatch(name):
+                continue
+            lineno = code.count("\n", 0, match.start()) + 1
+            violations.append(
+                Violation(
+                    rel,
+                    lineno,
+                    "metric-name",
+                    f'"{name}": {METRIC_NAME_MESSAGE}',
+                )
+            )
+    return violations
+
+
 def collect_violations(root: Path) -> List[Violation]:
     return (
         check_patterns(root)
         + check_test_registration(root)
         + check_functional_registration(root)
+        + check_metric_names(root)
     )
 
 
@@ -300,6 +369,7 @@ def main(argv: List[str]) -> int:
             "func-reg: every tests/functional/test_*.py registered in "
             "tests/functional/CMakeLists.txt"
         )
+        print(f"metric-name: {METRIC_NAME_MESSAGE}")
         return 0
 
     root = args.root.resolve()

@@ -207,6 +207,67 @@ class FunctionalRegistrationRuleTest(unittest.TestCase):
         self.assertEqual(geoproof_lint.check_functional_registration(root), [])
 
 
+class MetricNameRuleTest(unittest.TestCase):
+    def test_flags_unprefixed_and_uppercase_names(self):
+        root = make_tree(
+            {
+                "src/core/engine.cpp":
+                    'registry.counter("audits_total").inc();\n'
+                    'metrics_->gauge("geoproof_Bad");\n',
+            }
+        )
+        violations = geoproof_lint.check_metric_names(root)
+        self.assertEqual(rules_hit(violations), ["metric-name"])
+        self.assertEqual(len(violations), 2)
+        self.assertEqual(violations[0].line, 1)
+        self.assertIn('"audits_total"', violations[0].message)
+        self.assertEqual(violations[1].line, 2)
+
+    def test_conforming_names_are_clean(self):
+        root = make_tree(
+            {
+                "src/core/engine.cpp":
+                    'registry.counter("geoproof_audits_total").inc();\n'
+                    'metrics_->histogram("geoproof_vantage_rtt_seconds",\n'
+                    '                    {{"vantage", name}});\n'
+                    'registry.add_snapshot("geoproof_track", fn);\n',
+            }
+        )
+        self.assertEqual(geoproof_lint.check_metric_names(root), [])
+
+    def test_wrapped_call_reports_the_call_site_line(self):
+        root = make_tree(
+            {
+                "src/core/engine.cpp":
+                    "int x;\n"
+                    "auto& h = metrics_->histogram(\n"
+                    '    "engine_sweep_seconds", {});\n',
+            }
+        )
+        violations = geoproof_lint.check_metric_names(root)
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0].line, 2)
+
+    def test_comments_and_non_literal_names_are_ignored(self):
+        root = make_tree(
+            {
+                "src/core/engine.cpp":
+                    '// registry.counter("BadName") would be rejected\n'
+                    "registry.counter(dynamic_name_).inc();\n",
+            }
+        )
+        self.assertEqual(geoproof_lint.check_metric_names(root), [])
+
+    def test_validator_test_file_is_allowlisted(self):
+        root = make_tree(
+            {
+                "tests/obs_metrics_test.cpp":
+                    'EXPECT_THROW(registry.counter("audits_total"), Error);\n',
+            }
+        )
+        self.assertEqual(geoproof_lint.check_metric_names(root), [])
+
+
 class AppsScanTest(unittest.TestCase):
     def test_apps_sources_are_scanned(self):
         root = make_tree(
